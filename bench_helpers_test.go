@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"time"
+
+	"infilter/internal/dagflow"
+	"infilter/internal/netflow"
+)
+
+// dagflowInstance builds a fresh replay instance for throughput benches.
+func dagflowInstance(boot time.Time) *dagflow.Instance {
+	return dagflow.New(dagflow.Config{
+		Name:    "bench",
+		InputIf: 1,
+		Cache:   netflow.CacheConfig{ExpireOnFINRST: true},
+	}, boot)
+}

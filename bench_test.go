@@ -1,0 +1,579 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks: each Benchmark* below corresponds to one
+// artifact (see DESIGN.md's per-experiment index) and reports the paper's
+// series via b.ReportMetric, so `go test -bench=. -benchmem` reproduces
+// the whole evaluation at reduced scale. cmd/experiment and cmd/validate
+// print the same series at full scale.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"infilter/internal/analysis"
+	"infilter/internal/bgp"
+	"infilter/internal/blocks"
+	"infilter/internal/eia"
+	"infilter/internal/experiment"
+	"infilter/internal/flow"
+	"infilter/internal/metrics"
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/nns"
+	"infilter/internal/scan"
+	"infilter/internal/topo"
+	"infilter/internal/trace"
+	"infilter/internal/traceroute"
+)
+
+// benchOpts is the reduced-scale configuration the figure benches use.
+func benchOpts() experiment.Options {
+	return experiment.Options{
+		Seed:                 1,
+		Runs:                 1,
+		NormalFlowsPerSource: 200,
+		TrainingFlows:        600,
+	}
+}
+
+// --- §3.1: Looking Glass traceroute validation ---
+
+func benchmarkTracerouteCampaign(b *testing.B, period, duration time.Duration) {
+	b.Helper()
+	var res traceroute.Result
+	for i := 0; i < b.N; i++ {
+		n := topo.New(topo.Config{Seed: 42})
+		var err error
+		res, err = traceroute.Run(n, traceroute.CampaignConfig{
+			Period: period, Duration: duration, CompletionRate: 0.92,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RawChangePct(), "raw_change_%")
+	b.ReportMetric(res.SubnetChangePct(), "subnet_change_%")
+	b.ReportMetric(res.FQDNChangePct(), "aggregated_change_%")
+	b.ReportMetric(float64(res.Samples), "samples")
+}
+
+// BenchmarkValidationTraceroute24h reproduces §3.1.1's 24-hour run
+// (paper: raw 4.8%, aggregated 0.4%).
+func BenchmarkValidationTraceroute24h(b *testing.B) {
+	benchmarkTracerouteCampaign(b, 30*time.Minute, 24*time.Hour)
+}
+
+// BenchmarkValidationTraceroute4day reproduces §3.1.1's 4-day run
+// (paper: raw 6.4%, aggregated 0.6%).
+func BenchmarkValidationTraceroute4day(b *testing.B) {
+	benchmarkTracerouteCampaign(b, time.Hour, 96*time.Hour)
+}
+
+// --- §3.2 / Figure 5: BGP validation ---
+
+// BenchmarkValidationBGPFig5 reproduces Figure 5 (paper: avg source-AS-set
+// change 1.6%, max 5%).
+func BenchmarkValidationBGPFig5(b *testing.B) {
+	var series []bgp.TargetSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = bgp.Simulate(bgp.SimConfig{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var avgs, maxes []float64
+	for _, s := range series {
+		avgs = append(avgs, 100*s.AvgChange)
+		maxes = append(maxes, 100*s.MaxChange)
+	}
+	b.ReportMetric(metrics.Mean(avgs), "avg_change_%")
+	b.ReportMetric(metrics.Max(maxes), "max_change_%")
+}
+
+// --- Tables 1-3: address-block machinery ---
+
+// BenchmarkTable1Blocks regenerates the 143 public /8 blocks of Table 1.
+func BenchmarkTable1Blocks(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(blocks.Table1())
+	}
+	b.ReportMetric(float64(n), "blocks")
+}
+
+// BenchmarkTable2Allocations regenerates Table 2's allocation schedule at
+// 2% route change and validates its invariants.
+func BenchmarkTable2Allocations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := blocks.NewSchedule(2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3EIA builds the Table 3 EIA preload (1000 prefixes over
+// 10 peer ASes).
+func BenchmarkTable3EIA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set := eia.NewSet(eia.Config{})
+		for as := 1; as <= blocks.DefaultSources; as++ {
+			alloc, err := blocks.EIAAllocation(as)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sb := range alloc {
+				set.AddPrefix(eia.PeerAS(as), sb.Prefix())
+			}
+		}
+		if set.Len() != blocks.NumUsedSubBlocks {
+			b.Fatalf("EIA preload has %d prefixes", set.Len())
+		}
+	}
+}
+
+// --- Figures 15/16: spoofed-attack detection and false positives ---
+
+// BenchmarkFigure15DetectionRate reruns the §6.3.1/§6.3.2 sweep at
+// reduced scale (paper: ≈83% single set, ≈70% ten sets, flat in volume).
+func BenchmarkFigure15DetectionRate(b *testing.B) {
+	var sw *experiment.SpoofedSweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		sw, err = experiment.RunSpoofedSweep(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(sw.Volumes) - 1
+	b.ReportMetric(sw.Single[last].DetectionRate, "det_single_%")
+	b.ReportMetric(sw.Ten[last].DetectionRate, "det_10sets_%")
+}
+
+// BenchmarkFigure16FalsePositives reports the same sweep's FP series
+// (paper: ≈1.25% single, up to ≈4% ten sets).
+func BenchmarkFigure16FalsePositives(b *testing.B) {
+	var sw *experiment.SpoofedSweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		sw, err = experiment.RunSpoofedSweep(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(sw.Volumes) - 1
+	b.ReportMetric(sw.Single[last].FPRate, "fp_single_%")
+	b.ReportMetric(sw.Ten[last].FPRate, "fp_10sets_%")
+}
+
+// --- Figures 17/18/19: route-change sensitivity ---
+
+func benchmarkRouteChange(b *testing.B, mode analysis.Mode) *experiment.RouteChangeSweep {
+	b.Helper()
+	var sw *experiment.RouteChangeSweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		sw, err = experiment.RunRouteChangeSweep(benchOpts(), mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	vol8 := len(sw.Volumes) - 1
+	rc8 := len(sw.Rates) - 1
+	b.ReportMetric(sw.Grid[vol8][0].FPRate, "fp_rc1_%")
+	b.ReportMetric(sw.Grid[vol8][rc8].FPRate, "fp_rc8_%")
+	return sw
+}
+
+// BenchmarkFigure17RouteChangeBI: Basic InFilter FP rises with route
+// change (paper: up to ≈7.4% at 8%/8%).
+func BenchmarkFigure17RouteChangeBI(b *testing.B) {
+	benchmarkRouteChange(b, analysis.ModeBasic)
+}
+
+// BenchmarkFigure18RouteChangeEI: Enhanced InFilter FP stays well below
+// BI (paper: ≈5.25% at 8%/8%).
+func BenchmarkFigure18RouteChangeEI(b *testing.B) {
+	benchmarkRouteChange(b, analysis.ModeEnhanced)
+}
+
+// BenchmarkFigure19BIvsEI contrasts the two at 8% attack volume and
+// reports the EI reduction (paper: ≈30%).
+func BenchmarkFigure19BIvsEI(b *testing.B) {
+	var biFP, eiFP float64
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		bi, err := experiment.RunRouteChangeSweep(opts, analysis.ModeBasic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ei, err := experiment.RunRouteChangeSweep(opts, analysis.ModeEnhanced)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vol8, rc8 := len(bi.Volumes)-1, len(bi.Rates)-1
+		biFP, eiFP = bi.Grid[vol8][rc8].FPRate, ei.Grid[vol8][rc8].FPRate
+	}
+	b.ReportMetric(biFP, "bi_fp_%")
+	b.ReportMetric(eiFP, "ei_fp_%")
+	if biFP > 0 {
+		b.ReportMetric(100*(biFP-eiFP)/biFP, "ei_reduction_%")
+	}
+}
+
+// --- §6.4: per-flow processing latency ---
+
+// trainedBenchEngine builds an engine plus a stream of suspect flows.
+func trainedBenchEngine(b *testing.B, mode analysis.Mode) (*analysis.Engine, []flow.Record) {
+	b.Helper()
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	target := netaddr.MustParsePrefix("192.0.2.0/24")
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed: 1, Start: start, Flows: 900,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("61.0.0.0/11")},
+		DstPrefix:   target,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+	for _, p := range pkts {
+		cache.Observe(p, 1)
+	}
+	cache.FlushAll()
+	var labeled []analysis.LabeledRecord
+	for _, r := range cache.Drain() {
+		labeled = append(labeled, analysis.LabeledRecord{Peer: 1, Record: r})
+	}
+	engine, err := analysis.Train(analysis.Config{Mode: mode}, labeled)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Suspect stream: benign flows from an unexpected block (route change).
+	suspectPkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed: 2, Start: start.Add(time.Hour), Flows: 500,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("70.0.0.0/11")},
+		DstPrefix:   target,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache2 := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+	for _, p := range suspectPkts {
+		cache2.Observe(p, 1)
+	}
+	cache2.FlushAll()
+	return engine, cache2.Drain()
+}
+
+// BenchmarkLatencyBasic measures BI per-suspect-flow processing (paper:
+// ≈0.5 ms on 2005 hardware; the BI≪EI ordering is the reproducible part).
+func BenchmarkLatencyBasic(b *testing.B) {
+	engine, suspects := trainedBenchEngine(b, analysis.ModeBasic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Process(1, suspects[i%len(suspects)])
+	}
+}
+
+// BenchmarkLatencyEnhanced measures EI per-suspect-flow processing
+// (paper: 2-6 ms; NNS search dominates).
+func BenchmarkLatencyEnhanced(b *testing.B) {
+	engine, suspects := trainedBenchEngine(b, analysis.ModeEnhanced)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Process(1, suspects[i%len(suspects)])
+	}
+}
+
+// --- Figure 1 (concept): route stability vs distance from source ---
+
+// BenchmarkFigure1RouteStability measures per-hop change rates along the
+// path: transit (IGP-churned) hops flap, the last AS-level hop does not —
+// the asymmetry Figure 1 sketches.
+func BenchmarkFigure1RouteStability(b *testing.B) {
+	var mid, last float64
+	for i := 0; i < b.N; i++ {
+		n := topo.New(topo.Config{Seed: 3})
+		const samples = 300
+		var midChanges, lastChanges, comparisons int
+		var prev topo.Path
+		for s := 0; s < samples; s++ {
+			p := n.Traceroute(0, 0)
+			if s > 0 {
+				comparisons++
+				if p.Hops[2].FQDN != prev.Hops[2].FQDN {
+					midChanges++
+				}
+				if p.BRHop().FQDN != prev.BRHop().FQDN {
+					lastChanges++
+				}
+			}
+			prev = p
+		}
+		mid = 100 * float64(midChanges) / float64(comparisons)
+		last = 100 * float64(lastChanges) / float64(comparisons)
+	}
+	b.ReportMetric(mid, "transit_hop_change_%")
+	b.ReportMetric(last, "last_hop_change_%")
+}
+
+// --- Ablations over the design choices DESIGN.md calls out ---
+
+func buildNNSCluster(b *testing.B, n int) []nns.BitVec {
+	b.Helper()
+	enc := nns.MustDefaultEncoder()
+	out := make([]nns.BitVec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, enc.Encode(flow.Stats{
+			Bytes:      float64(2000 + i*37%20000),
+			Packets:    float64(5 + i%40),
+			DurationMS: float64(100 + i*13%2000),
+			BitRate:    float64(50000 + i*97%400000),
+			PacketRate: float64(5 + i%50),
+		}))
+	}
+	return out
+}
+
+// BenchmarkAblationNNSM2 sweeps the trace width M2 (paper fixes 12):
+// larger M2 means bigger tables and finer buckets.
+func BenchmarkAblationNNSM2(b *testing.B) {
+	cluster := buildNNSCluster(b, 120)
+	for _, m2 := range []int{8, 12, 16} {
+		b.Run(itoa(m2), func(b *testing.B) {
+			params := nns.Params{D: nns.DefaultD, M1: 1, M2: m2, M3: 3, Seed: 1}
+			st, err := nns.Build(params, cluster)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Search(cluster[i%len(cluster)]); !ok {
+					b.Fatal("no neighbor")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNNSBuild measures structure-creation cost growth with
+// training-cluster size (the paper's "space polynomial in training size").
+func BenchmarkAblationNNSBuild(b *testing.B) {
+	for _, n := range []int{50, 150, 400} {
+		cluster := buildNNSCluster(b, n)
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nns.Build(nns.DefaultParams(), cluster); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScanBuffer sweeps the suspect-buffer size (paper
+// uses 200).
+func BenchmarkAblationScanBuffer(b *testing.B) {
+	for _, size := range []int{50, 200, 800} {
+		b.Run(itoa(size), func(b *testing.B) {
+			a := scan.New(scan.Config{BufferSize: size})
+			rec := flow.Record{
+				Key:     flow.Key{Dst: netaddr.MustParseIPv4("192.0.2.1"), DstPort: 1434, Proto: flow.ProtoUDP},
+				Packets: 1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Key.Dst = netaddr.IPv4(0xc0000200 + uint32(i%250))
+				a.Add(rec)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioning contrasts per-protocol subclusters with a
+// single global cluster (§5.1.3(c)'s design choice): it reports how many
+// service-exploit flows each variant flags.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	target := netaddr.MustParsePrefix("192.0.2.0/24")
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed: 30, Start: start, Flows: 1200,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("61.0.0.0/11")},
+		DstPrefix:   target,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+	for _, p := range pkts {
+		cache.Observe(p, 1)
+	}
+	cache.FlushAll()
+	training := cache.Drain()
+
+	var attackRecs []flow.Record
+	for i, at := range []trace.AttackType{
+		trace.AttackHTTPExploit, trace.AttackFTPExploit,
+		trace.AttackSMTPExploit, trace.AttackDNSExploit,
+	} {
+		apkts, err := trace.Generate(at, trace.AttackConfig{
+			Seed: int64(40 + i), Start: start.Add(time.Hour),
+			Src: netaddr.MustParseIPv4("70.1.1.1"), DstPrefix: target,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c2 := netflow.NewCache(netflow.CacheConfig{})
+		for _, p := range apkts {
+			c2.Observe(p, 1)
+		}
+		c2.FlushAll()
+		attackRecs = append(attackRecs, c2.Drain()...)
+	}
+
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"partitioned", false}, {"flat", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var hits int
+			for i := 0; i < b.N; i++ {
+				d, err := nns.Train(nns.DetectorConfig{DisablePartition: variant.disable}, training)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits = 0
+				for _, r := range attackRecs {
+					if d.Assess(r).Anomalous {
+						hits++
+					}
+				}
+			}
+			b.ReportMetric(float64(hits), "exploit_flows_flagged")
+		})
+	}
+}
+
+// BenchmarkAblationApproxVsExact contrasts the KOR approximate search with
+// brute force, reporting both speed and approximation excess.
+func BenchmarkAblationApproxVsExact(b *testing.B) {
+	cluster := buildNNSCluster(b, 400)
+	st, err := nns.Build(nns.DefaultParams(), cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("approx", func(b *testing.B) {
+		excess := 0
+		for i := 0; i < b.N; i++ {
+			q := cluster[i%len(cluster)]
+			a, ok := st.Search(q)
+			if !ok {
+				b.Fatal("no neighbor")
+			}
+			if e, ok := st.ExactSearch(q); ok {
+				excess += a.Distance - e.Distance
+			}
+		}
+		b.ReportMetric(float64(excess)/float64(b.N), "excess_bits/op")
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := st.ExactSearch(cluster[i%len(cluster)]); !ok {
+				b.Fatal("no neighbor")
+			}
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkEIACheck measures the Basic InFilter hot path.
+func BenchmarkEIACheck(b *testing.B) {
+	set := eia.NewSet(eia.Config{})
+	for as := 1; as <= blocks.DefaultSources; as++ {
+		alloc, err := blocks.EIAAllocation(as)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sb := range alloc {
+			set.AddPrefix(eia.PeerAS(as), sb.Prefix())
+		}
+	}
+	src := netaddr.MustParseIPv4("61.40.1.7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Check(eia.PeerAS(i%10+1), src+netaddr.IPv4(i%1024))
+	}
+}
+
+// BenchmarkNetFlowCodec round-trips a full 30-record datagram.
+func BenchmarkNetFlowCodec(b *testing.B) {
+	d := &netflow.Datagram{}
+	for i := 0; i < netflow.MaxRecords; i++ {
+		d.Records = append(d.Records, netflow.Record{
+			SrcAddr: netaddr.IPv4(uint32(i)), DstAddr: 0xc0000201,
+			Packets: 10, Octets: 4000, Proto: flow.ProtoTCP, DstPort: 80,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := d.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netflow.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnaryEncode measures flow-statistics encoding into {0,1}^720.
+func BenchmarkUnaryEncode(b *testing.B) {
+	enc := nns.MustDefaultEncoder()
+	s := flow.Stats{Bytes: 20000, Packets: 30, DurationMS: 1500, BitRate: 100000, PacketRate: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(s)
+	}
+}
+
+// BenchmarkDagflowReplay measures trace-to-NetFlow replay throughput.
+func BenchmarkDagflowReplay(b *testing.B) {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed: 1, Start: start, Flows: 500,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("61.0.0.0/11")},
+		DstPrefix:   netaddr.MustParsePrefix("192.0.2.0/24"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := dagflowInstance(start)
+		if _, err := inst.Replay(pkts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pkts)), "packets/replay")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

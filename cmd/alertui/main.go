@@ -1,0 +1,55 @@
+// Command alertui is the IDMEF consumer of paper §5.1.4: it listens for
+// IDMEF alerts from infilterd and prints them as they arrive, providing
+// the "visual notification of attacks in their initial stages" role of
+// the prototype's Alert User Interface.
+//
+// Usage:
+//
+//	alertui -port 6000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"infilter/internal/idmef"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	port := flag.Int("port", 6000, "TCP port to receive IDMEF alerts on")
+	flag.Parse()
+
+	var count atomic.Int64
+	consumer := idmef.NewConsumer(func(a idmef.Alert) {
+		n := count.Add(1)
+		fmt.Printf("[%4d] %s  %-14s  peerAS=%-2d  %s:%d -> %s:%d  %s  dist=%d\n",
+			n, a.CreateTime.Format("15:04:05.000"), a.Assessment.Stage,
+			a.Assessment.PeerAS,
+			a.Source.Address, a.Source.Port,
+			a.Target.Address, a.Target.Port,
+			a.Classification.Text, a.Assessment.Distance)
+	})
+	bound, err := consumer.Listen(*port)
+	if err != nil {
+		return err
+	}
+	defer consumer.Close()
+	log.Printf("alert UI listening on tcp/%d", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("received %d alerts total", count.Load())
+	return nil
+}

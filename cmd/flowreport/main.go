@@ -1,0 +1,143 @@
+// Command flowreport is the flow-report/flow-filter slice of the
+// flow-tools suite: it reads flows from a binary store file, a capture
+// archive directory, or ASCII, optionally applies a filter expression, and
+// prints grouped statistics.
+//
+// Examples:
+//
+//	flowreport -store flows.iffs -group ip-destination-port
+//	flowreport -archive ./archive -filter "proto udp and dst-port 1434"
+//	flowreport -ascii flows.csv -group ip-source-address,ip-destination-port
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/flowtools"
+	"infilter/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		storeFile  = flag.String("store", "", "binary flow store file")
+		archiveDir = flag.String("archive", "", "capture archive directory")
+		asciiFile  = flag.String("ascii", "", "ASCII flow file")
+		filterExpr = flag.String("filter", "", "filter expression (see flowtools.CompileFilter)")
+		groupSpec  = flag.String("group", "ip-destination-port", "comma-separated grouping fields")
+		topN       = flag.Int("top", 0, "show only the top N groups by flow count (0: all)")
+	)
+	flag.Parse()
+
+	recs, err := loadFlows(*storeFile, *archiveDir, *asciiFile)
+	if err != nil {
+		return err
+	}
+	if *filterExpr != "" {
+		pred, err := flowtools.CompileFilter(*filterExpr)
+		if err != nil {
+			return err
+		}
+		recs = flowtools.Filter(recs, pred)
+	}
+	fields, err := parseGroupFields(*groupSpec)
+	if err != nil {
+		return err
+	}
+	groups := flowtools.Report(recs, fields)
+	if *topN > 0 && len(groups) > *topN {
+		// Report sorts by key; re-rank by flow count for top-N.
+		sortByFlows(groups)
+		groups = groups[:*topN]
+	}
+
+	tab := metrics.Table{
+		Title:   fmt.Sprintf("%d flows, %d groups (grouped by %s)", len(recs), len(groups), *groupSpec),
+		Columns: []string{"group", "flows", "packets", "bytes", "duration", "avg bps", "avg pps"},
+	}
+	for _, g := range groups {
+		tab.AddRow(g.Key,
+			fmt.Sprintf("%d", g.Flows),
+			fmt.Sprintf("%d", g.Packets),
+			fmt.Sprintf("%d", g.Bytes),
+			g.Duration.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", g.AvgBitRate),
+			fmt.Sprintf("%.1f", g.AvgPktRate))
+	}
+	fmt.Println(tab.String())
+	return nil
+}
+
+func loadFlows(storeFile, archiveDir, asciiFile string) ([]flow.Record, error) {
+	switch {
+	case storeFile != "":
+		f, err := os.Open(storeFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sr, err := flowtools.NewStoreReader(f)
+		if err != nil {
+			return nil, err
+		}
+		return sr.ReadAll()
+	case archiveDir != "":
+		return flowtools.ReadArchive(archiveDir)
+	case asciiFile != "":
+		f, err := os.Open(asciiFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return flowtools.ReadASCII(f)
+	default:
+		return nil, fmt.Errorf("one of -store, -archive or -ascii is required")
+	}
+}
+
+var groupFieldByName = map[string]flowtools.GroupField{
+	"ip-source-address":      flowtools.GroupSrcAddr,
+	"ip-destination-address": flowtools.GroupDstAddr,
+	"ip-protocol":            flowtools.GroupProto,
+	"ip-source-port":         flowtools.GroupSrcPort,
+	"ip-destination-port":    flowtools.GroupDstPort,
+	"ip-tos":                 flowtools.GroupTOS,
+	"input-interface":        flowtools.GroupInputIf,
+	"source-as":              flowtools.GroupSrcAS,
+	"destination-as":         flowtools.GroupDstAS,
+}
+
+func parseGroupFields(spec string) ([]flowtools.GroupField, error) {
+	var out []flowtools.GroupField
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		f, ok := groupFieldByName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown group field %q", name)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty group spec")
+	}
+	return out, nil
+}
+
+func sortByFlows(groups []flowtools.GroupStats) {
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].Flows > groups[j-1].Flows; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/flowtools"
+	"infilter/internal/netaddr"
+)
+
+func writeStore(t *testing.T, recs []flow.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flows.iffs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := flowtools.NewStoreWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := sw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleRecs() []flow.Record {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(src string, port uint16, proto uint8) flow.Record {
+		return flow.Record{
+			Key: flow.Key{
+				Src:     netaddr.MustParseIPv4(src),
+				Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+				Proto:   proto,
+				DstPort: port,
+			},
+			Packets: 5, Bytes: 1000,
+			Start: start, End: start.Add(time.Second),
+		}
+	}
+	return []flow.Record{
+		mk("61.0.0.1", 80, flow.ProtoTCP),
+		mk("61.0.0.2", 80, flow.ProtoTCP),
+		mk("70.0.0.1", 1434, flow.ProtoUDP),
+	}
+}
+
+func TestLoadFlowsStore(t *testing.T) {
+	path := writeStore(t, sampleRecs())
+	recs, err := loadFlows(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("loaded %d flows", len(recs))
+	}
+}
+
+func TestLoadFlowsRequiresSource(t *testing.T) {
+	if _, err := loadFlows("", "", ""); err == nil {
+		t.Error("no source: want error")
+	}
+	if _, err := loadFlows(filepath.Join(t.TempDir(), "missing"), "", ""); err == nil {
+		t.Error("missing store: want error")
+	}
+}
+
+func TestParseGroupFields(t *testing.T) {
+	fields, err := parseGroupFields("ip-source-address, ip-destination-port")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 || fields[0] != flowtools.GroupSrcAddr || fields[1] != flowtools.GroupDstPort {
+		t.Errorf("fields %v", fields)
+	}
+	if _, err := parseGroupFields("nope"); err == nil {
+		t.Error("unknown field: want error")
+	}
+	// Every documented field must resolve.
+	for name := range groupFieldByName {
+		if _, err := parseGroupFields(name); err != nil {
+			t.Errorf("field %q: %v", name, err)
+		}
+	}
+}
+
+func TestSortByFlows(t *testing.T) {
+	groups := []flowtools.GroupStats{
+		{Key: "a", Flows: 1}, {Key: "b", Flows: 5}, {Key: "c", Flows: 3},
+	}
+	sortByFlows(groups)
+	if groups[0].Key != "b" || groups[2].Key != "a" {
+		t.Errorf("sorted %v", groups)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"infilter/internal/flow"
+	"infilter/internal/netflow"
+	"infilter/internal/packet"
+)
+
+// flowsFromTrace aggregates a packet trace into flow records through the
+// router-cache emulation, the same path live traffic takes.
+func flowsFromTrace(pkts []packet.Packet) ([]flow.Record, error) {
+	cache := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+	for _, p := range pkts {
+		cache.Observe(p, 0)
+	}
+	cache.FlushAll()
+	return cache.Drain(), nil
+}

@@ -1,0 +1,250 @@
+// Command infilterd is the InFilter analysis daemon: it receives NetFlow
+// v5 datagrams on one UDP port per emulated border router / peer AS, runs
+// the Basic or Enhanced InFilter pipeline over the flows, and reports
+// attacks as IDMEF alerts (to a TCP consumer or stdout).
+//
+// Usage:
+//
+//	infilterd -ports 5001,5002,5003 -mode EI -train-flows 1500 [-alert 127.0.0.1:6000]
+//
+// Port i in the list carries flows from peer AS i (the testbed's
+// demultiplexing convention, paper §6.2). EIA sets are trained from the
+// first -eia-training flows observed per port unless -eia-file provides
+// them explicitly (lines: "<peerAS> <cidr>").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"infilter/internal/analysis"
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/flowtools"
+	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
+	"infilter/internal/nns"
+	"infilter/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		portsFlag   = flag.String("ports", "5001", "comma-separated UDP ports; port i carries peer AS i")
+		modeFlag    = flag.String("mode", "EI", "BI (basic) or EI (enhanced)")
+		alertFlag   = flag.String("alert", "", "IDMEF consumer TCP address (empty: log alerts)")
+		eiaFile     = flag.String("eia-file", "", "file of '<peerAS> <cidr>' lines preloading EIA sets")
+		modelFile   = flag.String("model", "", "detector model file: loaded if present, else trained and saved there (EI mode)")
+		trainFlows  = flag.Int("train-flows", 1500, "synthetic flows for NNS training (EI mode)")
+		trainSeed   = flag.Int64("train-seed", 1, "seed for synthetic training traffic")
+		captureDir  = flag.String("capture", "", "archive received flows into this directory (flow-capture role)")
+		statsPeriod = flag.Duration("stats", 30*time.Second, "period for stats logging")
+	)
+	flag.Parse()
+
+	mode := analysis.ModeEnhanced
+	switch strings.ToUpper(*modeFlag) {
+	case "EI":
+	case "BI":
+		mode = analysis.ModeBasic
+	default:
+		return fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+
+	ports, err := parsePorts(*portsFlag)
+	if err != nil {
+		return err
+	}
+
+	set := eia.NewSet(eia.Config{})
+	if *eiaFile != "" {
+		if err := loadEIAFile(set, *eiaFile); err != nil {
+			return err
+		}
+		log.Printf("loaded %d EIA prefixes from %s", set.Len(), *eiaFile)
+	}
+
+	var detector *nns.Detector
+	if mode == analysis.ModeEnhanced {
+		detector, err = obtainDetector(*modelFile, *trainSeed, *trainFlows)
+		if err != nil {
+			return err
+		}
+	}
+	engine, err := analysis.NewEngine(analysis.Config{Mode: mode}, set, detector)
+	if err != nil {
+		return err
+	}
+
+	var sender *idmef.Sender
+	if *alertFlag != "" {
+		sender, err = idmef.Dial(*alertFlag)
+		if err != nil {
+			return err
+		}
+		defer sender.Close()
+		engine.SetAlertSink(func(a idmef.Alert) {
+			if err := sender.Send(a); err != nil {
+				log.Printf("send alert: %v", err)
+			}
+		})
+	} else {
+		engine.SetAlertSink(func(a idmef.Alert) {
+			log.Printf("ALERT %s stage=%s peerAS=%d %s:%d -> %s:%d",
+				a.MessageID, a.Assessment.Stage, a.Assessment.PeerAS,
+				a.Source.Address, a.Source.Port, a.Target.Address, a.Target.Port)
+		})
+	}
+
+	var capture *flowtools.Capture
+	if *captureDir != "" {
+		capture, err = flowtools.NewCapture(*captureDir, flowtools.DefaultRotation)
+		if err != nil {
+			return err
+		}
+		defer capture.Close()
+		log.Printf("archiving flows into %s", *captureDir)
+	}
+
+	peerOfPort := make(map[int]eia.PeerAS, len(ports))
+	var mu sync.Mutex // engine is single-threaded; collector is not
+	collector := flowtools.NewCollector(func(port int, recs []flow.Record) {
+		peer, ok := peerOfPort[port]
+		if !ok {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range recs {
+			if capture != nil {
+				if err := capture.Write(r); err != nil {
+					log.Printf("archive flow: %v", err)
+				}
+			}
+			engine.Process(peer, r)
+		}
+	})
+	defer collector.Close()
+
+	for i, p := range ports {
+		bound, err := collector.Listen(p)
+		if err != nil {
+			return fmt.Errorf("listen %d: %w", p, err)
+		}
+		peerOfPort[bound] = eia.PeerAS(i + 1)
+		log.Printf("peer AS %d on udp/%d (%s mode)", i+1, bound, mode)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*statsPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			mu.Lock()
+			st := engine.Stats()
+			mu.Unlock()
+			recv, malformed := collector.Stats()
+			log.Printf("stats: received=%d malformed=%d processed=%d suspects=%d attacks=%d promotions=%d",
+				recv, malformed, st.Processed, st.Suspects, st.Attacks, st.Promotions)
+		case s := <-sig:
+			log.Printf("shutting down on %v", s)
+			return nil
+		}
+	}
+}
+
+func parsePorts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 0 || p > 65535 {
+			return nil, fmt.Errorf("bad port %q", part)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ports given")
+	}
+	return out, nil
+}
+
+func loadEIAFile(set *eia.Set, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eia.ReadInto(set, f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// obtainDetector loads a saved model when one exists; otherwise it trains
+// from synthetic traffic and, if a path was given, persists the result for
+// the next start (the paper's offline training phase, §4.2).
+func obtainDetector(path string, seed int64, flows int) (*nns.Detector, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			d, err := nns.LoadDetector(f)
+			if err != nil {
+				return nil, fmt.Errorf("load model %s: %w", path, err)
+			}
+			log.Printf("loaded detector model from %s (%d clusters)", path, len(d.Clusters()))
+			return d, nil
+		}
+	}
+	log.Printf("training NNS detector on %d synthetic flows", flows)
+	d, err := trainDetector(seed, flows)
+	if err != nil {
+		return nil, fmt.Errorf("train detector: %w", err)
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("create model %s: %w", path, err)
+		}
+		defer f.Close()
+		if err := d.Save(f); err != nil {
+			return nil, err
+		}
+		log.Printf("saved detector model to %s", path)
+	}
+	return d, nil
+}
+
+func trainDetector(seed int64, flows int) (*nns.Detector, error) {
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed:        seed,
+		Start:       time.Now().Add(-time.Hour),
+		Flows:       flows,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("0.0.0.0/1")},
+		DstPrefix:   netaddr.MustParsePrefix("192.0.2.0/24"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]flow.Record, 0, flows)
+	cacheRecs, err := flowsFromTrace(pkts)
+	if err != nil {
+		return nil, err
+	}
+	recs = append(recs, cacheRecs...)
+	return nns.Train(nns.DetectorConfig{}, recs)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"infilter/internal/eia"
+	"infilter/internal/netaddr"
+)
+
+func TestParsePorts(t *testing.T) {
+	got, err := parsePorts("5001, 5002,5003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 5001 || got[2] != 5003 {
+		t.Errorf("parsePorts = %v", got)
+	}
+	for _, in := range []string{"", "abc", "70000", "-1", "5001,,5002"} {
+		if _, err := parsePorts(in); err == nil {
+			t.Errorf("parsePorts(%q): want error", in)
+		}
+	}
+}
+
+func TestLoadEIAFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eia.txt")
+	content := "# comment\n\n1 61.0.0.0/11\n2 70.0.0.0/11\n1 88.0.0.0/11\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set := eia.NewSet(eia.Config{})
+	if err := loadEIAFile(set, path); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Errorf("loaded %d prefixes", set.Len())
+	}
+	if got := set.Check(1, netaddr.MustParseIPv4("61.1.1.1")); got != eia.Match {
+		t.Errorf("check = %v", got)
+	}
+	if got := set.Check(1, netaddr.MustParseIPv4("70.1.1.1")); got != eia.WrongPeer {
+		t.Errorf("check = %v", got)
+	}
+}
+
+func TestLoadEIAFileErrors(t *testing.T) {
+	set := eia.NewSet(eia.Config{})
+	if err := loadEIAFile(set, filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file: want error")
+	}
+	for _, content := range []string{
+		"justonefield\n",
+		"x 61.0.0.0/11\n",
+		"1 notacidr\n",
+	} {
+		path := filepath.Join(t.TempDir(), "bad.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := loadEIAFile(set, path); err == nil {
+			t.Errorf("loadEIAFile(%q): want error", content)
+		}
+	}
+}
+
+func TestTrainDetectorSmoke(t *testing.T) {
+	d, err := trainDetector(1, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Clusters()) == 0 {
+		t.Error("no clusters trained")
+	}
+}
+
+func TestObtainDetectorTrainsSavesAndLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.gob")
+	trained, err := obtainDetector(path, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("model not saved: %v", statErr)
+	}
+	loaded, err := obtainDetector(path, 999, 10) // params ignored on load
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Clusters()) != len(trained.Clusters()) {
+		t.Errorf("loaded %d clusters, trained %d", len(loaded.Clusters()), len(trained.Clusters()))
+	}
+}

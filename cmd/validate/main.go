@@ -1,0 +1,168 @@
+// Command validate reproduces the paper's empirical validation of the
+// InFilter hypothesis (§3): the traceroute campaigns from Looking Glass
+// sites (§3.1.1) and the BGP-derived peer-AS → source-AS mapping analysis
+// (§3.2, Figure 5). It can also derive the mapping from a real
+// "show ip bgp" dump.
+//
+// Examples:
+//
+//	validate -mode traceroute
+//	validate -mode bgp
+//	validate -mode dump -dump rib.txt -target-ip 4.2.101.20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"infilter/internal/bgp"
+	"infilter/internal/metrics"
+	"infilter/internal/netaddr"
+	"infilter/internal/topo"
+	"infilter/internal/traceroute"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		mode     = flag.String("mode", "both", "traceroute, bgp, dump, figure1, or both")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		dumpFile = flag.String("dump", "", "show-ip-bgp dump file (mode=dump)")
+		targetIP = flag.String("target-ip", "4.2.101.20", "target address for mapping derivation (mode=dump)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "traceroute":
+		return runTraceroute(*seed)
+	case "figure1":
+		return runFigure1(*seed)
+	case "bgp":
+		return runBGP(*seed)
+	case "dump":
+		return runDump(*dumpFile, *targetIP)
+	case "both":
+		if err := runTraceroute(*seed); err != nil {
+			return err
+		}
+		return runBGP(*seed)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runTraceroute(seed int64) error {
+	fmt.Println("== §3.1 Traceroute-based validation (24 LG sites -> 20 targets) ==")
+	campaigns := []struct {
+		name string
+		cfg  traceroute.CampaignConfig
+	}{
+		{"24-hour run (30-min period)", traceroute.CampaignConfig{
+			Period: 30 * time.Minute, Duration: 24 * time.Hour, CompletionRate: 0.92,
+		}},
+		{"4-day run (60-min period)", traceroute.CampaignConfig{
+			Period: time.Hour, Duration: 96 * time.Hour, CompletionRate: 0.92,
+		}},
+	}
+	tab := metrics.Table{
+		Title:   "Last AS-level hop change rates (paper: 4.8%/0.4% and 6.4%/0.6%)",
+		Columns: []string{"campaign", "samples", "raw", "/24 smoothed", "FQDN aggregated"},
+	}
+	for _, c := range campaigns {
+		n := topo.New(topo.Config{Seed: seed})
+		res, err := traceroute.Run(n, c.cfg)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(c.name,
+			fmt.Sprintf("%d", res.Samples),
+			metrics.Pct(res.RawChangePct()),
+			metrics.Pct(res.SubnetChangePct()),
+			metrics.Pct(res.FQDNChangePct()))
+	}
+	fmt.Println(tab.String())
+	return nil
+}
+
+func runFigure1(seed int64) error {
+	fmt.Println("== Figure 1 (concept): route stability vs distance from source ==")
+	n := topo.New(topo.Config{Seed: seed})
+	rates := traceroute.HopStability(n, 0, 0, 500)
+	tab := metrics.Table{
+		Title:   "Per-hop router change rate over 500 samples (last two hops are the peer AS and BR)",
+		Columns: []string{"hop", "role", "change rate"},
+	}
+	for h, r := range rates {
+		role := "transit (IGP)"
+		if h == len(rates)-2 {
+			role = "peer AS router"
+		} else if h == len(rates)-1 {
+			role = "border router"
+		}
+		tab.AddRow(fmt.Sprintf("%d", h+1), role, metrics.Pct(r))
+	}
+	fmt.Println(tab.String())
+	return nil
+}
+
+func runBGP(seed int64) error {
+	fmt.Println("== §3.2 BGP-based validation (30 days, 2-hour readings) ==")
+	series, err := bgp.Simulate(bgp.SimConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	tab := metrics.Table{
+		Title:   "Figure 5: Source-AS-set change per target (paper: avg 1.6%, max 5%)",
+		Columns: []string{"target AS", "#peer ASes", "avg change", "max change"},
+	}
+	var avgs, maxes []float64
+	for _, s := range series {
+		tab.AddRow(
+			fmt.Sprintf("%d", s.TargetAS),
+			fmt.Sprintf("%d", s.NumPeers),
+			metrics.Pct(100*s.AvgChange),
+			metrics.Pct(100*s.MaxChange))
+		avgs = append(avgs, 100*s.AvgChange)
+		maxes = append(maxes, 100*s.MaxChange)
+	}
+	fmt.Println(tab.String())
+	fmt.Printf("overall: avg=%.2f%% max=%.2f%%\n\n", metrics.Mean(avgs), metrics.Max(maxes))
+	return nil
+}
+
+func runDump(path, targetIP string) error {
+	if path == "" {
+		return fmt.Errorf("mode=dump requires -dump <file>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := bgp.ParseShowIPBGP(f)
+	if err != nil {
+		return err
+	}
+	ip, err := netaddr.ParseIPv4(targetIP)
+	if err != nil {
+		return err
+	}
+	m := bgp.DeriveMapping(entries, ip)
+	tab := metrics.Table{
+		Title:   fmt.Sprintf("Peer AS -> source AS mapping for %s (%d RIB entries)", ip, len(entries)),
+		Columns: []string{"peer AS", "source AS set"},
+	}
+	for _, peer := range m.Peers() {
+		tab.AddRow(fmt.Sprintf("%d", peer), fmt.Sprint(m[peer]))
+	}
+	fmt.Println(tab.String())
+	return nil
+}

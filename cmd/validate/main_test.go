@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunDumpWithSample(t *testing.T) {
+	if err := runDump("testdata/rib.txt", "4.2.101.20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDump("testdata/rib.txt", "not-an-ip"); err == nil {
+		t.Error("bad target: want error")
+	}
+	if err := runDump("", "4.2.101.20"); err == nil {
+		t.Error("missing dump: want error")
+	}
+	if err := runDump("testdata/missing.txt", "4.2.101.20"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestRunFigure1Smoke(t *testing.T) {
+	if err := runFigure1(7); err != nil {
+		t.Fatal(err)
+	}
+}

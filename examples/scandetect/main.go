@@ -1,0 +1,90 @@
+// Scan detection scenario: a Slammer-style network scan (one UDP port,
+// many hosts) and an nmap Idlescan host scan (many ports, one host) pass
+// through the Enhanced InFilter pipeline; the Scan Analysis stage catches
+// both even though every probe is a single innocuous-looking packet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"infilter/internal/analysis"
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/packet"
+	"infilter/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	target := netaddr.MustParsePrefix("192.0.2.0/24")
+
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed: 1, Start: start, Flows: 1000,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("61.0.0.0/11")},
+		DstPrefix:   target,
+	})
+	if err != nil {
+		return err
+	}
+	var labeled []analysis.LabeledRecord
+	for _, r := range aggregate(pkts) {
+		labeled = append(labeled, analysis.LabeledRecord{Peer: 1, Record: r})
+	}
+	engine, err := analysis.Train(analysis.Config{Mode: analysis.ModeEnhanced}, labeled)
+	if err != nil {
+		return err
+	}
+
+	scenarios := []struct {
+		name string
+		at   trace.AttackType
+	}{
+		{"slammer network scan (udp/1434 across hosts)", trace.AttackSlammer},
+		{"nmap idlescan host scan (port sweep on one host)", trace.AttackIdlescan},
+	}
+	for i, sc := range scenarios {
+		attack, err := trace.Generate(sc.at, trace.AttackConfig{
+			Seed:  int64(10 + i),
+			Start: start.Add(time.Duration(i+1) * time.Hour),
+			// Spoofed source outside every EIA set.
+			Src:       netaddr.MustParseIPv4("198.51.100.77"),
+			DstPrefix: target,
+		})
+		if err != nil {
+			return err
+		}
+		var flagged, total int
+		var stages = map[idmef.Stage]int{}
+		for _, r := range aggregate(attack) {
+			total++
+			if d := engine.Process(1, r); d.Attack {
+				flagged++
+				stages[d.Stage]++
+			}
+		}
+		fmt.Printf("%-50s %d/%d flows flagged, stages=%v\n", sc.name, flagged, total, stages)
+	}
+	return nil
+}
+
+func aggregate(pkts []packet.Packet) []flow.Record {
+	cache := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+	for _, p := range pkts {
+		cache.Observe(p, 1)
+	}
+	cache.FlushAll()
+	return cache.Drain()
+}
+
+var _ = eia.Match // keep the import for the verdict type referenced in docs

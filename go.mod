@@ -1,0 +1,3 @@
+module infilter
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package analysis implements the InFilter data-analysis module (paper §5):
+// the Basic InFilter EIA-set check and the Enhanced InFilter pipeline that
+// routes EIA-flagged suspects through Scan Analysis and then NNS search,
+// raising IDMEF alerts for flows that fail every stage and adapting EIA
+// sets to route changes via promotion of repeatedly-vouched sources.
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/nns"
+	"infilter/internal/scan"
+)
+
+// Mode selects the software configuration of §6.3: BI runs EIA-set
+// analysis alone; EI adds Scan Analysis and NNS search on suspects.
+type Mode int
+
+// Modes.
+const (
+	ModeBasic Mode = iota + 1
+	ModeEnhanced
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "BI"
+	case ModeEnhanced:
+		return "EI"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config assembles the engine.
+type Config struct {
+	// Mode selects BI or EI. Zero defaults to ModeEnhanced.
+	Mode Mode
+	// EIA tunes the EIA sets.
+	EIA eia.Config
+	// Scan tunes Scan Analysis (EI only).
+	Scan scan.Config
+	// NNS tunes the anomaly detector (EI only).
+	NNS nns.DetectorConfig
+}
+
+// Decision is the outcome of processing one flow.
+type Decision struct {
+	// Attack is the final verdict.
+	Attack bool
+	// Stage that flagged the attack (empty when not an attack).
+	Stage idmef.Stage
+	// Verdict is the EIA-set classification.
+	Verdict eia.Verdict
+	// Assessment is the NNS outcome (EI suspects that reached NNS only).
+	Assessment nns.Assessment
+	// Promoted is set when this flow completed an EIA promotion.
+	Promoted bool
+	// Latency is the processing time of this flow.
+	Latency time.Duration
+}
+
+// Stats accumulates engine counters.
+type Stats struct {
+	Processed   int
+	Suspects    int
+	Attacks     int
+	ByStage     map[idmef.Stage]int
+	Promotions  int
+	ScanFlagged int
+}
+
+// Engine is the per-deployment analysis state. Not safe for concurrent
+// use; the daemon serializes flows into it.
+type Engine struct {
+	cfg      Config
+	eiaSet   *eia.Set
+	scanner  *scan.Analyzer
+	detector *nns.Detector
+	stats    Stats
+	alertFn  func(idmef.Alert)
+	alertSeq int
+	now      func() time.Time
+}
+
+// NewEngine assembles an engine from pre-trained components. detector may
+// be nil only in ModeBasic.
+func NewEngine(cfg Config, set *eia.Set, detector *nns.Detector) (*Engine, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEnhanced
+	}
+	if set == nil {
+		return nil, fmt.Errorf("analysis: nil EIA set")
+	}
+	if cfg.Mode == ModeEnhanced && detector == nil {
+		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
+	}
+	return &Engine{
+		cfg:      cfg,
+		eiaSet:   set,
+		scanner:  scan.New(cfg.Scan),
+		detector: detector,
+		stats:    Stats{ByStage: make(map[idmef.Stage]int)},
+		now:      time.Now,
+	}, nil
+}
+
+// LabeledRecord pairs a flow record with the peer AS it entered through.
+type LabeledRecord struct {
+	Peer   eia.PeerAS
+	Record flow.Record
+}
+
+// Train builds a fully-trained engine from labeled normal traffic: the EIA
+// sets are initialized from the observed (source, peer) pairs (§5.1.3(a))
+// and, in enhanced mode, the normal cluster is partitioned and indexed for
+// NNS (§5.1.3(b-d)).
+func Train(cfg Config, normal []LabeledRecord) (*Engine, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEnhanced
+	}
+	if len(normal) == 0 {
+		return nil, fmt.Errorf("analysis: empty training set")
+	}
+	set := eia.NewSet(cfg.EIA)
+	obs := make([]eia.TrainingSource, len(normal))
+	recs := make([]flow.Record, len(normal))
+	for i, lr := range normal {
+		obs[i] = eia.TrainingSource{Peer: lr.Peer, Src: lr.Record.Key.Src}
+		recs[i] = lr.Record
+	}
+	set.Train(obs, 0)
+
+	var detector *nns.Detector
+	if cfg.Mode == ModeEnhanced {
+		var err error
+		detector, err = nns.Train(cfg.NNS, recs)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: train NNS: %w", err)
+		}
+	}
+	return NewEngine(cfg, set, detector)
+}
+
+// SetAlertSink installs a callback receiving an IDMEF alert per detected
+// attack. Pass nil to disable.
+func (e *Engine) SetAlertSink(fn func(idmef.Alert)) { e.alertFn = fn }
+
+// SetClock overrides the engine's clock (tests and replay).
+func (e *Engine) SetClock(now func() time.Time) {
+	if now != nil {
+		e.now = now
+	}
+}
+
+// EIASet exposes the engine's EIA set (monitoring, tests).
+func (e *Engine) EIASet() *eia.Set { return e.eiaSet }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	out := e.stats
+	out.ByStage = make(map[idmef.Stage]int, len(e.stats.ByStage))
+	for k, v := range e.stats.ByStage {
+		out.ByStage[k] = v
+	}
+	return out
+}
+
+// Process runs one flow through the normal-processing phase (§5.2, Figure
+// 12) and returns the decision.
+func (e *Engine) Process(peer eia.PeerAS, rec flow.Record) Decision {
+	start := e.now()
+	d := e.process(peer, rec)
+	d.Latency = e.now().Sub(start)
+
+	e.stats.Processed++
+	if d.Verdict != eia.Match {
+		e.stats.Suspects++
+	}
+	if d.Attack {
+		e.stats.Attacks++
+		e.stats.ByStage[d.Stage]++
+		e.emitAlert(peer, rec, d)
+	}
+	if d.Promoted {
+		e.stats.Promotions++
+	}
+	return d
+}
+
+func (e *Engine) process(peer eia.PeerAS, rec flow.Record) Decision {
+	d := Decision{Verdict: e.eiaSet.Check(peer, rec.Key.Src)}
+	if d.Verdict == eia.Match {
+		// Case (b): expected ingress — legal flow, no alarms.
+		return d
+	}
+	// Case (a): unexpected ingress or unknown source.
+	if e.cfg.Mode == ModeBasic {
+		d.Attack = true
+		d.Stage = idmef.StageEIA
+		return d
+	}
+	// Enhanced: Scan Analysis first.
+	if res := e.scanner.Add(rec); res.Attack() {
+		e.stats.ScanFlagged++
+		d.Attack = true
+		d.Stage = idmef.StageScan
+		return d
+	}
+	// Then NNS search against the flow's subcluster.
+	d.Assessment = e.detector.Assess(rec)
+	if d.Assessment.Anomalous {
+		d.Attack = true
+		d.Stage = idmef.StageNNS
+		return d
+	}
+	// Within normal behavior: vouch for the source; promote after enough
+	// confirmations so a route change stops raising suspicion (§5.2(a)).
+	d.Promoted = e.eiaSet.RecordLegal(peer, rec.Key.Src)
+	return d
+}
+
+func (e *Engine) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {
+	if e.alertFn == nil {
+		return
+	}
+	e.alertSeq++
+	class := "spoofed-traffic/" + string(d.Stage)
+	e.alertFn(idmef.NewAlert(
+		"infilter-"+strconv.Itoa(e.alertSeq),
+		e.now(), d.Stage, int(peer), class, rec.Key, d.Assessment.Distance,
+	))
+}

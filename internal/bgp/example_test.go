@@ -1,0 +1,34 @@
+package bgp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"infilter/internal/bgp"
+	"infilter/internal/netaddr"
+)
+
+// ExampleDeriveMapping reproduces the paper's §3.2 worked example: which
+// peer AS each source AS uses to reach 4.2.101.20, with ASes 1224 and 38
+// following the more-specific /24.
+func ExampleDeriveMapping() {
+	dump := `
+* 4.0.0.0 193.0.0.56 3333 9057 3356 1 i
+* 141.142.12.1 1224 38 10514 3356 1 i
+* 4.2.101.0/24 141.142.12.1 1224 38 6325 1 i
+* 202.249.2.86 7500 2497 1 i
+`
+	entries, err := bgp.ParseShowIPBGP(strings.NewReader(dump))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := bgp.DeriveMapping(entries, netaddr.MustParseIPv4("4.2.101.20"))
+	for _, peer := range m.Peers() {
+		fmt.Printf("peer %d <- sources %v\n", peer, m[peer])
+	}
+	// Output:
+	// peer 2497 <- sources [7500]
+	// peer 3356 <- sources [3333 9057 10514]
+	// peer 6325 <- sources [38 1224]
+}

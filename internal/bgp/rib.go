@@ -1,0 +1,169 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"infilter/internal/netaddr"
+)
+
+// RIB is a routing information base holding every learned path per prefix
+// and computing best paths with the classic decision steps this codebase
+// needs: shortest AS path first, then lowest next hop as the
+// deterministic tie-breaker. It backs incremental §3.2-style analyses:
+// announcements and withdrawals update the table and the derived
+// peer-AS → source-AS mapping can be recomputed after each event.
+type RIB struct {
+	// paths maps prefix -> learned entries (at most one per next hop).
+	paths map[netaddr.Prefix][]Entry
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{paths: make(map[netaddr.Prefix][]Entry)}
+}
+
+// Announce inserts or replaces the path learned from e.NextHop for
+// e.Network, then recomputes best-path marks for that prefix.
+func (r *RIB) Announce(e Entry) error {
+	if len(e.Path) == 0 {
+		return fmt.Errorf("bgp: announce %v with empty AS path", e.Network)
+	}
+	entries := r.paths[e.Network]
+	replaced := false
+	for i := range entries {
+		if entries[i].NextHop == e.NextHop {
+			entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, e)
+	}
+	r.paths[e.Network] = entries
+	r.selectBest(e.Network)
+	return nil
+}
+
+// Withdraw removes the path learned from nextHop for prefix, reporting
+// whether anything was removed.
+func (r *RIB) Withdraw(prefix netaddr.Prefix, nextHop netaddr.IPv4) bool {
+	entries := r.paths[prefix]
+	for i := range entries {
+		if entries[i].NextHop == nextHop {
+			entries = append(entries[:i], entries[i+1:]...)
+			if len(entries) == 0 {
+				delete(r.paths, prefix)
+			} else {
+				r.paths[prefix] = entries
+				r.selectBest(prefix)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// selectBest re-marks the best entry for prefix: shortest AS path, ties
+// broken by lowest next hop.
+func (r *RIB) selectBest(prefix netaddr.Prefix) {
+	entries := r.paths[prefix]
+	best := -1
+	for i := range entries {
+		entries[i].Best = false
+		if best < 0 {
+			best = i
+			continue
+		}
+		switch {
+		case len(entries[i].Path) < len(entries[best].Path):
+			best = i
+		case len(entries[i].Path) == len(entries[best].Path) &&
+			entries[i].NextHop < entries[best].NextHop:
+			best = i
+		}
+	}
+	if best >= 0 {
+		entries[best].Best = true
+	}
+}
+
+// Best returns the best entry for prefix.
+func (r *RIB) Best(prefix netaddr.Prefix) (Entry, bool) {
+	for _, e := range r.paths[prefix] {
+		if e.Best {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Lookup returns the best entry of the longest prefix covering ip.
+func (r *RIB) Lookup(ip netaddr.IPv4) (Entry, bool) {
+	var (
+		found    bool
+		bestBits = -1
+		bestE    Entry
+	)
+	for prefix := range r.paths {
+		if !prefix.Contains(ip) || prefix.Bits() <= bestBits {
+			continue
+		}
+		if e, ok := r.Best(prefix); ok {
+			bestBits, bestE, found = prefix.Bits(), e, true
+		}
+	}
+	return bestE, found
+}
+
+// Entries returns every learned entry, sorted by prefix then next hop —
+// the "show ip bgp" order.
+func (r *RIB) Entries() []Entry {
+	var out []Entry
+	for _, entries := range r.paths {
+		out = append(out, entries...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Network != b.Network {
+			if a.Network.Addr() != b.Network.Addr() {
+				return a.Network.Addr() < b.Network.Addr()
+			}
+			return a.Network.Bits() < b.Network.Bits()
+		}
+		return a.NextHop < b.NextHop
+	})
+	return out
+}
+
+// Prefixes returns the number of prefixes with at least one path.
+func (r *RIB) Prefixes() int { return len(r.paths) }
+
+// PathCount returns the total number of learned paths.
+func (r *RIB) PathCount() int {
+	n := 0
+	for _, entries := range r.paths {
+		n += len(entries)
+	}
+	return n
+}
+
+// Mapping derives the peer-AS → source-AS mapping for target from the
+// RIB's full table (all learned paths, as §3.2 uses the entire Routeviews
+// view rather than only best paths).
+func (r *RIB) Mapping(target netaddr.IPv4) Mapping {
+	return DeriveMapping(r.Entries(), target)
+}
+
+// LoadDump replaces the RIB contents with the entries of a parsed
+// "show ip bgp" dump.
+func (r *RIB) LoadDump(entries []Entry) error {
+	r.paths = make(map[netaddr.Prefix][]Entry, len(entries))
+	for _, e := range entries {
+		if err := r.Announce(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+func entry(prefix, nextHop string, path ...uint16) Entry {
+	return Entry{
+		Network: netaddr.MustParsePrefix(prefix),
+		NextHop: netaddr.MustParseIPv4(nextHop),
+		Path:    path,
+	}
+}
+
+func TestRIBAnnounceAndBestPath(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 3333, 9057, 3356, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.2", 2497, 1)); err != nil {
+		t.Fatal(err)
+	}
+	best, ok := r.Best(netaddr.MustParsePrefix("4.0.0.0/8"))
+	if !ok {
+		t.Fatal("no best path")
+	}
+	if best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+		t.Errorf("best path via %v, want the shorter AS path", best.NextHop)
+	}
+	if r.Prefixes() != 1 || r.PathCount() != 2 {
+		t.Errorf("prefixes=%d paths=%d", r.Prefixes(), r.PathCount())
+	}
+}
+
+func TestRIBBestPathTieBreak(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.9", 7500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.2", 852, 1)); err != nil {
+		t.Fatal(err)
+	}
+	best, _ := r.Best(netaddr.MustParsePrefix("4.0.0.0/8"))
+	if best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+		t.Errorf("tie-break chose %v, want lowest next hop", best.NextHop)
+	}
+}
+
+func TestRIBAnnounceReplacesPerNextHop(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 3333, 3356, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The same neighbor re-announces with a new path: replace, not add.
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 3333, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.PathCount() != 1 {
+		t.Fatalf("paths=%d, want 1 after re-announce", r.PathCount())
+	}
+	best, _ := r.Best(netaddr.MustParsePrefix("4.0.0.0/8"))
+	if len(best.Path) != 2 {
+		t.Errorf("best path %v not updated", best.Path)
+	}
+}
+
+func TestRIBAnnounceEmptyPath(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(Entry{Network: netaddr.MustParsePrefix("4.0.0.0/8")}); err == nil {
+		t.Error("empty path: want error")
+	}
+}
+
+func TestRIBWithdraw(t *testing.T) {
+	r := NewRIB()
+	p := netaddr.MustParsePrefix("4.0.0.0/8")
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 2497, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.2", 3333, 3356, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.1")) {
+		t.Fatal("withdraw reported nothing removed")
+	}
+	// Best path must fail over to the remaining longer path.
+	best, ok := r.Best(p)
+	if !ok || best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+		t.Errorf("after withdraw best=%v ok=%v", best, ok)
+	}
+	if r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.1")) {
+		t.Error("second withdraw of same path should be a no-op")
+	}
+	if !r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.2")) {
+		t.Fatal("final withdraw failed")
+	}
+	if r.Prefixes() != 0 {
+		t.Errorf("prefixes=%d after full withdrawal", r.Prefixes())
+	}
+	if _, ok := r.Best(p); ok {
+		t.Error("best path exists for withdrawn prefix")
+	}
+}
+
+func TestRIBLookupLongestPrefix(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 3356, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.2.101.0/24", "10.0.0.2", 6325, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup(netaddr.MustParseIPv4("4.2.101.20"))
+	if !ok || e.Network != netaddr.MustParsePrefix("4.2.101.0/24") {
+		t.Errorf("lookup = %+v, %v", e, ok)
+	}
+	e, ok = r.Lookup(netaddr.MustParseIPv4("4.9.9.9"))
+	if !ok || e.Network != netaddr.MustParsePrefix("4.0.0.0/8") {
+		t.Errorf("lookup = %+v, %v", e, ok)
+	}
+	if _, ok := r.Lookup(netaddr.MustParseIPv4("99.0.0.1")); ok {
+		t.Error("lookup outside table should miss")
+	}
+}
+
+func TestRIBLoadDumpAndMapping(t *testing.T) {
+	entries, err := ParseShowIPBGP(strings.NewReader(paperDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRIB()
+	if err := r.LoadDump(entries); err != nil {
+		t.Fatal(err)
+	}
+	if r.PathCount() != len(entries) {
+		t.Errorf("loaded %d paths, want %d", r.PathCount(), len(entries))
+	}
+	// The RIB-derived mapping must equal the direct derivation.
+	want := DeriveMapping(entries, netaddr.MustParseIPv4("4.2.101.20"))
+	got := r.Mapping(netaddr.MustParseIPv4("4.2.101.20"))
+	if len(got) != len(want) {
+		t.Fatalf("mapping peers %v vs %v", got.Peers(), want.Peers())
+	}
+	for peer, srcs := range want {
+		g := got[peer]
+		if len(g) != len(srcs) {
+			t.Errorf("peer %d: %v vs %v", peer, g, srcs)
+			continue
+		}
+		for i := range srcs {
+			if g[i] != srcs[i] {
+				t.Errorf("peer %d: %v vs %v", peer, g, srcs)
+				break
+			}
+		}
+	}
+}
+
+func TestRIBEntriesSorted(t *testing.T) {
+	r := NewRIB()
+	if err := r.Announce(entry("9.0.0.0/8", "10.0.0.1", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.2", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Entries()
+	if len(got) != 3 {
+		t.Fatalf("%d entries", len(got))
+	}
+	if got[0].Network != netaddr.MustParsePrefix("4.0.0.0/8") ||
+		got[0].NextHop != netaddr.MustParseIPv4("10.0.0.1") {
+		t.Errorf("entries not sorted: first = %+v", got[0])
+	}
+	if got[2].Network != netaddr.MustParsePrefix("9.0.0.0/8") {
+		t.Errorf("entries not sorted: last = %+v", got[2])
+	}
+}
+
+// TestRIBMappingFollowsRouteChange drives an announce/withdraw sequence
+// and watches the mapping move — the §3.2 change events at RIB level.
+func TestRIBMappingFollowsRouteChange(t *testing.T) {
+	r := NewRIB()
+	target := netaddr.MustParseIPv4("4.1.2.3")
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 1224, 38, 3356, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Mapping(target)
+	if m.SourcePeer()[1224] != 3356 {
+		t.Fatalf("initial mapping %v", m)
+	}
+	// The route moves: 1224's traffic now transits 6325.
+	r.Withdraw(netaddr.MustParsePrefix("4.0.0.0/8"), netaddr.MustParseIPv4("10.0.0.1"))
+	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 1224, 38, 6325, 1)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := r.Mapping(target)
+	if m2.SourcePeer()[1224] != 6325 {
+		t.Fatalf("post-change mapping %v", m2)
+	}
+	if got := FractionChanged(m, m2); got != 1 {
+		t.Errorf("fraction changed %v, want 1 (both sources moved)", got)
+	}
+}

@@ -1,0 +1,193 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"infilter/internal/netaddr"
+)
+
+// SimConfig parameterizes the 30-day Routeviews-style observation
+// (§3.2): a set of target networks tracked every two hours.
+type SimConfig struct {
+	// Seed fixes all randomness.
+	Seed int64
+	// Targets is the number of target networks (paper: 20).
+	Targets int
+	// Readings is the number of RIB snapshots (paper: 346 over 30 days at
+	// 2-hour intervals, some missing).
+	Readings int
+	// MinPeers and MaxPeers bound peers per target (Figure 5's x axis
+	// spans up to ~55 peers).
+	MinPeers, MaxPeers int
+	// SourcesPerTarget is the number of source ASes routed per target.
+	SourcesPerTarget int
+	// BaseChangeProb scales the per-reading probability a source AS's
+	// policy moves it to another peer; the effective probability grows
+	// with peer count (more peers, more alternatives).
+	BaseChangeProb float64
+}
+
+// Defaults matched to the paper's observation campaign.
+const (
+	DefaultSimTargets     = 20
+	DefaultSimReadings    = 346
+	DefaultSimMinPeers    = 2
+	DefaultSimMaxPeers    = 55
+	DefaultSimSources     = 200
+	DefaultBaseChangeProb = 0.018
+)
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Targets <= 0 {
+		c.Targets = DefaultSimTargets
+	}
+	if c.Readings <= 0 {
+		c.Readings = DefaultSimReadings
+	}
+	if c.MinPeers <= 0 {
+		c.MinPeers = DefaultSimMinPeers
+	}
+	if c.MaxPeers < c.MinPeers {
+		c.MaxPeers = DefaultSimMaxPeers
+	}
+	if c.SourcesPerTarget <= 0 {
+		c.SourcesPerTarget = DefaultSimSources
+	}
+	if c.BaseChangeProb == 0 {
+		c.BaseChangeProb = DefaultBaseChangeProb
+	}
+	return c
+}
+
+// TargetSeries is the Figure 5 data for one target network.
+type TargetSeries struct {
+	TargetAS   uint16
+	NumPeers   int
+	AvgChange  float64 // mean fractional source-AS-set change per reading
+	MaxChange  float64
+	NumSources int
+}
+
+// Simulate runs the 30-day observation and returns one point per target —
+// the data behind Figure 5. For every reading it builds RIB entries,
+// derives the mapping through the same DeriveMapping used on real dumps,
+// and compares consecutive mappings.
+func Simulate(cfg SimConfig) ([]TargetSeries, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxPeers >= 60 {
+		return nil, fmt.Errorf("bgp: MaxPeers %d beyond Figure 5 scale", cfg.MaxPeers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]TargetSeries, 0, cfg.Targets)
+	for t := 0; t < cfg.Targets; t++ {
+		numPeers := cfg.MinPeers
+		if cfg.MaxPeers > cfg.MinPeers {
+			numPeers += rng.Intn(cfg.MaxPeers - cfg.MinPeers + 1)
+		}
+		series := simulateTarget(rng, cfg, uint16(100+t), numPeers)
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+func simulateTarget(rng *rand.Rand, cfg SimConfig, targetAS uint16, numPeers int) TargetSeries {
+	// Peer AS numbers and the target prefix.
+	peers := make([]uint16, numPeers)
+	for i := range peers {
+		peers[i] = uint16(1000 + int(targetAS)*64 + i)
+	}
+	targetPrefix := netaddr.MustPrefix(netaddr.FromOctets(byte(4+targetAS%120), 0, 0, 0), 8)
+	targetIP := targetPrefix.Nth(42)
+
+	// Source ASes and their current peer assignment.
+	srcPeer := make([]int, cfg.SourcesPerTarget)
+	for i := range srcPeer {
+		srcPeer[i] = rng.Intn(numPeers)
+	}
+	srcAS := func(i int) uint16 { return uint16(20000 + i) }
+
+	// Per-reading policy change probability grows with the number of
+	// alternatives: a single-peer target cannot change at all.
+	prob := cfg.BaseChangeProb * (1 - 1/float64(numPeers))
+
+	var (
+		prev      Mapping
+		changes   []float64
+		avg, peak float64
+	)
+	for reading := 0; reading < cfg.Readings; reading++ {
+		if reading > 0 {
+			for i := range srcPeer {
+				if numPeers > 1 && rng.Float64() < prob {
+					next := rng.Intn(numPeers - 1)
+					if next >= srcPeer[i] {
+						next++
+					}
+					srcPeer[i] = next
+				}
+			}
+		}
+		entries := buildEntries(rng, targetPrefix, targetAS, peers, srcPeer, srcAS)
+		m := DeriveMapping(entries, targetIP)
+		if prev != nil {
+			changes = append(changes, FractionChanged(prev, m))
+		}
+		prev = m
+	}
+	for _, c := range changes {
+		avg += c
+		if c > peak {
+			peak = c
+		}
+	}
+	if len(changes) > 0 {
+		avg /= float64(len(changes))
+	}
+	return TargetSeries{
+		TargetAS:   targetAS,
+		NumPeers:   numPeers,
+		AvgChange:  avg,
+		MaxChange:  peak,
+		NumSources: cfg.SourcesPerTarget,
+	}
+}
+
+// buildEntries encodes the current source→peer assignment as RIB paths:
+// each peer's sources are chained into AS paths of at most three sources,
+// so DeriveMapping reconstructs the assignment the same way it would from
+// a real dump.
+func buildEntries(rng *rand.Rand, prefix netaddr.Prefix, targetAS uint16, peers []uint16, srcPeer []int, srcAS func(int) uint16) []Entry {
+	byPeer := make([][]uint16, len(peers))
+	for i, p := range srcPeer {
+		byPeer[p] = append(byPeer[p], srcAS(i))
+	}
+	var entries []Entry
+	for pi, sources := range byPeer {
+		if len(sources) == 0 {
+			// Peer still advertises a path with no upstream sources.
+			entries = append(entries, Entry{
+				Network: prefix,
+				NextHop: netaddr.IPv4(rng.Uint32()),
+				Path:    []uint16{peers[pi], targetAS},
+			})
+			continue
+		}
+		for start := 0; start < len(sources); start += 3 {
+			end := start + 3
+			if end > len(sources) {
+				end = len(sources)
+			}
+			chain := sources[start:end]
+			path := make([]uint16, 0, len(chain)+2)
+			path = append(path, chain...)
+			path = append(path, peers[pi], targetAS)
+			entries = append(entries, Entry{
+				Network: prefix,
+				NextHop: netaddr.IPv4(rng.Uint32()),
+				Path:    path,
+			})
+		}
+	}
+	return entries
+}

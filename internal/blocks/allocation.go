@@ -1,0 +1,128 @@
+package blocks
+
+import "fmt"
+
+// DefaultSources is the number of Dagflow traffic sources in the paper's
+// testbed (S1..S10), each owning 100 sub-blocks.
+const (
+	DefaultSources        = 10
+	SubBlocksPerSource    = NumUsedSubBlocks / DefaultSources
+	defaultAllocationsPer = 4 // allocations constructed per instability level (§6.3.3)
+)
+
+// EIAAllocation returns the Table 3 EIA assignment: peer AS i (1-based)
+// owns the 100 consecutive sub-blocks starting at (i-1)*100. E.g. peer AS 1
+// owns 1a–13d and peer AS 10 owns 113e–125h.
+func EIAAllocation(peerAS int) ([]SubBlock, error) {
+	if peerAS < 1 || peerAS > DefaultSources {
+		return nil, fmt.Errorf("blocks: peer AS %d out of range [1,%d]", peerAS, DefaultSources)
+	}
+	start := (peerAS - 1) * SubBlocksPerSource
+	return Range(start, start+SubBlocksPerSource), nil
+}
+
+// SourceAllocation is one row of a Table 2-style allocation: the sub-blocks
+// a Dagflow source uses for the bulk of its traffic (NormalSet) and the
+// foreign sub-blocks it borrows to emulate route instability (ChangeSet).
+type SourceAllocation struct {
+	Source    int // 1-based source number (S1..Sn)
+	NormalSet []SubBlock
+	ChangeSet []SubBlock
+}
+
+// Schedule is a sequence of allocations; the experiment script switches all
+// sources from one allocation to the next simultaneously (§6.3.3).
+type Schedule struct {
+	ChangePercent int
+	Allocations   [][]SourceAllocation
+}
+
+// NewSchedule builds the allocation schedule for the given route-change
+// percentage. changePercent of each source's 100 sub-blocks are withheld
+// from its own traffic and handed to subsequent sources round-robin, exactly
+// reproducing Table 2 for changePercent=2; successive allocations rotate the
+// change sets by one source. numAllocations <= 0 selects the paper's four.
+func NewSchedule(changePercent, numAllocations int) (*Schedule, error) {
+	if changePercent < 0 || changePercent > SubBlocksPerSource {
+		return nil, fmt.Errorf("blocks: change percent %d out of range [0,%d]", changePercent, SubBlocksPerSource)
+	}
+	if numAllocations <= 0 {
+		numAllocations = defaultAllocationsPer
+	}
+	nSrc := DefaultSources
+	c := changePercent // percent of 100 sub-blocks == count of sub-blocks
+
+	// excluded[i][j] is the j-th withheld sub-block of source i+1: the last
+	// c sub-blocks of its Table 3 range.
+	excluded := make([][]SubBlock, nSrc)
+	normal := make([][]SubBlock, nSrc)
+	for i := 0; i < nSrc; i++ {
+		own, err := EIAAllocation(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		normal[i] = own[:SubBlocksPerSource-c]
+		excluded[i] = own[SubBlocksPerSource-c:]
+	}
+
+	s := &Schedule{ChangePercent: changePercent}
+	for a := 0; a < numAllocations; a++ {
+		change := make([][]SubBlock, nSrc)
+		for i := 0; i < nSrc; i++ {
+			for j := 0; j < c; j++ {
+				// Withheld sub-block j of source i goes to the source at
+				// offset 1+((j+a) mod (n-1)) — never offset 0, so a source
+				// never "borrows" its own block, and for c=2 this is
+				// exactly Table 2: allocation 1 sends S1's 13c to S2 and
+				// 13d to S3; allocation 2 shifts both one source further.
+				to := (i + 1 + (j+a)%(nSrc-1)) % nSrc
+				change[to] = append(change[to], excluded[i][j])
+			}
+		}
+		alloc := make([]SourceAllocation, nSrc)
+		for i := 0; i < nSrc; i++ {
+			alloc[i] = SourceAllocation{
+				Source:    i + 1,
+				NormalSet: normal[i],
+				ChangeSet: change[i],
+			}
+		}
+		s.Allocations = append(s.Allocations, alloc)
+	}
+	return s, nil
+}
+
+// Validate checks the schedule invariants: within each allocation every
+// used sub-block appears exactly once across all sources, and no source's
+// change set intersects its own Table 3 range.
+func (s *Schedule) Validate() error {
+	for ai, alloc := range s.Allocations {
+		seen := make(map[int]int, NumUsedSubBlocks)
+		for _, sa := range alloc {
+			own := map[int]bool{}
+			start := (sa.Source - 1) * SubBlocksPerSource
+			for i := start; i < start+SubBlocksPerSource; i++ {
+				own[i] = true
+			}
+			for _, sb := range sa.NormalSet {
+				seen[sb.Index()]++
+			}
+			for _, sb := range sa.ChangeSet {
+				seen[sb.Index()]++
+				if own[sb.Index()] {
+					return fmt.Errorf("blocks: allocation %d source S%d change set contains own sub-block %v",
+						ai+1, sa.Source, sb)
+				}
+			}
+		}
+		if len(seen) != NumUsedSubBlocks {
+			return fmt.Errorf("blocks: allocation %d covers %d sub-blocks, want %d", ai+1, len(seen), NumUsedSubBlocks)
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				return fmt.Errorf("blocks: allocation %d sub-block %v used %d times", ai+1, MustSubBlockAt(idx), n)
+			}
+		}
+	}
+	return nil
+}

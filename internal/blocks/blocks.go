@@ -1,0 +1,156 @@
+// Package blocks implements the address-block machinery of the InFilter
+// testbed (paper §6.2): the 143 publicly-routable /8 blocks of Table 1,
+// their division into /11 sub-blocks with the 1a…125h notation, the EIA
+// allocations of Table 3, and the route-instability allocation schedules of
+// Table 2 generalized to arbitrary change rates.
+package blocks
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"infilter/internal/netaddr"
+)
+
+// table1FirstOctets lists the 143 publicly-routable, allocated unicast /8
+// blocks as of 2004-10-28 (paper Table 1), in ascending order.
+var table1FirstOctets = []byte{
+	3, 4, 6, 8, 9,
+	11, 12, 13, 14, 15,
+	16, 17, 18, 19, 20,
+	21, 22, 24, 25, 26,
+	28, 29, 30, 32, 33,
+	34, 35, 38, 40, 43,
+	44, 45, 46, 47, 48,
+	51, 52, 53, 54, 55,
+	56, 57, 58, 59, 60,
+	61, 62, 63, 64, 65,
+	66, 67, 68, 69, 70,
+	71, 72, 80, 81, 82,
+	83, 84, 85, 86, 87,
+	88, 128, 129, 130, 131,
+	132, 133, 134, 135, 136,
+	137, 138, 139, 140, 141,
+	142, 143, 144, 145, 146,
+	147, 148, 149, 150, 151,
+	152, 153, 154, 155, 156,
+	157, 158, 159, 160, 161,
+	162, 163, 164, 165, 166,
+	167, 168, 169, 170, 171,
+	172, 188, 191, 192, 193,
+	194, 195, 196, 198, 199,
+	200, 201, 202, 203, 204,
+	205, 206, 207, 208, 209,
+	210, 211, 212, 213, 214,
+	215, 216, 217, 218, 219,
+	220, 221, 222,
+}
+
+const (
+	// NumBlocks is the number of /8 blocks in Table 1.
+	NumBlocks = 143
+	// SubBlocksPerBlock is the number of /11 sub-blocks per /8 block.
+	SubBlocksPerBlock = 8
+	// NumSubBlocks is the total number of /11 sub-blocks (143*8).
+	NumSubBlocks = NumBlocks * SubBlocksPerBlock
+	// NumUsedSubBlocks is how many sub-blocks the experiments use
+	// (blocks 3/8 through 204/8, i.e. the first 125 blocks).
+	NumUsedSubBlocks = 1000
+)
+
+// ErrBadNotation is returned when a sub-block label cannot be parsed.
+var ErrBadNotation = errors.New("blocks: malformed sub-block notation")
+
+// Table1 returns the 143 /8 prefixes of Table 1 in ascending order.
+func Table1() []netaddr.Prefix {
+	out := make([]netaddr.Prefix, NumBlocks)
+	for i, o := range table1FirstOctets {
+		out[i] = netaddr.MustPrefix(netaddr.FromOctets(o, 0, 0, 0), 8)
+	}
+	return out
+}
+
+// SubBlock identifies one /11 sub-block by its index in the linear order
+// used by the paper: sub-block index = 8*(blockNumber-1) + letterOffset,
+// where blockNumber is the 1-based position of the /8 in Table 1 and the
+// letter a..h selects the /11 within it.
+type SubBlock struct {
+	index int
+}
+
+// SubBlockAt returns the sub-block at linear index i (0-based, < 1144).
+func SubBlockAt(i int) (SubBlock, error) {
+	if i < 0 || i >= NumSubBlocks {
+		return SubBlock{}, fmt.Errorf("blocks: sub-block index %d out of range [0,%d)", i, NumSubBlocks)
+	}
+	return SubBlock{index: i}, nil
+}
+
+// MustSubBlockAt is SubBlockAt that panics on error.
+func MustSubBlockAt(i int) SubBlock {
+	sb, err := SubBlockAt(i)
+	if err != nil {
+		panic(err)
+	}
+	return sb
+}
+
+// Index returns the linear 0-based index of sb.
+func (sb SubBlock) Index() int { return sb.index }
+
+// BlockNumber returns the 1-based Table 1 block number (1..143).
+func (sb SubBlock) BlockNumber() int { return sb.index/SubBlocksPerBlock + 1 }
+
+// Letter returns the sub-block letter 'a'..'h'.
+func (sb SubBlock) Letter() byte { return byte('a' + sb.index%SubBlocksPerBlock) }
+
+// Prefix returns the /11 prefix of sb. E.g. notation 1b is 3.32.0.0/11.
+func (sb SubBlock) Prefix() netaddr.Prefix {
+	first := table1FirstOctets[sb.BlockNumber()-1]
+	second := byte(sb.index%SubBlocksPerBlock) << 5
+	return netaddr.MustPrefix(netaddr.FromOctets(first, second, 0, 0), 11)
+}
+
+// String renders the paper notation, e.g. "1a", "125h".
+func (sb SubBlock) String() string {
+	return strconv.Itoa(sb.BlockNumber()) + string(sb.Letter())
+}
+
+// ParseNotation parses labels like "1a" or "125h" into a SubBlock.
+func ParseNotation(s string) (SubBlock, error) {
+	if len(s) < 2 {
+		return SubBlock{}, fmt.Errorf("%w: %q", ErrBadNotation, s)
+	}
+	letter := s[len(s)-1]
+	if letter < 'a' || letter > 'h' {
+		return SubBlock{}, fmt.Errorf("%w: %q", ErrBadNotation, s)
+	}
+	n, err := strconv.Atoi(s[:len(s)-1])
+	if err != nil || n < 1 || n > NumBlocks {
+		return SubBlock{}, fmt.Errorf("%w: %q", ErrBadNotation, s)
+	}
+	return SubBlock{index: (n-1)*SubBlocksPerBlock + int(letter-'a')}, nil
+}
+
+// MustParseNotation is ParseNotation that panics on error.
+func MustParseNotation(s string) SubBlock {
+	sb, err := ParseNotation(s)
+	if err != nil {
+		panic(err)
+	}
+	return sb
+}
+
+// Range returns the sub-blocks with linear indices [from, to) — the
+// half-open range used to express spans like "1a thru 13d".
+func Range(from, to int) []SubBlock {
+	if from < 0 || to > NumSubBlocks || from > to {
+		panic(fmt.Sprintf("blocks: bad range [%d,%d)", from, to))
+	}
+	out := make([]SubBlock, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, SubBlock{index: i})
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package dagflow reimplements the paper's Dagflow traffic-replay tool
+// (§6.1): it synthesizes NetFlow v5 records from packet traces without any
+// routers, supports controlled rewriting of source IP addresses (both
+// benign re-homing onto allocated address blocks and attack spoofing),
+// controls the distribution of source addresses across blocks, and directs
+// each instance's export datagrams at a configurable UDP destination port.
+package dagflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/packet"
+)
+
+// SourcePolicy rewrites the source address of every replayed packet. The
+// mapping must be deterministic per original address within one replay so a
+// multi-packet flow stays one flow after rewriting.
+type SourcePolicy interface {
+	Rewrite(orig netaddr.IPv4) netaddr.IPv4
+}
+
+// IdentityPolicy keeps source addresses unchanged.
+type IdentityPolicy struct{}
+
+// Rewrite returns orig unchanged.
+func (IdentityPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 { return orig }
+
+// WeightedBlock pairs an address block with a selection weight.
+type WeightedBlock struct {
+	Prefix netaddr.Prefix
+	Weight float64
+}
+
+// BlockPolicy deterministically re-homes source addresses onto a weighted
+// set of address blocks — Dagflow's "control the distribution of the source
+// IP addresses" feature (e.g. 25% in 192.4/16, 25% in 214.96/16, 50% in
+// 145.25/16). The same original address always maps to the same rewritten
+// address, keeping flows intact.
+type BlockPolicy struct {
+	blocks []WeightedBlock
+	total  float64
+	salt   uint64
+}
+
+// ErrNoBlocks is returned when a policy is built with no usable blocks.
+var ErrNoBlocks = errors.New("dagflow: no address blocks with positive weight")
+
+// NewBlockPolicy builds a policy over the given weighted blocks. salt
+// varies the mapping between instances without losing determinism.
+func NewBlockPolicy(blocks []WeightedBlock, salt uint64) (*BlockPolicy, error) {
+	var kept []WeightedBlock
+	total := 0.0
+	for _, b := range blocks {
+		if b.Weight <= 0 {
+			continue
+		}
+		kept = append(kept, b)
+		total += b.Weight
+	}
+	if len(kept) == 0 {
+		return nil, ErrNoBlocks
+	}
+	return &BlockPolicy{blocks: kept, total: total, salt: salt}, nil
+}
+
+// UniformBlocks wraps prefixes with equal weights.
+func UniformBlocks(prefixes []netaddr.Prefix) []WeightedBlock {
+	out := make([]WeightedBlock, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = WeightedBlock{Prefix: p, Weight: 1}
+	}
+	return out
+}
+
+// Rewrite maps orig onto one of the policy's blocks, weighted, determined
+// entirely by a hash of the original address and the salt.
+func (p *BlockPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 {
+	h := splitmix64(uint64(orig) ^ p.salt)
+	// Select a block by weight using the top bits.
+	sel := float64(h>>11) / float64(1<<53) * p.total
+	idx := 0
+	for i, b := range p.blocks {
+		if sel < b.Weight {
+			idx = i
+			break
+		}
+		sel -= b.Weight
+		idx = i
+	}
+	blk := p.blocks[idx].Prefix
+	// Offset within the block from an independent hash.
+	off := splitmix64(h) % blk.Size()
+	return blk.Nth(off)
+}
+
+// SpoofPolicy rewrites every source address pseudo-randomly into a set of
+// foreign blocks — the attack-side spoofing knob. Unlike BlockPolicy the
+// mapping is still deterministic per original address, so a multi-packet
+// attack flow keeps a single (spoofed) source.
+type SpoofPolicy struct {
+	inner *BlockPolicy
+}
+
+// NewSpoofPolicy builds a spoofing policy drawing uniformly from blocks.
+func NewSpoofPolicy(prefixes []netaddr.Prefix, seed int64) (*SpoofPolicy, error) {
+	bp, err := NewBlockPolicy(UniformBlocks(prefixes), splitmix64(uint64(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &SpoofPolicy{inner: bp}, nil
+}
+
+// Rewrite returns the spoofed source for orig.
+func (p *SpoofPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 {
+	return p.inner.Rewrite(orig)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config parameterizes one Dagflow instance, which emulates one border
+// router: it owns a flow cache, an export engine and a destination port.
+type Config struct {
+	// Name labels the instance (e.g. "S1").
+	Name string
+	// Policy rewrites source addresses. Nil keeps them unchanged.
+	Policy SourcePolicy
+	// InputIf is the ifIndex stamped on emitted flows.
+	InputIf uint16
+	// Cache configures the emulated router flow cache.
+	Cache netflow.CacheConfig
+	// ExportInterval batches expirations into datagrams at this period.
+	// Zero defaults to one second.
+	ExportInterval time.Duration
+	// EngineID tags the NetFlow header.
+	EngineID uint8
+}
+
+// Instance replays packet traces as NetFlow datagrams.
+type Instance struct {
+	cfg      Config
+	cache    *netflow.Cache
+	exporter *netflow.Exporter
+}
+
+// New builds an instance. boot anchors the exporter's sysUptime clock.
+func New(cfg Config, boot time.Time) *Instance {
+	if cfg.Policy == nil {
+		cfg.Policy = IdentityPolicy{}
+	}
+	if cfg.ExportInterval <= 0 {
+		cfg.ExportInterval = time.Second
+	}
+	return &Instance{
+		cfg:      cfg,
+		cache:    netflow.NewCache(cfg.Cache),
+		exporter: netflow.NewExporter(boot, cfg.EngineID),
+	}
+}
+
+// Name returns the instance label.
+func (in *Instance) Name() string { return in.cfg.Name }
+
+// Replay runs a time-ordered packet trace through source rewriting and the
+// flow cache, returning the NetFlow datagrams a router would have exported.
+// The trace's own timestamps drive the clock, so replay is deterministic
+// and much faster than real time (the paper's motivation for Dagflow).
+func (in *Instance) Replay(pkts []packet.Packet) ([]*netflow.Datagram, error) {
+	if len(pkts) == 0 {
+		return nil, nil
+	}
+	var (
+		out        []*netflow.Datagram
+		nextExport = pkts[0].Time.Add(in.cfg.ExportInterval)
+	)
+	for i, p := range pkts {
+		if i > 0 && p.Time.Before(pkts[i-1].Time) {
+			return nil, fmt.Errorf("dagflow: %s: trace not time-ordered at packet %d", in.cfg.Name, i)
+		}
+		p.Src = in.cfg.Policy.Rewrite(p.Src)
+		in.cache.Observe(p, in.cfg.InputIf)
+		for !p.Time.Before(nextExport) {
+			in.cache.Advance(nextExport)
+			in.exporter.Add(in.cache.Drain()...)
+			out = append(out, in.exporter.Export(nextExport)...)
+			nextExport = nextExport.Add(in.cfg.ExportInterval)
+		}
+	}
+	// End of trace: flush everything still cached.
+	last := pkts[len(pkts)-1].Time
+	in.cache.FlushAll()
+	in.exporter.Add(in.cache.Drain()...)
+	out = append(out, in.exporter.Export(last.Add(in.cfg.ExportInterval))...)
+	return out, nil
+}
+
+// SendUDP transmits datagrams to a UDP destination ("127.0.0.1:port" in
+// the testbed — each instance targets a distinct port so the analysis side
+// can demultiplex border routers).
+func SendUDP(dst string, dgs []*netflow.Datagram) error {
+	conn, err := net.Dial("udp", dst)
+	if err != nil {
+		return fmt.Errorf("dagflow: dial %s: %w", dst, err)
+	}
+	defer conn.Close()
+	for _, d := range dgs {
+		raw, err := d.Marshal()
+		if err != nil {
+			return fmt.Errorf("dagflow: marshal datagram: %w", err)
+		}
+		if _, err := conn.Write(raw); err != nil {
+			return fmt.Errorf("dagflow: send to %s: %w", dst, err)
+		}
+	}
+	return nil
+}
+
+// MixTraces merges several time-ordered traces into one, preserving order.
+// It is how an experiment interleaves normal and attack traffic arriving at
+// the same border router.
+func MixTraces(traces ...[]packet.Packet) []packet.Packet {
+	total := 0
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	out := make([]packet.Packet, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		var bestTime time.Time
+		for i, tr := range traces {
+			if idx[i] >= len(tr) {
+				continue
+			}
+			if best == -1 || tr[idx[i]].Time.Before(bestTime) {
+				best = i
+				bestTime = tr[idx[i]].Time
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// JitterTrace shifts every packet timestamp by a bounded pseudo-random
+// offset, used to decorrelate repeated attack replays across experiment
+// runs. Offsets are deterministic in seed. The result is re-sorted.
+func JitterTrace(pkts []packet.Packet, maxJitter time.Duration, seed int64) []packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]packet.Packet, len(pkts))
+	copy(out, pkts)
+	for i := range out {
+		out[i].Time = out[i].Time.Add(time.Duration(rng.Int63n(int64(maxJitter) + 1)))
+	}
+	// Insertion sort: traces are nearly sorted after small jitter.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Time.Before(out[j-1].Time); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

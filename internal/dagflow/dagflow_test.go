@@ -1,0 +1,288 @@
+package dagflow
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/packet"
+	"infilter/internal/trace"
+)
+
+var (
+	boot     = time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	dstBlock = netaddr.MustParsePrefix("192.0.2.0/24")
+)
+
+func normalTrace(t *testing.T, flows int, seed int64) []packet.Packet {
+	t.Helper()
+	pkts, err := trace.GenerateNormal(trace.NormalConfig{
+		Seed:        seed,
+		Start:       boot.Add(time.Minute),
+		Flows:       flows,
+		SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix("61.0.0.0/11")},
+		DstPrefix:   dstBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+func TestBlockPolicyDeterministicAndInRange(t *testing.T) {
+	blocks := []WeightedBlock{
+		{Prefix: netaddr.MustParsePrefix("192.4.0.0/16"), Weight: 25},
+		{Prefix: netaddr.MustParsePrefix("214.96.0.0/16"), Weight: 25},
+		{Prefix: netaddr.MustParsePrefix("145.25.0.0/16"), Weight: 50},
+	}
+	p, err := NewBlockPolicy(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		orig := netaddr.IPv4(i * 7919)
+		a := p.Rewrite(orig)
+		b := p.Rewrite(orig)
+		if a != b {
+			t.Fatalf("Rewrite not deterministic for %v", orig)
+		}
+		inAny := false
+		for _, blk := range blocks {
+			if blk.Prefix.Contains(a) {
+				inAny = true
+				break
+			}
+		}
+		if !inAny {
+			t.Fatalf("rewritten %v outside all blocks", a)
+		}
+	}
+}
+
+// TestBlockPolicyDistribution checks the paper's worked example: 25% /
+// 25% / 50% splits should hold approximately.
+func TestBlockPolicyDistribution(t *testing.T) {
+	blocks := []WeightedBlock{
+		{Prefix: netaddr.MustParsePrefix("192.4.0.0/16"), Weight: 25},
+		{Prefix: netaddr.MustParsePrefix("214.96.0.0/16"), Weight: 25},
+		{Prefix: netaddr.MustParsePrefix("145.25.0.0/16"), Weight: 50},
+	}
+	p, err := NewBlockPolicy(blocks, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := p.Rewrite(netaddr.IPv4(uint32(i) * 2654435761))
+		for j, blk := range blocks {
+			if blk.Prefix.Contains(a) {
+				counts[j]++
+			}
+		}
+	}
+	for j, want := range []float64{0.25, 0.25, 0.50} {
+		got := float64(counts[j]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("block %d share %.3f, want %.2f±0.02", j, got, want)
+		}
+	}
+}
+
+func TestNewBlockPolicyRejectsEmpty(t *testing.T) {
+	if _, err := NewBlockPolicy(nil, 0); err == nil {
+		t.Error("empty blocks: want error")
+	}
+	if _, err := NewBlockPolicy([]WeightedBlock{{Prefix: dstBlock, Weight: 0}}, 0); err == nil {
+		t.Error("zero weights: want error")
+	}
+}
+
+func TestSpoofPolicyKeepsFlowsIntact(t *testing.T) {
+	sp, err := NewSpoofPolicy([]netaddr.Prefix{netaddr.MustParsePrefix("70.0.0.0/11")}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := netaddr.MustParseIPv4("61.9.9.9")
+	if sp.Rewrite(orig) != sp.Rewrite(orig) {
+		t.Error("spoof mapping not stable within a replay")
+	}
+	if !netaddr.MustParsePrefix("70.0.0.0/11").Contains(sp.Rewrite(orig)) {
+		t.Error("spoofed address outside target block")
+	}
+}
+
+func TestReplayProducesFlows(t *testing.T) {
+	in := New(Config{Name: "S1", InputIf: 1}, boot)
+	pkts := normalTrace(t, 300, 11)
+	dgs, err := in.Replay(pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) == 0 {
+		t.Fatal("no datagrams exported")
+	}
+	totalFlows := 0
+	var lastSeq uint32
+	for i, d := range dgs {
+		totalFlows += len(d.Records)
+		if i > 0 && d.Header.FlowSequence < lastSeq {
+			t.Error("flow sequence not monotone")
+		}
+		lastSeq = d.Header.FlowSequence + uint32(len(d.Records))
+		if len(d.Records) > netflow.MaxRecords {
+			t.Errorf("datagram %d has %d records", i, len(d.Records))
+		}
+	}
+	// Roughly one flow per generated flow (some may merge on key collision).
+	if totalFlows < 250 || totalFlows > 400 {
+		t.Errorf("replay produced %d flows for 300 generated", totalFlows)
+	}
+}
+
+func TestReplayAppliesPolicy(t *testing.T) {
+	target := netaddr.MustParsePrefix("88.0.0.0/11")
+	bp, err := NewBlockPolicy(UniformBlocks([]netaddr.Prefix{target}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Name: "S2", Policy: bp, InputIf: 2}, boot)
+	dgs, err := in.Replay(normalTrace(t, 100, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dgs {
+		for _, r := range d.Records {
+			if !target.Contains(r.SrcAddr) {
+				t.Fatalf("record src %v escaped policy block", r.SrcAddr)
+			}
+			if r.InputIf != 2 {
+				t.Fatalf("record ifIndex %d, want 2", r.InputIf)
+			}
+		}
+	}
+}
+
+func TestReplayRejectsUnorderedTrace(t *testing.T) {
+	in := New(Config{Name: "S3"}, boot)
+	pkts := []packet.Packet{
+		{Time: boot.Add(2 * time.Second), Proto: flow.ProtoUDP, Length: 40},
+		{Time: boot.Add(1 * time.Second), Proto: flow.ProtoUDP, Length: 40},
+	}
+	if _, err := in.Replay(pkts); err == nil {
+		t.Error("unordered trace: want error")
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	in := New(Config{Name: "S4"}, boot)
+	dgs, err := in.Replay(nil)
+	if err != nil || dgs != nil {
+		t.Errorf("empty replay = %v, %v", dgs, err)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	mk := func() []*netflow.Datagram {
+		in := New(Config{Name: "S5", InputIf: 1}, boot)
+		dgs, err := in.Replay(normalTrace(t, 150, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dgs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("datagram counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, err := a[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ra) != string(rb) {
+			t.Fatalf("datagram %d differs across identical replays", i)
+		}
+	}
+}
+
+func TestMixTracesPreservesOrder(t *testing.T) {
+	a := normalTrace(t, 50, 31)
+	b, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
+		Seed:      1,
+		Start:     boot.Add(90 * time.Second),
+		Src:       netaddr.MustParseIPv4("70.1.2.3"),
+		DstPrefix: dstBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := MixTraces(a, b)
+	if len(mixed) != len(a)+len(b) {
+		t.Fatalf("mixed %d packets, want %d", len(mixed), len(a)+len(b))
+	}
+	for i := 1; i < len(mixed); i++ {
+		if mixed[i].Time.Before(mixed[i-1].Time) {
+			t.Fatalf("mixed trace unordered at %d", i)
+		}
+	}
+}
+
+func TestMixTracesEmptyInputs(t *testing.T) {
+	if got := MixTraces(nil, nil); len(got) != 0 {
+		t.Errorf("MixTraces(nil,nil) = %d packets", len(got))
+	}
+	a := normalTrace(t, 10, 32)
+	if got := MixTraces(a, nil); len(got) != len(a) {
+		t.Errorf("MixTraces(a,nil) = %d packets", len(got))
+	}
+}
+
+func TestJitterTraceOrderedAndBounded(t *testing.T) {
+	a := normalTrace(t, 50, 33)
+	j := JitterTrace(a, 100*time.Millisecond, 7)
+	if len(j) != len(a) {
+		t.Fatalf("jittered length %d", len(j))
+	}
+	for i := 1; i < len(j); i++ {
+		if j[i].Time.Before(j[i-1].Time) {
+			t.Fatalf("jittered trace unordered at %d", i)
+		}
+	}
+	// Original must be untouched.
+	for i := range a {
+		if a[i] != normalTrace(t, 50, 33)[i] {
+			t.Fatal("JitterTrace mutated its input")
+			break
+		}
+	}
+}
+
+func TestReplayEndToEndOverUDPShape(t *testing.T) {
+	// Datagrams must round-trip the wire codec after a replay.
+	in := New(Config{Name: "S6", InputIf: 3}, boot)
+	dgs, err := in.Replay(normalTrace(t, 40, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dgs {
+		raw, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := netflow.Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Records) != len(d.Records) {
+			t.Fatal("wire round trip lost records")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package eia implements the Expected source IP Address sets at the heart
+// of Basic InFilter (paper §3, §5.1.3). An EIA set maps each peer AS to the
+// source address ranges whose traffic is expected to enter the target
+// network through it. Lookups are longest-prefix, so a promoted /24 or /32
+// learned after a route change overrides the broad training-time block.
+package eia
+
+import (
+	"fmt"
+	"sort"
+
+	"infilter/internal/netaddr"
+)
+
+// PeerAS identifies one peering autonomous system / border router ingress.
+type PeerAS uint16
+
+// Verdict classifies one source-address check (paper §5.2 normal
+// processing phase case analysis).
+type Verdict int
+
+// Verdicts.
+const (
+	// Match: the source's expected peer AS is the observed one (case b —
+	// legal flow).
+	Match Verdict = iota + 1
+	// WrongPeer: the source belongs to a different peer AS's EIA set
+	// (case a — possible spoofing or route change).
+	WrongPeer
+	// Unknown: the source is in no EIA set (case a — possible spoofing).
+	Unknown
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Match:
+		return "match"
+	case WrongPeer:
+		return "wrong-peer"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Config tunes the EIA set behavior.
+type Config struct {
+	// PromoteThreshold is how many flows from the same source must be seen
+	// (and pass deeper analysis) at an unexpected peer AS before the source
+	// is added to that peer's EIA set (§5.2(a)). Zero defaults to 20 — it
+	// must exceed the Scan Analysis thresholds, or a scan whose flows slip
+	// past NNS gets its spoofed source promoted before the scan counters
+	// can fire.
+	PromoteThreshold int
+	// PromoteMaskBits is the prefix length learned on promotion. Zero
+	// defaults to 24 (the subnet granularity used throughout §3.1).
+	PromoteMaskBits int
+}
+
+// Defaults for Config.
+const (
+	DefaultPromoteThreshold = 20
+	DefaultPromoteMaskBits  = 24
+)
+
+func (c Config) withDefaults() Config {
+	if c.PromoteThreshold <= 0 {
+		c.PromoteThreshold = DefaultPromoteThreshold
+	}
+	if c.PromoteMaskBits <= 0 {
+		c.PromoteMaskBits = DefaultPromoteMaskBits
+	}
+	return c
+}
+
+type pendingKey struct {
+	peer PeerAS
+	pfx  netaddr.Prefix
+}
+
+// Set holds the per-peer EIA sets with a longest-prefix global index.
+// It is not safe for concurrent use.
+type Set struct {
+	cfg     Config
+	index   *netaddr.PrefixTrie[PeerAS]
+	perPeer map[PeerAS]int // prefixes per peer, for introspection
+	pending map[pendingKey]int
+}
+
+// NewSet returns an empty EIA set.
+func NewSet(cfg Config) *Set {
+	return &Set{
+		cfg:     cfg.withDefaults(),
+		index:   netaddr.NewPrefixTrie[PeerAS](),
+		perPeer: make(map[PeerAS]int),
+		pending: make(map[pendingKey]int),
+	}
+}
+
+// AddPrefix records that sources inside p are expected at peer. Inserting
+// the same prefix for a different peer re-homes it (route change handling).
+func (s *Set) AddPrefix(peer PeerAS, p netaddr.Prefix) {
+	if prev, ok := s.index.Get(p); ok {
+		if prev == peer {
+			return
+		}
+		s.perPeer[prev]--
+	}
+	s.index.Insert(p, peer)
+	s.perPeer[peer]++
+}
+
+// ExpectedPeer returns the peer AS whose EIA set contains src, by
+// longest-prefix match.
+func (s *Set) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
+	return s.index.Lookup(src)
+}
+
+// Check classifies a flow's source address observed at peer.
+func (s *Set) Check(peer PeerAS, src netaddr.IPv4) Verdict {
+	expected, ok := s.index.Lookup(src)
+	switch {
+	case !ok:
+		return Unknown
+	case expected == peer:
+		return Match
+	default:
+		return WrongPeer
+	}
+}
+
+// RecordLegal notes that a flow from src observed at peer passed the
+// deeper (scan + NNS) analysis despite failing the EIA check. After the
+// promotion threshold, the source's subnet is added to peer's EIA set so
+// the route change stops raising suspicions. Reports whether promotion
+// happened on this call.
+func (s *Set) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
+	pfx := netaddr.MustPrefix(src, s.cfg.PromoteMaskBits)
+	k := pendingKey{peer: peer, pfx: pfx}
+	s.pending[k]++
+	if s.pending[k] >= s.cfg.PromoteThreshold {
+		delete(s.pending, k)
+		s.AddPrefix(peer, pfx)
+		return true
+	}
+	return false
+}
+
+// PendingCount exposes the current promotion progress for a source subnet
+// at a peer, for tests and monitoring.
+func (s *Set) PendingCount(peer PeerAS, src netaddr.IPv4) int {
+	return s.pending[pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, s.cfg.PromoteMaskBits)}]
+}
+
+// Len returns the total number of prefixes across all peers.
+func (s *Set) Len() int { return s.index.Len() }
+
+// PeerPrefixCount returns how many prefixes map to peer.
+func (s *Set) PeerPrefixCount(peer PeerAS) int { return s.perPeer[peer] }
+
+// Peers returns the peer ASes with at least one prefix, ascending.
+func (s *Set) Peers() []PeerAS {
+	out := make([]PeerAS, 0, len(s.perPeer))
+	for p, n := range s.perPeer {
+		if n > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrainingSource is one (source address, ingress peer) observation used to
+// initialize EIA sets from live traffic (§5.1.3(a)).
+type TrainingSource struct {
+	Peer PeerAS
+	Src  netaddr.IPv4
+}
+
+// Train initializes EIA sets from observed traffic: each source address is
+// aggregated to maskBits and added to the EIA set of the peer AS it was
+// seen at. maskBits <= 0 defaults to the config's promote mask.
+func (s *Set) Train(obs []TrainingSource, maskBits int) {
+	if maskBits <= 0 {
+		maskBits = s.cfg.PromoteMaskBits
+	}
+	for _, o := range obs {
+		s.AddPrefix(o.Peer, netaddr.MustPrefix(o.Src, maskBits))
+	}
+}

@@ -1,0 +1,79 @@
+package eia
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"infilter/internal/netaddr"
+)
+
+// WriteTo serializes the EIA sets as "<peerAS> <cidr>" lines, sorted for
+// stable output. Pending promotion counters are transient and not saved.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	type row struct {
+		peer PeerAS
+		pfx  netaddr.Prefix
+	}
+	var rows []row
+	s.index.Walk(func(p netaddr.Prefix, peer PeerAS) bool {
+		rows = append(rows, row{peer: peer, pfx: p})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].peer != rows[j].peer {
+			return rows[i].peer < rows[j].peer
+		}
+		if rows[i].pfx.Addr() != rows[j].pfx.Addr() {
+			return rows[i].pfx.Addr() < rows[j].pfx.Addr()
+		}
+		return rows[i].pfx.Bits() < rows[j].pfx.Bits()
+	})
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, r := range rows {
+		n, err := fmt.Fprintf(bw, "%d %s\n", r.peer, r.pfx)
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("eia: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, fmt.Errorf("eia: flush: %w", err)
+	}
+	return total, nil
+}
+
+// ReadInto loads "<peerAS> <cidr>" lines into the set. Blank lines and
+// '#' comments are skipped.
+func ReadInto(s *Set, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return fmt.Errorf("eia: line %d: want '<peerAS> <cidr>', got %q", line, text)
+		}
+		peer, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return fmt.Errorf("eia: line %d: peer AS: %w", line, err)
+		}
+		pfx, err := netaddr.ParsePrefix(fields[1])
+		if err != nil {
+			return fmt.Errorf("eia: line %d: %w", line, err)
+		}
+		s.AddPrefix(PeerAS(peer), pfx)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("eia: read: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package eia
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+func TestSetWriteReadRoundTrip(t *testing.T) {
+	s := NewSet(Config{})
+	s.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	s.AddPrefix(1, netaddr.MustParsePrefix("88.32.0.0/11"))
+	s.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+	s.AddPrefix(3, netaddr.MustParsePrefix("4.2.101.0/24"))
+
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded := NewSet(Config{})
+	if err := ReadInto(loaded, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d prefixes, want %d", loaded.Len(), s.Len())
+	}
+	checks := []struct {
+		peer PeerAS
+		src  string
+		want Verdict
+	}{
+		{1, "61.5.5.5", Match},
+		{2, "70.5.5.5", Match},
+		{3, "4.2.101.20", Match},
+		{1, "70.5.5.5", WrongPeer},
+		{1, "9.9.9.9", Unknown},
+	}
+	for _, c := range checks {
+		if got := loaded.Check(c.peer, netaddr.MustParseIPv4(c.src)); got != c.want {
+			t.Errorf("loaded Check(%d,%s) = %v, want %v", c.peer, c.src, got, c.want)
+		}
+	}
+}
+
+func TestWriteToStableOrder(t *testing.T) {
+	s := NewSet(Config{})
+	s.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+	s.AddPrefix(1, netaddr.MustParsePrefix("88.0.0.0/11"))
+	s.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+
+	var a, b bytes.Buffer
+	if _, err := s.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteTo output not deterministic")
+	}
+	want := "1 61.0.0.0/11\n1 88.0.0.0/11\n2 70.0.0.0/11\n"
+	if a.String() != want {
+		t.Errorf("WriteTo = %q, want %q", a.String(), want)
+	}
+}
+
+func TestReadIntoSkipsCommentsAndErrors(t *testing.T) {
+	s := NewSet(Config{})
+	if err := ReadInto(s, strings.NewReader("# header\n\n1 61.0.0.0/11\n")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("loaded %d prefixes", s.Len())
+	}
+	for _, bad := range []string{"onlyfield\n", "x 61.0.0.0/11\n", "1 notacidr\n", "1 2 3\n"} {
+		if err := ReadInto(NewSet(Config{}), strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadInto(%q): want error", bad)
+		}
+	}
+}

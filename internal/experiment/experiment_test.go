@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"infilter/internal/analysis"
+	"infilter/internal/trace"
+)
+
+// tiny returns a fast configuration for tests.
+func tiny() Config {
+	return Config{
+		Seed:                 1,
+		NormalFlowsPerSource: 250,
+		TrainingFlows:        700,
+		AttackPercent:        4,
+		AttackSets:           1,
+		Runs:                 1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{AttackPercent: -1},
+		{AttackPercent: 99},
+		{AttackSets: 11},
+		{RouteChangePercent: 9},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestBasicInFilterPoint(t *testing.T) {
+	cfg := tiny()
+	cfg.Mode = analysis.ModeBasic
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Runs[0]
+	// BI flags every spoofed flow: detection must be complete.
+	if res.DetectionRate < 99 {
+		t.Errorf("BI detection %.1f%%, want ~100%%", res.DetectionRate)
+	}
+	// Without route instability there is nothing benign to mis-flag.
+	if res.FPRate > 0.5 {
+		t.Errorf("BI FP %.2f%% without route change", res.FPRate)
+	}
+	if rr.AttacksLaunched < trace.NumAttackTypes {
+		t.Errorf("launched %d attacks, want the full catalog", rr.AttacksLaunched)
+	}
+	if rr.BenignFlows < 2000 {
+		t.Errorf("only %d benign flows", rr.BenignFlows)
+	}
+}
+
+func TestEnhancedInFilterPoint(t *testing.T) {
+	res, err := Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~80% detection for EI; allow the band 60-100.
+	if res.DetectionRate < 60 {
+		t.Errorf("EI detection %.1f%%, want ≥60%%", res.DetectionRate)
+	}
+	if res.FPRate > 2.5 {
+		t.Errorf("EI FP %.2f%%, want ≈2%% or less", res.FPRate)
+	}
+}
+
+func TestRouteChangeShape(t *testing.T) {
+	// BI FP must track the route-change rate; EI must stay well below BI
+	// (the Figure 19 relationship).
+	biFP := map[int]float64{}
+	eiFP := map[int]float64{}
+	for _, rc := range []int{2, 8} {
+		for _, mode := range []analysis.Mode{analysis.ModeBasic, analysis.ModeEnhanced} {
+			cfg := tiny()
+			cfg.Mode = mode
+			cfg.AttackPercent = 8
+			cfg.RouteChangePercent = rc
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == analysis.ModeBasic {
+				biFP[rc] = res.FPRate
+			} else {
+				eiFP[rc] = res.FPRate
+			}
+		}
+	}
+	if biFP[8] <= biFP[2] {
+		t.Errorf("BI FP not rising with route change: %.2f vs %.2f", biFP[2], biFP[8])
+	}
+	// BI FP should roughly track the instability percentage.
+	if biFP[8] < 4 || biFP[8] > 14 {
+		t.Errorf("BI FP at 8%% route change = %.2f%%, want near 8%%", biFP[8])
+	}
+	for _, rc := range []int{2, 8} {
+		if eiFP[rc] >= biFP[rc] {
+			t.Errorf("EI FP %.2f%% not below BI %.2f%% at %d%% route change",
+				eiFP[rc], biFP[rc], rc)
+		}
+	}
+}
+
+func TestStressTestDegradesDetection(t *testing.T) {
+	single := tiny()
+	stress := tiny()
+	stress.AttackSets = 10
+	r1, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Run(stress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.Runs[0].AttacksLaunched <= r1.Runs[0].AttacksLaunched {
+		t.Errorf("stress test launched %d attacks vs %d single",
+			r10.Runs[0].AttacksLaunched, r1.Runs[0].AttacksLaunched)
+	}
+	// The paper sees detection drop under high attack load; at minimum the
+	// stress test must not improve detection.
+	if r10.DetectionRate > r1.DetectionRate+10 {
+		t.Errorf("stress detection %.1f%% above single-set %.1f%%",
+			r10.DetectionRate, r1.DetectionRate)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	bi, ei, err := LatencyComparison(Options{
+		Seed: 3, Runs: 1, NormalFlowsPerSource: 250, TrainingFlows: 700,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EI does strictly more work per flow (scan + NNS on suspects).
+	if ei <= bi {
+		t.Errorf("EI latency %v not above BI %v", ei, bi)
+	}
+}
+
+func TestRunDeterministicAccounting(t *testing.T) {
+	a, err := Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Runs[0], b.Runs[0]
+	if ra.AttacksLaunched != rb.AttacksLaunched || ra.AttacksDetected != rb.AttacksDetected ||
+		ra.BenignFlows != rb.BenignFlows || ra.FalsePositives != rb.FalsePositives {
+		t.Errorf("identical seeds diverged: %+v vs %+v", ra, rb)
+	}
+}
+
+func TestSpoofedSweepFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	sw, err := RunSpoofedSweep(Options{Seed: 5, Runs: 1, NormalFlowsPerSource: 200, TrainingFlows: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f15, f16 := sw.Figure15().String(), sw.Figure16().String()
+	if !strings.Contains(f15, "Figure 15") || !strings.Contains(f15, "2%") {
+		t.Errorf("figure 15 table:\n%s", f15)
+	}
+	if !strings.Contains(f16, "Figure 16") {
+		t.Errorf("figure 16 table:\n%s", f16)
+	}
+	if len(sw.Single) != len(AttackVolumes) || len(sw.Ten) != len(AttackVolumes) {
+		t.Error("sweep grid incomplete")
+	}
+}
+
+func TestRouteChangeSweepFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	opts := Options{Seed: 6, Runs: 1, NormalFlowsPerSource: 150, TrainingFlows: 600}
+	bi, err := RunRouteChangeSweep(opts, analysis.ModeBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := RunRouteChangeSweep(opts, analysis.ModeEnhanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bi.Figure().String(), "Figure 17") {
+		t.Error("BI sweep mislabeled")
+	}
+	if !strings.Contains(ei.Figure().String(), "Figure 18") {
+		t.Error("EI sweep mislabeled")
+	}
+	f19 := Figure19(bi, ei).String()
+	if !strings.Contains(f19, "Basic InFilter") || !strings.Contains(f19, "Enhanced InFilter") {
+		t.Errorf("figure 19 table:\n%s", f19)
+	}
+}

@@ -1,0 +1,195 @@
+// Package flow defines the traffic-flow model shared by the NetFlow codec,
+// the Dagflow replay engine and the analysis pipeline. A flow is a
+// unidirectional sequence of packets identified by the NetFlow v5 key fields
+// (paper Figure 10) with the per-flow statistics the prototype consumes
+// (§5.1.2): byte count, packet count, duration, bit rate and packet rate.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"infilter/internal/netaddr"
+)
+
+// IP protocol numbers used throughout the testbed.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Well-known ports driving the subcluster partition (§5.1.3(c)).
+const (
+	PortFTP  = 21
+	PortSMTP = 25
+	PortDNS  = 53
+	PortHTTP = 80
+)
+
+// Key identifies a flow: the seven NetFlow v5 key fields of Figure 10.
+type Key struct {
+	Src     netaddr.IPv4
+	Dst     netaddr.IPv4
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+	TOS     uint8
+	InputIf uint16
+}
+
+// String renders the key compactly for logs and alerts.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d proto=%d tos=%d if=%d",
+		k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto, k.TOS, k.InputIf)
+}
+
+// Record is a finished flow: key, traffic counters and timing, plus the
+// routing context a border router's NetFlow export carries (source/dest AS).
+type Record struct {
+	Key     Key
+	Packets uint32
+	Bytes   uint32
+	Start   time.Time
+	End     time.Time
+	SrcAS   uint16
+	DstAS   uint16
+	SrcMask uint8
+	DstMask uint8
+	TCPFlag uint8
+}
+
+// Duration returns the flow's active duration. Flows whose start and end
+// coincide (single-packet flows) have zero duration.
+func (r Record) Duration() time.Duration {
+	d := r.End.Sub(r.Start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BitRate returns the flow's average bit rate in bits/second. Single-packet
+// and zero-duration flows report their full size over one millisecond so
+// rate-based features stay finite, matching flow-tools behavior of clamping
+// the denominator.
+func (r Record) BitRate() float64 {
+	return 8 * float64(r.Bytes) / r.clampedSeconds()
+}
+
+// PacketRate returns the flow's average packet rate in packets/second.
+func (r Record) PacketRate() float64 {
+	return float64(r.Packets) / r.clampedSeconds()
+}
+
+func (r Record) clampedSeconds() float64 {
+	s := r.Duration().Seconds()
+	if s < 0.001 {
+		return 0.001
+	}
+	return s
+}
+
+// Subcluster is the protocol-specific cluster a flow belongs to for NNS
+// analysis (§5.1.3(c)): well-known services get their own clusters, the
+// rest fall into per-transport catch-alls.
+type Subcluster int
+
+// Subclusters in the order the paper lists them.
+const (
+	ClusterHTTP Subcluster = iota + 1
+	ClusterSMTP
+	ClusterFTP
+	ClusterDNS
+	ClusterUDP
+	ClusterTCP
+	ClusterICMP
+	ClusterOther
+)
+
+// NumSubclusters is the count of defined subclusters.
+const NumSubclusters = 8
+
+var clusterNames = map[Subcluster]string{
+	ClusterHTTP:  "http",
+	ClusterSMTP:  "smtp",
+	ClusterFTP:   "ftp",
+	ClusterDNS:   "dns",
+	ClusterUDP:   "udp",
+	ClusterTCP:   "tcp",
+	ClusterICMP:  "icmp",
+	ClusterOther: "other",
+}
+
+// String returns the subcluster's short name.
+func (c Subcluster) String() string {
+	if n, ok := clusterNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("subcluster(%d)", int(c))
+}
+
+// Subclusters returns all subclusters in a stable order.
+func Subclusters() []Subcluster {
+	return []Subcluster{
+		ClusterHTTP, ClusterSMTP, ClusterFTP, ClusterDNS,
+		ClusterUDP, ClusterTCP, ClusterICMP, ClusterOther,
+	}
+}
+
+// Classify assigns a flow key to its subcluster.
+func Classify(k Key) Subcluster {
+	switch k.Proto {
+	case ProtoTCP:
+		switch k.DstPort {
+		case PortHTTP:
+			return ClusterHTTP
+		case PortSMTP:
+			return ClusterSMTP
+		case PortFTP:
+			return ClusterFTP
+		default:
+			return ClusterTCP
+		}
+	case ProtoUDP:
+		if k.DstPort == PortDNS {
+			return ClusterDNS
+		}
+		return ClusterUDP
+	case ProtoICMP:
+		return ClusterICMP
+	default:
+		return ClusterOther
+	}
+}
+
+// Stats extracts the five per-flow statistics the analysis modules consume,
+// in the order the paper lists them in §5.1.2.
+type Stats struct {
+	Bytes      float64
+	Packets    float64
+	DurationMS float64
+	BitRate    float64
+	PacketRate float64
+}
+
+// StatsOf computes the statistic vector for a record.
+func StatsOf(r Record) Stats {
+	return Stats{
+		Bytes:      float64(r.Bytes),
+		Packets:    float64(r.Packets),
+		DurationMS: float64(r.Duration().Milliseconds()),
+		BitRate:    r.BitRate(),
+		PacketRate: r.PacketRate(),
+	}
+}
+
+// Vector returns the statistics as a fixed-order slice, for encoders that
+// iterate over dimensions.
+func (s Stats) Vector() [5]float64 {
+	return [5]float64{s.Bytes, s.Packets, s.DurationMS, s.BitRate, s.PacketRate}
+}
+
+// NumStats is the number of per-flow statistics (dimensions before unary
+// encoding).
+const NumStats = 5

@@ -1,0 +1,144 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"infilter/internal/netaddr"
+)
+
+func key(proto uint8, dstPort uint16) Key {
+	return Key{
+		Src:     netaddr.MustParseIPv4("10.0.0.1"),
+		Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+		Proto:   proto,
+		SrcPort: 40000,
+		DstPort: dstPort,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		k    Key
+		want Subcluster
+	}{
+		{"http", key(ProtoTCP, 80), ClusterHTTP},
+		{"smtp", key(ProtoTCP, 25), ClusterSMTP},
+		{"ftp", key(ProtoTCP, 21), ClusterFTP},
+		{"tcp other", key(ProtoTCP, 443), ClusterTCP},
+		{"tcp high port", key(ProtoTCP, 54321), ClusterTCP},
+		{"dns", key(ProtoUDP, 53), ClusterDNS},
+		{"udp other", key(ProtoUDP, 1434), ClusterUDP},
+		{"icmp", key(ProtoICMP, 0), ClusterICMP},
+		{"gre", key(47, 0), ClusterOther},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.k); got != tt.want {
+			t.Errorf("%s: Classify = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyIgnoresSrcPort(t *testing.T) {
+	// HTTP responses travel src-port 80; the subcluster partition keys on
+	// destination port only, like the paper's service clusters.
+	k := key(ProtoTCP, 40000)
+	k.SrcPort = 80
+	if got := Classify(k); got != ClusterTCP {
+		t.Errorf("Classify = %v, want tcp", got)
+	}
+}
+
+func TestSubclusterNames(t *testing.T) {
+	want := map[Subcluster]string{
+		ClusterHTTP: "http", ClusterSMTP: "smtp", ClusterFTP: "ftp",
+		ClusterDNS: "dns", ClusterUDP: "udp", ClusterTCP: "tcp",
+		ClusterICMP: "icmp", ClusterOther: "other",
+	}
+	for c, n := range want {
+		if c.String() != n {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), n)
+		}
+	}
+	if got := Subcluster(99).String(); got != "subcluster(99)" {
+		t.Errorf("unknown subcluster String() = %q", got)
+	}
+	if len(Subclusters()) != NumSubclusters {
+		t.Errorf("Subclusters() has %d entries, want %d", len(Subclusters()), NumSubclusters)
+	}
+}
+
+func TestRecordDurationAndRates(t *testing.T) {
+	start := time.Date(2005, 4, 1, 12, 0, 0, 0, time.UTC)
+	r := Record{
+		Key:     key(ProtoTCP, 80),
+		Packets: 100,
+		Bytes:   150000,
+		Start:   start,
+		End:     start.Add(2 * time.Second),
+	}
+	if got := r.Duration(); got != 2*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := r.BitRate(); got != 8*150000/2.0 {
+		t.Errorf("BitRate = %v, want %v", got, 8*150000/2.0)
+	}
+	if got := r.PacketRate(); got != 50 {
+		t.Errorf("PacketRate = %v, want 50", got)
+	}
+}
+
+func TestRecordSinglePacketRates(t *testing.T) {
+	start := time.Date(2005, 4, 1, 12, 0, 0, 0, time.UTC)
+	r := Record{Key: key(ProtoUDP, 1434), Packets: 1, Bytes: 404, Start: start, End: start}
+	if got := r.Duration(); got != 0 {
+		t.Errorf("Duration = %v, want 0", got)
+	}
+	// Zero-duration flows clamp to 1ms so rates stay finite.
+	if got := r.BitRate(); got != 8*404/0.001 {
+		t.Errorf("BitRate = %v", got)
+	}
+	if got := r.PacketRate(); got != 1/0.001 {
+		t.Errorf("PacketRate = %v", got)
+	}
+}
+
+func TestRecordNegativeDurationClamped(t *testing.T) {
+	start := time.Date(2005, 4, 1, 12, 0, 0, 0, time.UTC)
+	r := Record{Packets: 1, Bytes: 40, Start: start, End: start.Add(-time.Second)}
+	if got := r.Duration(); got != 0 {
+		t.Errorf("Duration = %v, want 0 for end<start", got)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	start := time.Date(2005, 4, 1, 12, 0, 0, 0, time.UTC)
+	r := Record{
+		Key:     key(ProtoTCP, 80),
+		Packets: 10,
+		Bytes:   5000,
+		Start:   start,
+		End:     start.Add(500 * time.Millisecond),
+	}
+	s := StatsOf(r)
+	if s.Bytes != 5000 || s.Packets != 10 || s.DurationMS != 500 {
+		t.Errorf("StatsOf = %+v", s)
+	}
+	if s.BitRate != 8*5000/0.5 {
+		t.Errorf("BitRate = %v", s.BitRate)
+	}
+	v := s.Vector()
+	if v[0] != s.Bytes || v[4] != s.PacketRate {
+		t.Errorf("Vector order wrong: %v vs %+v", v, s)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := key(ProtoTCP, 80)
+	got := k.String()
+	want := "10.0.0.1:40000->192.0.2.1:80 proto=6 tos=0 if=0"
+	if got != want {
+		t.Errorf("Key.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,127 @@
+// Package flowtools reimplements the slice of the flow-tools suite the
+// InFilter prototype depends on (paper §5.1.2): flow-capture (a UDP
+// receiver for NetFlow v5 datagrams), a binary flow store, and flow-report
+// (per-flow and grouped statistics with ASCII import/export).
+package flowtools
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"infilter/internal/flow"
+	"infilter/internal/netflow"
+)
+
+// Handler consumes flow records parsed from one datagram. localPort is the
+// UDP port the datagram arrived on — the testbed multiplexes one emulated
+// border router per port (§6.2).
+type Handler func(localPort int, recs []flow.Record)
+
+// Collector is the flow-capture equivalent: it listens on one or more UDP
+// ports, decodes NetFlow v5 datagrams and hands flow records to a Handler.
+// Close stops all listeners and waits for their goroutines to exit.
+type Collector struct {
+	handler Handler
+
+	mu     sync.Mutex
+	conns  []*net.UDPConn
+	closed bool
+
+	wg sync.WaitGroup
+
+	statsMu  sync.Mutex
+	received int
+	malfed   int
+}
+
+// ErrCollectorClosed is returned when Listen is called after Close.
+var ErrCollectorClosed = errors.New("flowtools: collector closed")
+
+// NewCollector returns a collector delivering records to handler.
+func NewCollector(handler Handler) *Collector {
+	return &Collector{handler: handler}
+}
+
+// Listen opens a UDP listener on the given port (0 picks an ephemeral
+// port) and starts receiving datagrams. It returns the bound port.
+func (c *Collector) Listen(port int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrCollectorClosed
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		return 0, fmt.Errorf("flowtools: listen udp %d: %w", port, err)
+	}
+	c.conns = append(c.conns, conn)
+	addr, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		conn.Close()
+		return 0, fmt.Errorf("flowtools: unexpected addr type %T", conn.LocalAddr())
+	}
+	bound := addr.Port
+	c.wg.Add(1)
+	go c.receiveLoop(conn, bound)
+	return bound, nil
+}
+
+func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
+	defer c.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (or fatal error): stop this listener.
+			return
+		}
+		d, err := netflow.Unmarshal(buf[:n])
+		if err != nil {
+			c.statsMu.Lock()
+			c.malfed++
+			c.statsMu.Unlock()
+			continue
+		}
+		recs := make([]flow.Record, len(d.Records))
+		for i, r := range d.Records {
+			recs[i] = r.ToFlowRecord(d.Header, r.InputIf)
+		}
+		c.statsMu.Lock()
+		c.received += len(recs)
+		c.statsMu.Unlock()
+		c.handler(port, recs)
+	}
+}
+
+// Stats reports how many records were received and how many datagrams were
+// dropped as malformed.
+func (c *Collector) Stats() (received, malformed int) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.received, c.malfed
+}
+
+// Close shuts down every listener and waits for receive loops to exit.
+// It is safe to call more than once.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, conn := range conns {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.wg.Wait()
+	return firstErr
+}

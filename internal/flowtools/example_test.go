@@ -1,0 +1,67 @@
+package flowtools_test
+
+import (
+	"fmt"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/flowtools"
+	"infilter/internal/netaddr"
+)
+
+// ExampleCompileFilter shows the flow-filter expression language selecting
+// Slammer-shaped flows out of a mixed set.
+func ExampleCompileFilter() {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(src string, port uint16, proto uint8) flow.Record {
+		return flow.Record{
+			Key: flow.Key{
+				Src:     netaddr.MustParseIPv4(src),
+				Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+				Proto:   proto,
+				DstPort: port,
+			},
+			Packets: 1, Bytes: 404,
+			Start: start, End: start,
+		}
+	}
+	recs := []flow.Record{
+		mk("61.0.0.1", 80, flow.ProtoTCP),
+		mk("70.0.0.1", 1434, flow.ProtoUDP),
+		mk("70.0.0.2", 1434, flow.ProtoUDP),
+		mk("61.0.0.2", 53, flow.ProtoUDP),
+	}
+	pred, err := flowtools.CompileFilter("proto udp and dst-port 1434")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range flowtools.Filter(recs, pred) {
+		fmt.Println(r.Key.Src)
+	}
+	// Output:
+	// 70.0.0.1
+	// 70.0.0.2
+}
+
+// ExampleReport groups flows by destination port, the flow-report role.
+func ExampleReport() {
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(port uint16, packets uint32) flow.Record {
+		return flow.Record{
+			Key:     flow.Key{Proto: flow.ProtoTCP, DstPort: port},
+			Packets: packets, Bytes: packets * 100,
+			Start: start, End: start.Add(time.Second),
+		}
+	}
+	groups := flowtools.Report(
+		[]flow.Record{mk(80, 10), mk(80, 20), mk(25, 5)},
+		[]flowtools.GroupField{flowtools.GroupDstPort},
+	)
+	for _, g := range groups {
+		fmt.Printf("port %s: %d flows, %d packets\n", g.Key, g.Flows, g.Packets)
+	}
+	// Output:
+	// port 25: 1 flows, 5 packets
+	// port 80: 2 flows, 30 packets
+}

@@ -1,0 +1,200 @@
+package flowtools
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// CompileFilter builds a flow predicate from a flow-filter style
+// expression. The grammar:
+//
+//	expr    := and { "or" and }
+//	and     := unary { "and" unary }
+//	unary   := "not" unary | "(" expr ")" | primary
+//	primary := "proto" (tcp|udp|icmp|<num>)
+//	         | "src-port" <num>  | "dst-port" <num>
+//	         | "src-net" <cidr>  | "dst-net" <cidr>
+//	         | "src-as" <num>    | "dst-as" <num>
+//	         | "input-if" <num>
+//	         | "packets-min" <num> | "bytes-min" <num>
+//
+// Examples:
+//
+//	proto udp and dst-port 1434
+//	src-net 61.0.0.0/11 or ( proto tcp and dst-port 80 )
+//	not dst-net 192.0.2.0/24
+func CompileFilter(expr string) (func(flow.Record) bool, error) {
+	toks := tokenizeFilter(expr)
+	p := &filterParser{toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("flowtools: filter: trailing input at %q", p.peek())
+	}
+	return pred, nil
+}
+
+func tokenizeFilter(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+type filterParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *filterParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *filterParser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *filterParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *filterParser) parseOr() (func(flow.Record) bool, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(r flow.Record) bool { return l(r) || right(r) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseAnd() (func(flow.Record) bool, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(r flow.Record) bool { return l(r) && right(r) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseUnary() (func(flow.Record) bool, error) {
+	switch {
+	case strings.EqualFold(p.peek(), "not"):
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(r flow.Record) bool { return !inner(r) }, nil
+	case p.peek() == "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("flowtools: filter: missing ')'")
+		}
+		return inner, nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *filterParser) parsePrimary() (func(flow.Record) bool, error) {
+	field := strings.ToLower(p.next())
+	if field == "" {
+		return nil, fmt.Errorf("flowtools: filter: unexpected end of expression")
+	}
+	arg := p.next()
+	if arg == "" {
+		return nil, fmt.Errorf("flowtools: filter: %s needs an argument", field)
+	}
+	switch field {
+	case "proto":
+		proto, err := parseProto(arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r flow.Record) bool { return r.Key.Proto == proto }, nil
+	case "src-port", "dst-port", "src-as", "dst-as", "input-if":
+		v, err := strconv.ParseUint(arg, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("flowtools: filter: %s %q: %w", field, arg, err)
+		}
+		n := uint16(v)
+		switch field {
+		case "src-port":
+			return func(r flow.Record) bool { return r.Key.SrcPort == n }, nil
+		case "dst-port":
+			return func(r flow.Record) bool { return r.Key.DstPort == n }, nil
+		case "src-as":
+			return func(r flow.Record) bool { return r.SrcAS == n }, nil
+		case "dst-as":
+			return func(r flow.Record) bool { return r.DstAS == n }, nil
+		default:
+			return func(r flow.Record) bool { return r.Key.InputIf == n }, nil
+		}
+	case "src-net", "dst-net":
+		pfx, err := netaddr.ParsePrefix(arg)
+		if err != nil {
+			return nil, fmt.Errorf("flowtools: filter: %s %q: %w", field, arg, err)
+		}
+		if field == "src-net" {
+			return func(r flow.Record) bool { return pfx.Contains(r.Key.Src) }, nil
+		}
+		return func(r flow.Record) bool { return pfx.Contains(r.Key.Dst) }, nil
+	case "packets-min", "bytes-min":
+		v, err := strconv.ParseUint(arg, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("flowtools: filter: %s %q: %w", field, arg, err)
+		}
+		n := uint32(v)
+		if field == "packets-min" {
+			return func(r flow.Record) bool { return r.Packets >= n }, nil
+		}
+		return func(r flow.Record) bool { return r.Bytes >= n }, nil
+	default:
+		return nil, fmt.Errorf("flowtools: filter: unknown field %q", field)
+	}
+}
+
+func parseProto(arg string) (uint8, error) {
+	switch strings.ToLower(arg) {
+	case "tcp":
+		return flow.ProtoTCP, nil
+	case "udp":
+		return flow.ProtoUDP, nil
+	case "icmp":
+		return flow.ProtoICMP, nil
+	default:
+		v, err := strconv.ParseUint(arg, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("flowtools: filter: proto %q: %w", arg, err)
+		}
+		return uint8(v), nil
+	}
+}

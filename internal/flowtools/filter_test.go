@@ -1,0 +1,158 @@
+package flowtools
+
+import (
+	"testing"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+func filterRec(src string, dstPort uint16, proto uint8) flow.Record {
+	r := rec(src, dstPort, proto, 10, 4000, 0)
+	return r
+}
+
+func TestCompileFilterPrimaries(t *testing.T) {
+	tests := []struct {
+		expr  string
+		match flow.Record
+		miss  flow.Record
+	}{
+		{"proto tcp", filterRec("61.0.0.1", 80, flow.ProtoTCP), filterRec("61.0.0.1", 53, flow.ProtoUDP)},
+		{"proto udp", filterRec("61.0.0.1", 53, flow.ProtoUDP), filterRec("61.0.0.1", 80, flow.ProtoTCP)},
+		{"proto icmp", filterRec("61.0.0.1", 0, flow.ProtoICMP), filterRec("61.0.0.1", 80, flow.ProtoTCP)},
+		{"proto 47", filterRec("61.0.0.1", 0, 47), filterRec("61.0.0.1", 0, flow.ProtoICMP)},
+		{"dst-port 1434", filterRec("61.0.0.1", 1434, flow.ProtoUDP), filterRec("61.0.0.1", 53, flow.ProtoUDP)},
+		{"src-net 61.0.0.0/11", filterRec("61.5.5.5", 80, flow.ProtoTCP), filterRec("70.5.5.5", 80, flow.ProtoTCP)},
+		{"dst-net 192.0.2.0/24", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {
+			r := filterRec("61.0.0.1", 80, flow.ProtoTCP)
+			r.Key.Dst = netaddr.MustParseIPv4("10.0.0.1")
+			return r
+		}()},
+		{"packets-min 5", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {
+			r := filterRec("61.0.0.1", 80, flow.ProtoTCP)
+			r.Packets = 1
+			return r
+		}()},
+		{"bytes-min 4000", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {
+			r := filterRec("61.0.0.1", 80, flow.ProtoTCP)
+			r.Bytes = 100
+			return r
+		}()},
+		{"src-as 77", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {
+			r := filterRec("61.0.0.1", 80, flow.ProtoTCP)
+			r.SrcAS = 9
+			return r
+		}()},
+	}
+	for _, tt := range tests {
+		pred, err := CompileFilter(tt.expr)
+		if err != nil {
+			t.Errorf("CompileFilter(%q): %v", tt.expr, err)
+			continue
+		}
+		if !pred(tt.match) {
+			t.Errorf("%q should match %+v", tt.expr, tt.match.Key)
+		}
+		if pred(tt.miss) {
+			t.Errorf("%q should not match %+v", tt.expr, tt.miss.Key)
+		}
+	}
+}
+
+func TestCompileFilterBoolean(t *testing.T) {
+	slammer := filterRec("70.1.1.1", 1434, flow.ProtoUDP)
+	web := filterRec("61.0.0.1", 80, flow.ProtoTCP)
+	dns := filterRec("61.0.0.1", 53, flow.ProtoUDP)
+
+	pred, err := CompileFilter("proto udp and dst-port 1434")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(slammer) || pred(web) || pred(dns) {
+		t.Error("and-expression wrong")
+	}
+
+	pred, err = CompileFilter("dst-port 80 or dst-port 53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(web) || !pred(dns) || pred(slammer) {
+		t.Error("or-expression wrong")
+	}
+
+	pred, err = CompileFilter("not proto tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred(web) || !pred(dns) {
+		t.Error("not-expression wrong")
+	}
+
+	// Precedence: and binds tighter than or.
+	pred, err = CompileFilter("dst-port 80 or proto udp and dst-port 1434")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(web) || !pred(slammer) || pred(dns) {
+		t.Error("precedence wrong")
+	}
+
+	// Parentheses override precedence.
+	pred, err = CompileFilter("( dst-port 80 or proto udp ) and src-net 61.0.0.0/11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(web) || !pred(dns) || pred(slammer) {
+		t.Error("parenthesized expression wrong")
+	}
+
+	// Parens without surrounding spaces tokenize too.
+	pred, err = CompileFilter("(dst-port 80)or(dst-port 53)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(web) || !pred(dns) {
+		t.Error("tight-paren expression wrong")
+	}
+}
+
+func TestCompileFilterErrors(t *testing.T) {
+	for _, expr := range []string{
+		"",
+		"bogus-field 5",
+		"proto",
+		"proto xyz",
+		"dst-port notanumber",
+		"dst-port 99999999",
+		"src-net notacidr",
+		"( proto tcp",
+		"proto tcp )",
+		"proto tcp proto udp",
+		"not",
+	} {
+		if _, err := CompileFilter(expr); err == nil {
+			t.Errorf("CompileFilter(%q): want error", expr)
+		}
+	}
+}
+
+func TestFilterIntegrationWithReport(t *testing.T) {
+	recs := []flow.Record{
+		filterRec("61.0.0.1", 80, flow.ProtoTCP),
+		filterRec("61.0.0.2", 80, flow.ProtoTCP),
+		filterRec("70.0.0.1", 1434, flow.ProtoUDP),
+	}
+	pred, err := CompileFilter("proto tcp and dst-port 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := Filter(recs, pred)
+	if len(kept) != 2 {
+		t.Fatalf("filtered %d, want 2", len(kept))
+	}
+	groups := Report(kept, []GroupField{GroupDstPort})
+	if len(groups) != 1 || groups[0].Key != "80" {
+		t.Errorf("report %v", groups)
+	}
+}

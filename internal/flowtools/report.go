@@ -1,0 +1,218 @@
+package flowtools
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// GroupField selects one flow key field for report grouping, mirroring
+// flow-report's ip-source-address, ip-destination-address, input-interface,
+// source-as etc. options.
+type GroupField int
+
+// Grouping fields.
+const (
+	GroupSrcAddr GroupField = iota + 1
+	GroupDstAddr
+	GroupProto
+	GroupSrcPort
+	GroupDstPort
+	GroupTOS
+	GroupInputIf
+	GroupSrcAS
+	GroupDstAS
+)
+
+var groupFieldNames = map[GroupField]string{
+	GroupSrcAddr: "ip-source-address",
+	GroupDstAddr: "ip-destination-address",
+	GroupProto:   "ip-protocol",
+	GroupSrcPort: "ip-source-port",
+	GroupDstPort: "ip-destination-port",
+	GroupTOS:     "ip-tos",
+	GroupInputIf: "input-interface",
+	GroupSrcAS:   "source-as",
+	GroupDstAS:   "destination-as",
+}
+
+// String returns the flow-report style name of f.
+func (f GroupField) String() string {
+	if n, ok := groupFieldNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("group-field(%d)", int(f))
+}
+
+// AllKeyFields is the full key grouping, producing per-flow statistics.
+func AllKeyFields() []GroupField {
+	return []GroupField{
+		GroupSrcAddr, GroupDstAddr, GroupProto, GroupSrcPort,
+		GroupDstPort, GroupTOS, GroupInputIf,
+	}
+}
+
+func fieldValue(r flow.Record, f GroupField) string {
+	switch f {
+	case GroupSrcAddr:
+		return r.Key.Src.String()
+	case GroupDstAddr:
+		return r.Key.Dst.String()
+	case GroupProto:
+		return strconv.Itoa(int(r.Key.Proto))
+	case GroupSrcPort:
+		return strconv.Itoa(int(r.Key.SrcPort))
+	case GroupDstPort:
+		return strconv.Itoa(int(r.Key.DstPort))
+	case GroupTOS:
+		return strconv.Itoa(int(r.Key.TOS))
+	case GroupInputIf:
+		return strconv.Itoa(int(r.Key.InputIf))
+	case GroupSrcAS:
+		return strconv.Itoa(int(r.SrcAS))
+	case GroupDstAS:
+		return strconv.Itoa(int(r.DstAS))
+	default:
+		return "?"
+	}
+}
+
+// GroupStats aggregates the flows sharing one grouping key.
+type GroupStats struct {
+	Key        string
+	Flows      int
+	Packets    uint64
+	Bytes      uint64
+	Duration   time.Duration // summed active duration
+	AvgBitRate float64       // mean of per-flow bit rates
+	AvgPktRate float64       // mean of per-flow packet rates
+}
+
+// Report groups records by the given fields and aggregates statistics per
+// group, sorted by group key for deterministic output.
+func Report(recs []flow.Record, fields []GroupField) []GroupStats {
+	groups := make(map[string]*GroupStats)
+	for _, r := range recs {
+		parts := make([]string, len(fields))
+		for i, f := range fields {
+			parts[i] = fieldValue(r, f)
+		}
+		key := strings.Join(parts, "|")
+		g, ok := groups[key]
+		if !ok {
+			g = &GroupStats{Key: key}
+			groups[key] = g
+		}
+		g.Flows++
+		g.Packets += uint64(r.Packets)
+		g.Bytes += uint64(r.Bytes)
+		g.Duration += r.Duration()
+		g.AvgBitRate += r.BitRate()
+		g.AvgPktRate += r.PacketRate()
+	}
+	out := make([]GroupStats, 0, len(groups))
+	for _, g := range groups {
+		g.AvgBitRate /= float64(g.Flows)
+		g.AvgPktRate /= float64(g.Flows)
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Filter returns the records matching pred, preserving order.
+func Filter(recs []flow.Record, pred func(flow.Record) bool) []flow.Record {
+	var out []flow.Record
+	for _, r := range recs {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// asciiFields is the column count of the ASCII interchange format.
+const asciiFields = 13
+
+// WriteASCII emits records in a flow-export-style ASCII format: one flow
+// per line, comma-separated:
+//
+//	src,dst,proto,srcPort,dstPort,tos,inputIf,packets,bytes,startUnixNano,endUnixNano,srcAS,dstAS
+func WriteASCII(w io.Writer, recs []flow.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		_, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Key.Src, r.Key.Dst, r.Key.Proto, r.Key.SrcPort, r.Key.DstPort,
+			r.Key.TOS, r.Key.InputIf, r.Packets, r.Bytes,
+			r.Start.UnixNano(), r.End.UnixNano(), r.SrcAS, r.DstAS)
+		if err != nil {
+			return fmt.Errorf("flowtools: write ascii: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flowtools: flush ascii: %w", err)
+	}
+	return nil
+}
+
+// ReadASCII parses records from the ASCII interchange format.
+func ReadASCII(r io.Reader) ([]flow.Record, error) {
+	var out []flow.Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != asciiFields {
+			return nil, fmt.Errorf("flowtools: ascii line %d: %d fields, want %d", line, len(parts), asciiFields)
+		}
+		src, err := netaddr.ParseIPv4(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("flowtools: ascii line %d: %w", line, err)
+		}
+		dst, err := netaddr.ParseIPv4(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("flowtools: ascii line %d: %w", line, err)
+		}
+		nums := make([]int64, asciiFields-2)
+		for i, p := range parts[2:] {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("flowtools: ascii line %d field %d: %w", line, i+3, err)
+			}
+			nums[i] = v
+		}
+		out = append(out, flow.Record{
+			Key: flow.Key{
+				Src: src, Dst: dst,
+				Proto:   uint8(nums[0]),
+				SrcPort: uint16(nums[1]),
+				DstPort: uint16(nums[2]),
+				TOS:     uint8(nums[3]),
+				InputIf: uint16(nums[4]),
+			},
+			Packets: uint32(nums[5]),
+			Bytes:   uint32(nums[6]),
+			Start:   time.Unix(0, nums[7]).UTC(),
+			End:     time.Unix(0, nums[8]).UTC(),
+			SrcAS:   uint16(nums[9]),
+			DstAS:   uint16(nums[10]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flowtools: read ascii: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package flowtools
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// Binary flow-store format (flow-capture's on-disk role): a short header
+// followed by fixed-size flow records, big-endian.
+//
+//	header : magic "IFFS" | uint16 version | uint16 reserved
+//	record : uint32 src | uint32 dst | uint8 proto | uint8 tos |
+//	         uint8 tcpFlags | uint8 srcMask | uint16 srcPort | uint16 dstPort |
+//	         uint16 inputIf | uint8 dstMask | uint8 pad |
+//	         uint32 packets | uint32 bytes |
+//	         int64 startUnixNanos | int64 endUnixNanos |
+//	         uint16 srcAS | uint16 dstAS
+
+const (
+	storeMagic      = "IFFS"
+	storeVersion    = 1
+	storeRecordSize = 4 + 4 + 4 + 2 + 2 + 2 + 2 + 4 + 4 + 8 + 8 + 2 + 2
+)
+
+// Errors returned by the store codec.
+var (
+	ErrBadStore     = errors.New("flowtools: malformed flow store")
+	ErrBadStoreVers = errors.New("flowtools: unsupported flow store version")
+)
+
+// StoreWriter writes flow records in the binary store format.
+type StoreWriter struct {
+	w     *bufio.Writer
+	count int
+}
+
+// NewStoreWriter writes the store header and returns a writer.
+func NewStoreWriter(w io.Writer) (*StoreWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return nil, fmt.Errorf("flowtools: write store header: %w", err)
+	}
+	var v [4]byte
+	binary.BigEndian.PutUint16(v[0:2], storeVersion)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, fmt.Errorf("flowtools: write store header: %w", err)
+	}
+	return &StoreWriter{w: bw}, nil
+}
+
+// appendStoreWriter wraps a store file that already carries its header,
+// for appending further records (archive rotation re-opening a slot file).
+func appendStoreWriter(w io.Writer) (*StoreWriter, error) {
+	return &StoreWriter{w: bufio.NewWriter(w)}, nil
+}
+
+// Write appends one record.
+func (sw *StoreWriter) Write(r flow.Record) error {
+	var rec [storeRecordSize]byte
+	binary.BigEndian.PutUint32(rec[0:4], uint32(r.Key.Src))
+	binary.BigEndian.PutUint32(rec[4:8], uint32(r.Key.Dst))
+	rec[8] = r.Key.Proto
+	rec[9] = r.Key.TOS
+	rec[10] = r.TCPFlag
+	rec[11] = r.SrcMask
+	binary.BigEndian.PutUint16(rec[12:14], r.Key.SrcPort)
+	binary.BigEndian.PutUint16(rec[14:16], r.Key.DstPort)
+	binary.BigEndian.PutUint16(rec[16:18], r.Key.InputIf)
+	rec[18] = r.DstMask
+	binary.BigEndian.PutUint32(rec[20:24], r.Packets)
+	binary.BigEndian.PutUint32(rec[24:28], r.Bytes)
+	binary.BigEndian.PutUint64(rec[28:36], uint64(r.Start.UnixNano()))
+	binary.BigEndian.PutUint64(rec[36:44], uint64(r.End.UnixNano()))
+	binary.BigEndian.PutUint16(rec[44:46], r.SrcAS)
+	binary.BigEndian.PutUint16(rec[46:48], r.DstAS)
+	if _, err := sw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("flowtools: write store record: %w", err)
+	}
+	sw.count++
+	return nil
+}
+
+// Count returns the records written so far.
+func (sw *StoreWriter) Count() int { return sw.count }
+
+// Flush flushes buffered data.
+func (sw *StoreWriter) Flush() error {
+	if err := sw.w.Flush(); err != nil {
+		return fmt.Errorf("flowtools: flush store: %w", err)
+	}
+	return nil
+}
+
+// StoreReader reads records back from the binary store format.
+type StoreReader struct {
+	r *bufio.Reader
+}
+
+// NewStoreReader validates the header and returns a reader.
+func NewStoreReader(r io.Reader) (*StoreReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	if string(hdr[0:4]) != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStore, hdr[0:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != storeVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadStoreVers, v)
+	}
+	return &StoreReader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at end of store.
+func (sr *StoreReader) Read() (flow.Record, error) {
+	var rec [storeRecordSize]byte
+	if _, err := io.ReadFull(sr.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return flow.Record{}, io.EOF
+		}
+		return flow.Record{}, fmt.Errorf("%w: truncated record: %v", ErrBadStore, err)
+	}
+	return flow.Record{
+		Key: flow.Key{
+			Src:     netaddr.IPv4(binary.BigEndian.Uint32(rec[0:4])),
+			Dst:     netaddr.IPv4(binary.BigEndian.Uint32(rec[4:8])),
+			Proto:   rec[8],
+			TOS:     rec[9],
+			SrcPort: binary.BigEndian.Uint16(rec[12:14]),
+			DstPort: binary.BigEndian.Uint16(rec[14:16]),
+			InputIf: binary.BigEndian.Uint16(rec[16:18]),
+		},
+		TCPFlag: rec[10],
+		SrcMask: rec[11],
+		DstMask: rec[18],
+		Packets: binary.BigEndian.Uint32(rec[20:24]),
+		Bytes:   binary.BigEndian.Uint32(rec[24:28]),
+		Start:   time.Unix(0, int64(binary.BigEndian.Uint64(rec[28:36]))).UTC(),
+		End:     time.Unix(0, int64(binary.BigEndian.Uint64(rec[36:44]))).UTC(),
+		SrcAS:   binary.BigEndian.Uint16(rec[44:46]),
+		DstAS:   binary.BigEndian.Uint16(rec[46:48]),
+	}, nil
+}
+
+// ReadAll drains the remaining records.
+func (sr *StoreReader) ReadAll() ([]flow.Record, error) {
+	var out []flow.Record
+	for {
+		r, err := sr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}

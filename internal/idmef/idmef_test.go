@@ -1,0 +1,178 @@
+package idmef
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+func sampleAlert(id string) Alert {
+	return NewAlert(id,
+		time.Date(2005, 4, 1, 10, 30, 0, 0, time.UTC),
+		StageNNS, 3, "spoofed-traffic/http-exploit",
+		flow.Key{
+			Src:     netaddr.MustParseIPv4("70.1.2.3"),
+			Dst:     netaddr.MustParseIPv4("192.0.2.9"),
+			Proto:   flow.ProtoTCP,
+			SrcPort: 4444,
+			DstPort: 80,
+		}, 321)
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	a := sampleAlert("alert-1")
+	raw, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"IDMEF-Message", `version="1.0"`, "spoofed-traffic/http-exploit",
+		"70.1.2.3", "192.0.2.9", "nns-search",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("marshaled alert missing %q", want)
+		}
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MessageID != "alert-1" || back.Classification.Text != a.Classification.Text {
+		t.Errorf("round trip: %+v", back)
+	}
+	if back.Source.Address != "70.1.2.3" || back.Target.Port != 80 {
+		t.Errorf("endpoints: %+v / %+v", back.Source, back.Target)
+	}
+	if back.Assessment.Stage != StageNNS || back.Assessment.PeerAS != 3 || back.Assessment.Distance != 321 {
+		t.Errorf("assessment: %+v", back.Assessment)
+	}
+	if !back.CreateTime.Equal(a.CreateTime) {
+		t.Errorf("time: %v vs %v", back.CreateTime, a.CreateTime)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := Unmarshal([]byte(`<IDMEF-Message version="9.9"></IDMEF-Message>`)); err == nil {
+		t.Error("bad version: want error")
+	}
+}
+
+func TestSenderConsumerDelivery(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		got []Alert
+	)
+	c := NewConsumer(func(a Alert) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, a)
+	})
+	port, err := c.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s, err := Dial(fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Send(sampleAlert(fmt.Sprintf("alert-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d alerts, want 10", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, a := range got {
+		seen[a.MessageID] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("saw %d distinct alerts", len(seen))
+	}
+}
+
+func TestConsumerCloseIdempotent(t *testing.T) {
+	c := NewConsumer(func(Alert) {})
+	if _, err := c.Listen(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Listen(0); !errors.Is(err, ErrConsumerClosed) {
+		t.Errorf("Listen after Close: %v", err)
+	}
+}
+
+func TestConsumerSurvivesMalformedFrames(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		got int
+	)
+	c := NewConsumer(func(Alert) {
+		mu.Lock()
+		defer mu.Unlock()
+		got++
+	})
+	port, err := c.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s, err := Dial(fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hand-write a malformed frame, then a good alert.
+	if _, err := s.conn.Write([]byte("<broken\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(sampleAlert("good")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("good alert after malformed frame never delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

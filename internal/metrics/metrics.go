@@ -1,0 +1,180 @@
+// Package metrics provides the small statistics and table-rendering
+// helpers the experiment harness uses to aggregate runs and print the
+// paper's figures as text.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by
+// nearest-rank, 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Confusion accumulates detection outcomes over labeled flows.
+type Confusion struct {
+	TruePositives  int // attack flows flagged
+	FalseNegatives int // attack flows missed
+	FalsePositives int // benign flows flagged
+	TrueNegatives  int // benign flows passed
+}
+
+// Observe records one flow outcome.
+func (c *Confusion) Observe(isAttack, flagged bool) {
+	switch {
+	case isAttack && flagged:
+		c.TruePositives++
+	case isAttack && !flagged:
+		c.FalseNegatives++
+	case !isAttack && flagged:
+		c.FalsePositives++
+	default:
+		c.TrueNegatives++
+	}
+}
+
+// DetectionRate returns TP/(TP+FN) as a percentage (0 when no attacks).
+func (c Confusion) DetectionRate() float64 {
+	total := c.TruePositives + c.FalseNegatives
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.TruePositives) / float64(total)
+}
+
+// FalsePositiveRate returns FP/(FP+TN) as a percentage (0 when no benign
+// traffic).
+func (c Confusion) FalsePositiveRate() float64 {
+	total := c.FalsePositives + c.TrueNegatives
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.FalsePositives) / float64(total)
+}
+
+// Add merges another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TruePositives += o.TruePositives
+	c.FalseNegatives += o.FalseNegatives
+	c.FalsePositives += o.FalsePositives
+	c.TrueNegatives += o.TrueNegatives
+}
+
+// Table renders a simple aligned text table: one row per Rows entry, with
+// the header repeated from Columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxStddev(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Max(xs); got != 8 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("Stddev = %v, want sqrt(5)", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+	if Stddev([]float64{7}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100}, {-5, 10}, {200, 100},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestConfusionRates(t *testing.T) {
+	var c Confusion
+	// 8 of 10 attacks detected, 2 of 100 benign flagged.
+	for i := 0; i < 10; i++ {
+		c.Observe(true, i < 8)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(false, i < 2)
+	}
+	if got := c.DetectionRate(); got != 80 {
+		t.Errorf("DetectionRate = %v", got)
+	}
+	if got := c.FalsePositiveRate(); got != 2 {
+		t.Errorf("FalsePositiveRate = %v", got)
+	}
+	if c.TruePositives != 8 || c.FalseNegatives != 2 || c.FalsePositives != 2 || c.TrueNegatives != 98 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+func TestConfusionEmptyRates(t *testing.T) {
+	var c Confusion
+	if c.DetectionRate() != 0 || c.FalsePositiveRate() != 0 {
+		t.Error("empty confusion rates should be 0")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TruePositives: 1, FalseNegatives: 2, FalsePositives: 3, TrueNegatives: 4}
+	b := Confusion{TruePositives: 10, FalseNegatives: 20, FalsePositives: 30, TrueNegatives: 40}
+	a.Add(b)
+	if a.TruePositives != 11 || a.FalseNegatives != 22 || a.FalsePositives != 33 || a.TrueNegatives != 44 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestConfusionObserveProperty(t *testing.T) {
+	f := func(events []bool) bool {
+		var c Confusion
+		for i, attack := range events {
+			c.Observe(attack, i%2 == 0)
+		}
+		total := c.TruePositives + c.FalseNegatives + c.FalsePositives + c.TrueNegatives
+		return total == len(events)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "Figure 15: Attack detection rate",
+		Columns: []string{"attack volume", "single set", "10 sets"},
+	}
+	tab.AddRow("2%", "83.1%", "70.4%")
+	tab.AddRow("4%", "82.8%", "69.9%")
+	out := tab.String()
+	for _, want := range []string{"Figure 15", "attack volume", "83.1%", "70.4%", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(3.14159); got != "3.14%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

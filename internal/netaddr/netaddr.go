@@ -1,0 +1,186 @@
+// Package netaddr provides compact IPv4 address and prefix types used
+// throughout InFilter. Addresses are represented as host-order uint32 so
+// prefix arithmetic and set membership stay allocation-free on the hot path.
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4 is an IPv4 address in host byte order.
+type IPv4 uint32
+
+// Errors returned by the parsers in this package.
+var (
+	ErrBadAddress = errors.New("netaddr: malformed IPv4 address")
+	ErrBadPrefix  = errors.New("netaddr: malformed IPv4 prefix")
+)
+
+// FromOctets builds an address from its four dotted-quad octets.
+func FromOctets(a, b, c, d byte) IPv4 {
+	return IPv4(a)<<24 | IPv4(b)<<16 | IPv4(c)<<8 | IPv4(d)
+}
+
+// Octets returns the four dotted-quad octets of ip.
+func (ip IPv4) Octets() (a, b, c, d byte) {
+	return byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)
+}
+
+// String renders the address in dotted-quad form.
+func (ip IPv4) String() string {
+	a, b, c, d := ip.Octets()
+	var sb strings.Builder
+	sb.Grow(15)
+	sb.WriteString(strconv.Itoa(int(a)))
+	sb.WriteByte('.')
+	sb.WriteString(strconv.Itoa(int(b)))
+	sb.WriteByte('.')
+	sb.WriteString(strconv.Itoa(int(c)))
+	sb.WriteByte('.')
+	sb.WriteString(strconv.Itoa(int(d)))
+	return sb.String()
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (IPv4, error) {
+	var octs [4]uint64
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		v, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+		}
+		octs[i] = v
+	}
+	return FromOctets(byte(octs[0]), byte(octs[1]), byte(octs[2]), byte(octs[3])), nil
+}
+
+// MustParseIPv4 is ParseIPv4 that panics on error. For tests and constants.
+func MustParseIPv4(s string) IPv4 {
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Prefix is an IPv4 CIDR prefix. The address bits below the mask are kept
+// zero by the constructors so two equal prefixes compare equal with ==.
+type Prefix struct {
+	addr IPv4
+	bits uint8
+}
+
+// NewPrefix builds a prefix from an address and a mask length, zeroing host
+// bits. bits must be in [0,32].
+func NewPrefix(addr IPv4, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: /%d", ErrBadPrefix, bits)
+	}
+	return Prefix{addr: addr & maskFor(bits), bits: uint8(bits)}, nil
+}
+
+// MustPrefix is NewPrefix that panics on error.
+func MustPrefix(addr IPv4, bits int) Prefix {
+	p, err := NewPrefix(addr, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses "a.b.c.d/len" CIDR notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
+	}
+	addr, err := ParseIPv4(s[:slash])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
+	}
+	return NewPrefix(addr, bits)
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskFor(bits int) IPv4 {
+	if bits == 0 {
+		return 0
+	}
+	return IPv4(^uint32(0) << (32 - uint(bits)))
+}
+
+// Addr returns the (masked) network address of p.
+func (p Prefix) Addr() IPv4 { return p.addr }
+
+// Bits returns the mask length of p.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Mask returns the netmask of p as an address.
+func (p Prefix) Mask() IPv4 { return maskFor(int(p.bits)) }
+
+// Contains reports whether ip falls inside p.
+func (p Prefix) Contains(ip IPv4) bool {
+	return ip&maskFor(int(p.bits)) == p.addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// First returns the lowest address in p.
+func (p Prefix) First() IPv4 { return p.addr }
+
+// Last returns the highest address in p.
+func (p Prefix) Last() IPv4 { return p.addr | ^maskFor(int(p.bits)) }
+
+// Size returns the number of addresses covered by p.
+func (p Prefix) Size() uint64 { return uint64(1) << (32 - uint(p.bits)) }
+
+// Nth returns the i-th address inside p. It panics if i is out of range,
+// which indicates a programming error in the caller.
+func (p Prefix) Nth(i uint64) IPv4 {
+	if i >= p.Size() {
+		panic(fmt.Sprintf("netaddr: Nth(%d) out of range for %v", i, p))
+	}
+	return p.addr + IPv4(i)
+}
+
+// String renders p in CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// IsZero reports whether p is the zero Prefix (0.0.0.0/0 constructed as a
+// zero value). Note 0.0.0.0/0 built through NewPrefix is also zero; callers
+// that need a real default route should track it separately.
+func (p Prefix) IsZero() bool { return p == Prefix{} }

@@ -1,0 +1,160 @@
+package netaddr
+
+// PrefixTrie is a binary (path-uncompressed) trie mapping IPv4 prefixes to
+// values of type V, supporting exact insert/delete and longest-prefix match.
+// It is the substrate for EIA sets and the BGP RIB. The zero value is not
+// usable; construct with NewPrefixTrie.
+type PrefixTrie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewPrefixTrie returns an empty trie.
+func NewPrefixTrie[V any]() *PrefixTrie[V] {
+	return &PrefixTrie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *PrefixTrie[V]) Len() int { return t.size }
+
+// Insert stores v at p, replacing any previous value. It reports whether the
+// prefix was newly added (false means replaced).
+func (t *PrefixTrie[V]) Insert(p Prefix, v V) bool {
+	n := t.root
+	addr := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (addr >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = v, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored exactly at p.
+func (t *PrefixTrie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	addr := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (addr >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the exact prefix p, reporting whether it was present.
+// Interior nodes are left in place; tries in this codebase are built once
+// and mutated rarely, so reclaiming chains is not worth the bookkeeping.
+func (t *PrefixTrie[V]) Delete(p Prefix) bool {
+	n := t.root
+	addr := uint32(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := (addr >> (31 - uint(i))) & 1
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Lookup returns the value of the longest prefix containing ip.
+func (t *PrefixTrie[V]) Lookup(ip IPv4) (V, bool) {
+	var (
+		best    V
+		found   bool
+		n       = t.root
+		addrVal = uint32(ip)
+	)
+	if n.set {
+		best, found = n.val, true
+	}
+	for i := 0; i < 32; i++ {
+		b := (addrVal >> (31 - uint(i))) & 1
+		n = n.child[b]
+		if n == nil {
+			break
+		}
+		if n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns both the matched prefix and its value for the longest
+// prefix containing ip.
+func (t *PrefixTrie[V]) LookupPrefix(ip IPv4) (Prefix, V, bool) {
+	var (
+		bestP   Prefix
+		best    V
+		found   bool
+		n       = t.root
+		addrVal = uint32(ip)
+	)
+	if n.set {
+		bestP, best, found = MustPrefix(0, 0), n.val, true
+	}
+	for i := 0; i < 32; i++ {
+		b := (addrVal >> (31 - uint(i))) & 1
+		n = n.child[b]
+		if n == nil {
+			break
+		}
+		if n.set {
+			bestP = MustPrefix(ip, i+1)
+			best, found = n.val, true
+		}
+	}
+	return bestP, best, found
+}
+
+// Walk visits every stored (prefix, value) pair in address order. The
+// callback returning false stops the walk early.
+func (t *PrefixTrie[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *PrefixTrie[V]) walk(n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(MustPrefix(IPv4(addr), depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}

@@ -1,0 +1,204 @@
+package netaddr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewPrefixTrie[string]()
+	p1 := MustParsePrefix("4.0.0.0/8")
+	p2 := MustParsePrefix("4.2.101.0/24")
+
+	if !tr.Insert(p1, "as3356") {
+		t.Error("first insert should report added")
+	}
+	if tr.Insert(p1, "as3356b") {
+		t.Error("second insert of same prefix should report replaced")
+	}
+	tr.Insert(p2, "as6325")
+
+	if got, ok := tr.Get(p1); !ok || got != "as3356b" {
+		t.Errorf("Get(%v) = %q, %v", p1, got, ok)
+	}
+	if got, ok := tr.Get(p2); !ok || got != "as6325" {
+		t.Errorf("Get(%v) = %q, %v", p2, got, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("4.0.0.0/9")); ok {
+		t.Error("Get of absent prefix should miss")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", tr.Len())
+	}
+}
+
+// TestTrieLongestPrefixMatch covers the paper's §3.2 case: 4.2.101.0/24 is
+// more specific than 4.0.0.0/8, so 4.2.101.20 must resolve through the /24.
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	tr := NewPrefixTrie[string]()
+	tr.Insert(MustParsePrefix("4.0.0.0/8"), "peer3356")
+	tr.Insert(MustParsePrefix("4.2.101.0/24"), "peer6325")
+
+	tests := []struct {
+		ip   string
+		want string
+	}{
+		{"4.2.101.20", "peer6325"},
+		{"4.2.101.255", "peer6325"},
+		{"4.2.102.1", "peer3356"},
+		{"4.255.0.1", "peer3356"},
+	}
+	for _, tt := range tests {
+		got, ok := tr.Lookup(MustParseIPv4(tt.ip))
+		if !ok || got != tt.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q", tt.ip, got, ok, tt.want)
+		}
+	}
+	if _, ok := tr.Lookup(MustParseIPv4("5.0.0.1")); ok {
+		t.Error("Lookup outside any prefix should miss")
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	tr := NewPrefixTrie[int]()
+	tr.Insert(MustPrefix(0, 0), 99)
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+
+	if got, ok := tr.Lookup(MustParseIPv4("10.1.2.3")); !ok || got != 1 {
+		t.Errorf("Lookup under /8 = %d, %v", got, ok)
+	}
+	if got, ok := tr.Lookup(MustParseIPv4("11.1.2.3")); !ok || got != 99 {
+		t.Errorf("Lookup default = %d, %v", got, ok)
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewPrefixTrie[int]()
+	p := MustParsePrefix("192.0.2.0/24")
+	tr.Insert(p, 7)
+	if !tr.Delete(p) {
+		t.Error("Delete present prefix should report true")
+	}
+	if tr.Delete(p) {
+		t.Error("Delete absent prefix should report false")
+	}
+	if _, ok := tr.Lookup(MustParseIPv4("192.0.2.1")); ok {
+		t.Error("Lookup after delete should miss")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len() = %d after delete", tr.Len())
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	tr := NewPrefixTrie[string]()
+	tr.Insert(MustParsePrefix("4.0.0.0/8"), "a")
+	tr.Insert(MustParsePrefix("4.2.101.0/24"), "b")
+
+	p, v, ok := tr.LookupPrefix(MustParseIPv4("4.2.101.20"))
+	if !ok || v != "b" || p != MustParsePrefix("4.2.101.0/24") {
+		t.Errorf("LookupPrefix = %v, %q, %v", p, v, ok)
+	}
+	p, v, ok = tr.LookupPrefix(MustParseIPv4("4.9.9.9"))
+	if !ok || v != "a" || p != MustParsePrefix("4.0.0.0/8") {
+		t.Errorf("LookupPrefix = %v, %q, %v", p, v, ok)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	tr := NewPrefixTrie[int]()
+	ins := []string{"10.0.0.0/8", "4.0.0.0/8", "4.2.101.0/24", "192.0.2.0/24"}
+	for i, s := range ins {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := append([]string(nil), ins...)
+	sort.Slice(want, func(i, j int) bool {
+		a, b := MustParsePrefix(want[i]), MustParsePrefix(want[j])
+		if a.Addr() != b.Addr() {
+			return a.Addr() < b.Addr()
+		}
+		return a.Bits() < b.Bits()
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Walk[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	tr := NewPrefixTrie[int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert(MustPrefix(IPv4(i)<<24, 8), i)
+	}
+	n := 0
+	tr.Walk(func(Prefix, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Walk visited %d after early stop, want 3", n)
+	}
+}
+
+// TestTrieMatchesLinearScan cross-checks longest-prefix match against a
+// brute-force scan over random prefix sets.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tr := NewPrefixTrie[int]()
+		var prefixes []Prefix
+		for i := 0; i < 50; i++ {
+			p := MustPrefix(IPv4(rng.Uint32()), rng.Intn(25)+8)
+			prefixes = append(prefixes, p)
+			tr.Insert(p, i)
+		}
+		for i := 0; i < 200; i++ {
+			ip := IPv4(rng.Uint32())
+			wantBits, wantVal, wantOK := -1, -1, false
+			for j, p := range prefixes {
+				if p.Contains(ip) && p.Bits() > wantBits {
+					wantBits, wantVal, wantOK = p.Bits(), j, true
+				}
+			}
+			// Later inserts of an equal prefix overwrite earlier ones.
+			if wantOK {
+				for j, p := range prefixes {
+					if p.Contains(ip) && p.Bits() == wantBits {
+						wantVal = j
+					}
+				}
+			}
+			got, ok := tr.Lookup(ip)
+			if ok != wantOK || (ok && got != wantVal) {
+				t.Fatalf("trial %d: Lookup(%v) = %d, %v; want %d, %v",
+					trial, ip, got, ok, wantVal, wantOK)
+			}
+		}
+	}
+}
+
+func TestTrieInsertLookupProperty(t *testing.T) {
+	f := func(addr uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw%32) + 1
+		tr := NewPrefixTrie[uint32]()
+		p := MustPrefix(IPv4(addr), bits)
+		tr.Insert(p, addr)
+		got, ok := tr.Lookup(p.First())
+		got2, ok2 := tr.Lookup(p.Last())
+		return ok && ok2 && got == addr && got2 == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package netflow
+
+import (
+	"time"
+
+	"infilter/internal/flow"
+)
+
+// Exporter packs finished flow records into NetFlow v5 datagrams with
+// monotonically increasing flow sequence numbers, as a border router's
+// export engine would.
+type Exporter struct {
+	boot     time.Time
+	engineID uint8
+	seq      uint32
+	pending  []flow.Record
+}
+
+// NewExporter returns an exporter whose sysUptime is measured from boot.
+func NewExporter(boot time.Time, engineID uint8) *Exporter {
+	return &Exporter{boot: boot, engineID: engineID}
+}
+
+// Add queues finished flow records for export.
+func (e *Exporter) Add(recs ...flow.Record) {
+	e.pending = append(e.pending, recs...)
+}
+
+// Pending returns the number of queued records.
+func (e *Exporter) Pending() int { return len(e.pending) }
+
+// Export drains queued records into datagrams stamped at the given export
+// time, at most MaxRecords per datagram.
+func (e *Exporter) Export(now time.Time) []*Datagram {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	var out []*Datagram
+	for len(e.pending) > 0 {
+		n := len(e.pending)
+		if n > MaxRecords {
+			n = MaxRecords
+		}
+		batch := e.pending[:n]
+		e.pending = e.pending[n:]
+
+		d := &Datagram{
+			Header: Header{
+				Count:        uint16(n),
+				SysUptimeMS:  uint32(now.Sub(e.boot).Milliseconds()),
+				UnixSecs:     uint32(now.Unix()),
+				UnixNsecs:    uint32(now.Nanosecond()),
+				FlowSequence: e.seq,
+				EngineID:     e.engineID,
+			},
+			Records: make([]Record, n),
+		}
+		for i, fr := range batch {
+			d.Records[i] = FromFlowRecord(fr, e.boot)
+		}
+		e.seq += uint32(n)
+		out = append(out, d)
+	}
+	e.pending = nil
+	return out
+}

@@ -1,0 +1,391 @@
+package netflow
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/packet"
+)
+
+func sampleRecord(i int) Record {
+	return Record{
+		SrcAddr:  netaddr.IPv4(0x0a000000 + uint32(i)),
+		DstAddr:  netaddr.IPv4(0xc0000201),
+		NextHop:  netaddr.IPv4(0xc0000101),
+		InputIf:  uint16(i % 4),
+		OutputIf: 9,
+		Packets:  uint32(10 + i),
+		Octets:   uint32(4000 + i),
+		FirstMS:  uint32(1000 * i),
+		LastMS:   uint32(1000*i + 500),
+		SrcPort:  uint16(1024 + i),
+		DstPort:  80,
+		TCPFlags: packet.FlagSYN | packet.FlagACK,
+		Proto:    flow.ProtoTCP,
+		TOS:      0,
+		SrcAS:    uint16(100 + i),
+		DstAS:    65000,
+		SrcMask:  11,
+		DstMask:  24,
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	d := &Datagram{
+		Header: Header{
+			SysUptimeMS:  123456,
+			UnixSecs:     1112345678,
+			UnixNsecs:    987654,
+			FlowSequence: 42,
+			EngineType:   1,
+			EngineID:     7,
+		},
+	}
+	for i := 0; i < 17; i++ {
+		d.Records = append(d.Records, sampleRecord(i))
+	}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != HeaderSize+17*RecordSize {
+		t.Fatalf("marshaled %d bytes", len(raw))
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Count != 17 || got.Header.FlowSequence != 42 ||
+		got.Header.SysUptimeMS != 123456 || got.Header.EngineID != 7 {
+		t.Errorf("header mismatch: %+v", got.Header)
+	}
+	for i := range d.Records {
+		if got.Records[i] != d.Records[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestMarshalRejectsTooManyRecords(t *testing.T) {
+	d := &Datagram{Records: make([]Record, MaxRecords+1)}
+	if _, err := d.Marshal(); err == nil {
+		t.Error("Marshal with 31 records: want error")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); !errors.Is(err, ErrShortDatagram) {
+		t.Errorf("short datagram: %v", err)
+	}
+	d := &Datagram{Records: []Record{sampleRecord(0)}}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[1] = 9 // version 9
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	trunc := raw[:len(raw)-1]
+	if _, err := Unmarshal(trunc); !errors.Is(err, ErrBadCount) {
+		t.Errorf("truncated records: %v", err)
+	}
+}
+
+func TestFlowRecordConversionRoundTrip(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	fr := flow.Record{
+		Key: flow.Key{
+			Src:     netaddr.MustParseIPv4("61.2.3.4"),
+			Dst:     netaddr.MustParseIPv4("192.0.2.9"),
+			Proto:   flow.ProtoUDP,
+			SrcPort: 9999,
+			DstPort: 53,
+			InputIf: 2,
+		},
+		Packets: 3,
+		Bytes:   300,
+		Start:   boot.Add(90 * time.Second),
+		End:     boot.Add(91 * time.Second),
+		SrcAS:   1224,
+		DstAS:   1,
+		SrcMask: 11,
+	}
+	wire := FromFlowRecord(fr, boot)
+	hdr := Header{
+		SysUptimeMS: uint32(200 * 1000),
+		UnixSecs:    uint32(boot.Add(200 * time.Second).Unix()),
+	}
+	back := wire.ToFlowRecord(hdr, 2)
+	if back.Key != fr.Key {
+		t.Errorf("key: got %+v want %+v", back.Key, fr.Key)
+	}
+	if back.Packets != fr.Packets || back.Bytes != fr.Bytes {
+		t.Errorf("counters: got %d/%d", back.Packets, back.Bytes)
+	}
+	if !back.Start.Equal(fr.Start) || !back.End.Equal(fr.End) {
+		t.Errorf("times: got %v-%v want %v-%v", back.Start, back.End, fr.Start, fr.End)
+	}
+	if back.SrcAS != 1224 || back.DstAS != 1 {
+		t.Errorf("AS fields: %d %d", back.SrcAS, back.DstAS)
+	}
+}
+
+func pkt(ts time.Time, src string, dport uint16, proto uint8, length uint16, tcpFlags uint8) packet.Packet {
+	return packet.Packet{
+		Time:     ts,
+		Src:      netaddr.MustParseIPv4(src),
+		Dst:      netaddr.MustParseIPv4("192.0.2.1"),
+		Proto:    proto,
+		SrcPort:  5555,
+		DstPort:  dport,
+		Length:   length,
+		TCPFlags: tcpFlags,
+	}
+}
+
+func TestCacheAggregatesPackets(t *testing.T) {
+	c := NewCache(CacheConfig{})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		c.Observe(pkt(t0.Add(time.Duration(i)*time.Second), "10.0.0.1", 80, flow.ProtoTCP, 100, packet.FlagACK), 1)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d flows, want 1", c.Len())
+	}
+	c.FlushAll()
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Packets != 5 || r.Bytes != 500 {
+		t.Errorf("counters %d/%d, want 5/500", r.Packets, r.Bytes)
+	}
+	if r.Duration() != 4*time.Second {
+		t.Errorf("duration %v", r.Duration())
+	}
+}
+
+func TestCacheIdleTimeout(t *testing.T) {
+	c := NewCache(CacheConfig{IdleTimeout: 10 * time.Second})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	c.Observe(pkt(t0, "10.0.0.1", 80, flow.ProtoTCP, 40, packet.FlagACK), 1)
+	c.Advance(t0.Add(5 * time.Second))
+	if len(c.Drain()) != 0 {
+		t.Error("flow expired before idle timeout")
+	}
+	c.Advance(t0.Add(11 * time.Second))
+	if got := len(c.Drain()); got != 1 {
+		t.Errorf("drained %d after idle timeout, want 1", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache still holds %d", c.Len())
+	}
+}
+
+func TestCacheActiveTimeout(t *testing.T) {
+	c := NewCache(CacheConfig{ActiveTimeout: 30 * time.Second, IdleTimeout: time.Hour})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	// Continuous traffic: active timeout must still chop the flow.
+	for i := 0; i < 40; i++ {
+		c.Observe(pkt(t0.Add(time.Duration(i)*time.Second), "10.0.0.1", 80, flow.ProtoTCP, 40, packet.FlagACK), 1)
+	}
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d mid-flow records, want 1 active-timeout chop", len(recs))
+	}
+	if recs[0].Packets != 30 {
+		t.Errorf("first segment had %d packets, want 30", recs[0].Packets)
+	}
+	c.FlushAll()
+	rest := c.Drain()
+	if len(rest) != 1 || rest[0].Packets != 10 {
+		t.Errorf("second segment %+v", rest)
+	}
+}
+
+func TestCacheFINExpiry(t *testing.T) {
+	c := NewCache(CacheConfig{ExpireOnFINRST: true})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	c.Observe(pkt(t0, "10.0.0.1", 80, flow.ProtoTCP, 40, packet.FlagSYN), 1)
+	c.Observe(pkt(t0.Add(time.Second), "10.0.0.1", 80, flow.ProtoTCP, 40, packet.FlagACK), 1)
+	c.Observe(pkt(t0.Add(2*time.Second), "10.0.0.1", 80, flow.ProtoTCP, 40, packet.FlagFIN|packet.FlagACK), 1)
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("drained %d after FIN, want 1", len(recs))
+	}
+	if recs[0].Packets != 3 {
+		t.Errorf("packets = %d, want 3", recs[0].Packets)
+	}
+	if recs[0].TCPFlag&packet.FlagFIN == 0 {
+		t.Error("cumulative TCP flags missing FIN")
+	}
+	// RST also expires.
+	c.Observe(pkt(t0.Add(3*time.Second), "10.0.0.2", 80, flow.ProtoTCP, 40, packet.FlagRST), 1)
+	if len(c.Drain()) != 1 {
+		t.Error("RST did not expire flow")
+	}
+}
+
+func TestCacheUDPIgnoresFINConfig(t *testing.T) {
+	c := NewCache(CacheConfig{ExpireOnFINRST: true})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	p := pkt(t0, "10.0.0.1", 53, flow.ProtoUDP, 60, packet.FlagFIN) // garbage flags on UDP
+	c.Observe(p, 1)
+	if len(c.Drain()) != 0 {
+		t.Error("UDP flow expired on TCP flag bits")
+	}
+}
+
+func TestCacheEvictionAtCapacity(t *testing.T) {
+	c := NewCache(CacheConfig{MaxEntries: 3})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	srcs := []string{"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4"}
+	for i, s := range srcs {
+		c.Observe(pkt(t0.Add(time.Duration(i)*time.Millisecond), s, 80, flow.ProtoTCP, 40, packet.FlagACK), 1)
+	}
+	if c.Len() != 3 {
+		t.Errorf("cache len %d, want 3", c.Len())
+	}
+	recs := c.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("evicted %d, want 1", len(recs))
+	}
+	if got := recs[0].Key.Src.String(); got != "10.0.0.1" {
+		t.Errorf("evicted %s, want oldest 10.0.0.1", got)
+	}
+}
+
+func TestCacheDistinctKeysDistinctFlows(t *testing.T) {
+	c := NewCache(CacheConfig{})
+	t0 := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	c.Observe(pkt(t0, "10.0.0.1", 80, flow.ProtoTCP, 40, 0), 1)
+	c.Observe(pkt(t0, "10.0.0.1", 443, flow.ProtoTCP, 40, 0), 1)
+	c.Observe(pkt(t0, "10.0.0.1", 80, flow.ProtoUDP, 40, 0), 1)
+	c.Observe(pkt(t0, "10.0.0.1", 80, flow.ProtoTCP, 40, 0), 2) // different ifIndex
+	if c.Len() != 4 {
+		t.Errorf("cache len %d, want 4 distinct flows", c.Len())
+	}
+}
+
+func TestExporterSequencesAndSplits(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	e := NewExporter(boot, 3)
+	var recs []flow.Record
+	for i := 0; i < 65; i++ {
+		recs = append(recs, flow.Record{
+			Key:     flow.Key{Src: netaddr.IPv4(uint32(i)), Proto: flow.ProtoTCP, DstPort: 80},
+			Packets: 1, Bytes: 40,
+			Start: boot.Add(time.Second), End: boot.Add(2 * time.Second),
+		})
+	}
+	e.Add(recs...)
+	if e.Pending() != 65 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	dgs := e.Export(boot.Add(time.Minute))
+	if len(dgs) != 3 {
+		t.Fatalf("%d datagrams, want 3 (30+30+5)", len(dgs))
+	}
+	if len(dgs[0].Records) != 30 || len(dgs[2].Records) != 5 {
+		t.Errorf("split %d/%d/%d", len(dgs[0].Records), len(dgs[1].Records), len(dgs[2].Records))
+	}
+	if dgs[0].Header.FlowSequence != 0 || dgs[1].Header.FlowSequence != 30 || dgs[2].Header.FlowSequence != 60 {
+		t.Errorf("sequences %d/%d/%d", dgs[0].Header.FlowSequence, dgs[1].Header.FlowSequence, dgs[2].Header.FlowSequence)
+	}
+	if dgs[0].Header.SysUptimeMS != 60000 {
+		t.Errorf("sysUptime %d", dgs[0].Header.SysUptimeMS)
+	}
+	if e.Export(boot) != nil {
+		t.Error("second Export should return nil with empty queue")
+	}
+	// Next batch continues the sequence.
+	e.Add(recs[0])
+	dgs = e.Export(boot.Add(2 * time.Minute))
+	if dgs[0].Header.FlowSequence != 65 {
+		t.Errorf("continued sequence %d, want 65", dgs[0].Header.FlowSequence)
+	}
+}
+
+func TestEndToEndPacketsToDatagramToFlow(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	c := NewCache(CacheConfig{ExpireOnFINRST: true})
+	e := NewExporter(boot, 1)
+
+	t0 := boot.Add(10 * time.Second)
+	c.Observe(pkt(t0, "61.5.6.7", 80, flow.ProtoTCP, 400, packet.FlagSYN), 4)
+	c.Observe(pkt(t0.Add(time.Second), "61.5.6.7", 80, flow.ProtoTCP, 1000, packet.FlagACK), 4)
+	c.Observe(pkt(t0.Add(2*time.Second), "61.5.6.7", 80, flow.ProtoTCP, 40, packet.FlagFIN), 4)
+	e.Add(c.Drain()...)
+	dgs := e.Export(t0.Add(20 * time.Second))
+	if len(dgs) != 1 {
+		t.Fatalf("%d datagrams", len(dgs))
+	}
+	raw, err := dgs[0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := back.Records[0].ToFlowRecord(back.Header, back.Records[0].InputIf)
+	if fr.Key.Src.String() != "61.5.6.7" || fr.Key.DstPort != 80 || fr.Key.InputIf != 4 {
+		t.Errorf("key %+v", fr.Key)
+	}
+	if fr.Packets != 3 || fr.Bytes != 1440 {
+		t.Errorf("counters %d/%d", fr.Packets, fr.Bytes)
+	}
+	if fr.Duration() != 2*time.Second {
+		t.Errorf("duration %v", fr.Duration())
+	}
+}
+
+func TestDatagramRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(MaxRecords) + 1
+		d := &Datagram{
+			Header: Header{
+				SysUptimeMS:  rng.Uint32(),
+				UnixSecs:     rng.Uint32(),
+				UnixNsecs:    rng.Uint32(),
+				FlowSequence: rng.Uint32(),
+				EngineType:   uint8(rng.Intn(256)),
+				EngineID:     uint8(rng.Intn(256)),
+			},
+		}
+		for i := 0; i < n; i++ {
+			d.Records = append(d.Records, Record{
+				SrcAddr: netaddr.IPv4(rng.Uint32()), DstAddr: netaddr.IPv4(rng.Uint32()),
+				NextHop: netaddr.IPv4(rng.Uint32()),
+				InputIf: uint16(rng.Intn(65536)), OutputIf: uint16(rng.Intn(65536)),
+				Packets: rng.Uint32(), Octets: rng.Uint32(),
+				FirstMS: rng.Uint32(), LastMS: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				TCPFlags: uint8(rng.Intn(256)), Proto: uint8(rng.Intn(256)), TOS: uint8(rng.Intn(256)),
+				SrcAS: uint16(rng.Intn(65536)), DstAS: uint16(rng.Intn(65536)),
+				SrcMask: uint8(rng.Intn(33)), DstMask: uint8(rng.Intn(33)),
+			})
+		}
+		raw, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d.Records {
+			if got.Records[i] != d.Records[i] {
+				t.Fatalf("trial %d record %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package netflow implements the NetFlow version 5 export format (paper
+// §5.1.1) — the wire codec for datagrams a border router emits — and an
+// emulation of the router-side flow cache with the paper's four expiration
+// rules: idle timeout, active timeout, cache pressure, and TCP FIN/RST.
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// Wire-format sizes for NetFlow v5.
+const (
+	Version        = 5
+	HeaderSize     = 24
+	RecordSize     = 48
+	MaxRecords     = 30 // records per datagram, per the v5 spec
+	MaxDatagramLen = HeaderSize + MaxRecords*RecordSize
+)
+
+// Errors returned by the codec.
+var (
+	ErrShortDatagram = errors.New("netflow: datagram too short")
+	ErrBadVersion    = errors.New("netflow: unsupported version")
+	ErrBadCount      = errors.New("netflow: record count disagrees with length")
+)
+
+// Header is the 24-byte NetFlow v5 datagram header.
+type Header struct {
+	Count            uint16
+	SysUptimeMS      uint32
+	UnixSecs         uint32
+	UnixNsecs        uint32
+	FlowSequence     uint32
+	EngineType       uint8
+	EngineID         uint8
+	SamplingInterval uint16
+}
+
+// Record is one 48-byte NetFlow v5 flow record.
+type Record struct {
+	SrcAddr  netaddr.IPv4
+	DstAddr  netaddr.IPv4
+	NextHop  netaddr.IPv4
+	InputIf  uint16
+	OutputIf uint16
+	Packets  uint32
+	Octets   uint32
+	FirstMS  uint32 // sysUptime at first packet
+	LastMS   uint32 // sysUptime at last packet
+	SrcPort  uint16
+	DstPort  uint16
+	TCPFlags uint8
+	Proto    uint8
+	TOS      uint8
+	SrcAS    uint16
+	DstAS    uint16
+	SrcMask  uint8
+	DstMask  uint8
+}
+
+// Datagram is a decoded NetFlow v5 export datagram.
+type Datagram struct {
+	Header  Header
+	Records []Record
+}
+
+// Marshal encodes d into the v5 wire format.
+func (d *Datagram) Marshal() ([]byte, error) {
+	if len(d.Records) > MaxRecords {
+		return nil, fmt.Errorf("netflow: %d records exceeds max %d", len(d.Records), MaxRecords)
+	}
+	buf := make([]byte, HeaderSize+len(d.Records)*RecordSize)
+	binary.BigEndian.PutUint16(buf[0:2], Version)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(d.Records)))
+	binary.BigEndian.PutUint32(buf[4:8], d.Header.SysUptimeMS)
+	binary.BigEndian.PutUint32(buf[8:12], d.Header.UnixSecs)
+	binary.BigEndian.PutUint32(buf[12:16], d.Header.UnixNsecs)
+	binary.BigEndian.PutUint32(buf[16:20], d.Header.FlowSequence)
+	buf[20] = d.Header.EngineType
+	buf[21] = d.Header.EngineID
+	binary.BigEndian.PutUint16(buf[22:24], d.Header.SamplingInterval)
+	for i, r := range d.Records {
+		off := HeaderSize + i*RecordSize
+		b := buf[off : off+RecordSize]
+		binary.BigEndian.PutUint32(b[0:4], uint32(r.SrcAddr))
+		binary.BigEndian.PutUint32(b[4:8], uint32(r.DstAddr))
+		binary.BigEndian.PutUint32(b[8:12], uint32(r.NextHop))
+		binary.BigEndian.PutUint16(b[12:14], r.InputIf)
+		binary.BigEndian.PutUint16(b[14:16], r.OutputIf)
+		binary.BigEndian.PutUint32(b[16:20], r.Packets)
+		binary.BigEndian.PutUint32(b[20:24], r.Octets)
+		binary.BigEndian.PutUint32(b[24:28], r.FirstMS)
+		binary.BigEndian.PutUint32(b[28:32], r.LastMS)
+		binary.BigEndian.PutUint16(b[32:34], r.SrcPort)
+		binary.BigEndian.PutUint16(b[34:36], r.DstPort)
+		// b[36] pad1
+		b[37] = r.TCPFlags
+		b[38] = r.Proto
+		b[39] = r.TOS
+		binary.BigEndian.PutUint16(b[40:42], r.SrcAS)
+		binary.BigEndian.PutUint16(b[42:44], r.DstAS)
+		b[44] = r.SrcMask
+		b[45] = r.DstMask
+		// b[46:48] pad2
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a v5 datagram from raw bytes.
+func Unmarshal(raw []byte) (*Datagram, error) {
+	if len(raw) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortDatagram, len(raw))
+	}
+	if v := binary.BigEndian.Uint16(raw[0:2]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	count := int(binary.BigEndian.Uint16(raw[2:4]))
+	if count > MaxRecords || len(raw) < HeaderSize+count*RecordSize {
+		return nil, fmt.Errorf("%w: count=%d len=%d", ErrBadCount, count, len(raw))
+	}
+	d := &Datagram{
+		Header: Header{
+			Count:            uint16(count),
+			SysUptimeMS:      binary.BigEndian.Uint32(raw[4:8]),
+			UnixSecs:         binary.BigEndian.Uint32(raw[8:12]),
+			UnixNsecs:        binary.BigEndian.Uint32(raw[12:16]),
+			FlowSequence:     binary.BigEndian.Uint32(raw[16:20]),
+			EngineType:       raw[20],
+			EngineID:         raw[21],
+			SamplingInterval: binary.BigEndian.Uint16(raw[22:24]),
+		},
+		Records: make([]Record, count),
+	}
+	for i := 0; i < count; i++ {
+		b := raw[HeaderSize+i*RecordSize : HeaderSize+(i+1)*RecordSize]
+		d.Records[i] = Record{
+			SrcAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])),
+			DstAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])),
+			NextHop:  netaddr.IPv4(binary.BigEndian.Uint32(b[8:12])),
+			InputIf:  binary.BigEndian.Uint16(b[12:14]),
+			OutputIf: binary.BigEndian.Uint16(b[14:16]),
+			Packets:  binary.BigEndian.Uint32(b[16:20]),
+			Octets:   binary.BigEndian.Uint32(b[20:24]),
+			FirstMS:  binary.BigEndian.Uint32(b[24:28]),
+			LastMS:   binary.BigEndian.Uint32(b[28:32]),
+			SrcPort:  binary.BigEndian.Uint16(b[32:34]),
+			DstPort:  binary.BigEndian.Uint16(b[34:36]),
+			TCPFlags: b[37],
+			Proto:    b[38],
+			TOS:      b[39],
+			SrcAS:    binary.BigEndian.Uint16(b[40:42]),
+			DstAS:    binary.BigEndian.Uint16(b[42:44]),
+			SrcMask:  b[44],
+			DstMask:  b[45],
+		}
+	}
+	return d, nil
+}
+
+// ToFlowRecord converts a wire record to the analysis flow model, resolving
+// sysUptime-relative timestamps against the export header and boot time.
+func (r Record) ToFlowRecord(hdr Header, inputIf uint16) flow.Record {
+	export := time.Unix(int64(hdr.UnixSecs), int64(hdr.UnixNsecs)).UTC()
+	boot := export.Add(-time.Duration(hdr.SysUptimeMS) * time.Millisecond)
+	return flow.Record{
+		Key: flow.Key{
+			Src:     r.SrcAddr,
+			Dst:     r.DstAddr,
+			Proto:   r.Proto,
+			SrcPort: r.SrcPort,
+			DstPort: r.DstPort,
+			TOS:     r.TOS,
+			InputIf: inputIf,
+		},
+		Packets: r.Packets,
+		Bytes:   r.Octets,
+		Start:   boot.Add(time.Duration(r.FirstMS) * time.Millisecond),
+		End:     boot.Add(time.Duration(r.LastMS) * time.Millisecond),
+		SrcAS:   r.SrcAS,
+		DstAS:   r.DstAS,
+		SrcMask: r.SrcMask,
+		DstMask: r.DstMask,
+		TCPFlag: r.TCPFlags,
+	}
+}
+
+// FromFlowRecord converts an analysis flow record to a wire record, given
+// the exporter's boot time for sysUptime-relative stamps.
+func FromFlowRecord(fr flow.Record, boot time.Time) Record {
+	return Record{
+		SrcAddr:  fr.Key.Src,
+		DstAddr:  fr.Key.Dst,
+		InputIf:  fr.Key.InputIf,
+		Packets:  fr.Packets,
+		Octets:   fr.Bytes,
+		FirstMS:  uint32(fr.Start.Sub(boot).Milliseconds()),
+		LastMS:   uint32(fr.End.Sub(boot).Milliseconds()),
+		SrcPort:  fr.Key.SrcPort,
+		DstPort:  fr.Key.DstPort,
+		TCPFlags: fr.TCPFlag,
+		Proto:    fr.Key.Proto,
+		TOS:      fr.Key.TOS,
+		SrcAS:    fr.SrcAS,
+		DstAS:    fr.DstAS,
+		SrcMask:  fr.SrcMask,
+		DstMask:  fr.DstMask,
+	}
+}

@@ -1,0 +1,401 @@
+package nns
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"infilter/internal/flow"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(130)
+	if v.Len() != 130 || v.OnesCount() != 0 {
+		t.Fatalf("fresh vector: len=%d ones=%d", v.Len(), v.OnesCount())
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if !v.Get(0) || !v.Get(64) || !v.Get(129) || v.Get(1) {
+		t.Error("Set/Get wrong")
+	}
+	if v.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d", v.OnesCount())
+	}
+	u := v.Clone()
+	if !u.Equal(v) {
+		t.Error("clone not equal")
+	}
+	u.Set(1)
+	if v.Get(1) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestBitVecHamming(t *testing.T) {
+	a, b := NewBitVec(100), NewBitVec(100)
+	if a.Hamming(b) != 0 {
+		t.Error("identical vectors have nonzero distance")
+	}
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	if got := a.Hamming(b); got != 2 {
+		t.Errorf("Hamming = %d, want 2", got)
+	}
+}
+
+func TestBitVecDotParity(t *testing.T) {
+	a, b := NewBitVec(128), NewBitVec(128)
+	if a.Dot(b) != 0 {
+		t.Error("zero vectors dot != 0")
+	}
+	a.Set(5)
+	b.Set(5)
+	if a.Dot(b) != 1 {
+		t.Error("single overlap dot != 1")
+	}
+	a.Set(77)
+	b.Set(77)
+	if a.Dot(b) != 0 {
+		t.Error("double overlap dot != 0")
+	}
+}
+
+func TestBitVecMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Hamming did not panic")
+		}
+	}()
+	NewBitVec(10).Hamming(NewBitVec(11))
+}
+
+func TestEncoderUnaryWorkedExample(t *testing.T) {
+	// Paper §4.2 example spirit: a value at 3/4 of its range gets 3 of 4
+	// ones. Our encoder fixes dC = d/5, so emulate with a d=20 encoder
+	// (dC=4 bits per characteristic).
+	e, err := NewEncoder(20, [flow.NumStats]StatRange{
+		{Min: 0, Max: 4}, {Min: 0, Max: 8}, {Min: 0, Max: 4}, {Min: 0, Max: 4}, {Min: 0, Max: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Level(0, 3); got != 3 {
+		t.Errorf("Level(0,3) = %d, want 3", got)
+	}
+	if got := e.Level(1, 6); got != 3 {
+		t.Errorf("Level(1,6) = %d, want 3 (6/8 of 4 bits)", got)
+	}
+	v := e.Encode(flow.Stats{Bytes: 3, Packets: 6})
+	// First stat: 3 ones in bits 0..3; second: 3 ones in bits 4..7.
+	wantOnes := 6
+	if v.OnesCount() != wantOnes {
+		t.Errorf("OnesCount = %d, want %d", v.OnesCount(), wantOnes)
+	}
+	for i := 0; i < 3; i++ {
+		if !v.Get(i) {
+			t.Errorf("bit %d unset", i)
+		}
+	}
+	if v.Get(3) {
+		t.Error("bit 3 set")
+	}
+}
+
+func TestEncoderClamping(t *testing.T) {
+	e := MustDefaultEncoder()
+	if got := e.Level(0, -5); got != 0 {
+		t.Errorf("Level below min = %d", got)
+	}
+	if got := e.Level(0, 1e12); got != e.D()/flow.NumStats {
+		t.Errorf("Level above max = %d", got)
+	}
+}
+
+// TestEncoderHammingIsL1 verifies the key property of unary encoding: the
+// Hamming distance between two encodings equals the L1 distance between
+// their level vectors.
+func TestEncoderHammingIsL1(t *testing.T) {
+	e := MustDefaultEncoder()
+	f := func(b1, p1, b2, p2 uint16) bool {
+		s1 := flow.Stats{Bytes: float64(b1), Packets: float64(p1 % 300)}
+		s2 := flow.Stats{Bytes: float64(b2), Packets: float64(p2 % 300)}
+		want := abs(e.Level(0, s1.Bytes)-e.Level(0, s2.Bytes)) +
+			abs(e.Level(1, s1.Packets)-e.Level(1, s2.Packets))
+		return e.Encode(s1).Hamming(e.Encode(s2)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(0, DefaultRanges()); err == nil {
+		t.Error("d=0: want error")
+	}
+	if _, err := NewEncoder(7, DefaultRanges()); err == nil {
+		t.Error("d not multiple of stats: want error")
+	}
+	bad := DefaultRanges()
+	bad[2] = StatRange{Min: 5, Max: 5}
+	if _, err := NewEncoder(DefaultD, bad); err == nil {
+		t.Error("empty range: want error")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, p := range []Params{
+		{D: 0, M1: 1, M2: 12, M3: 3},
+		{D: 720, M1: 0, M2: 12, M3: 3},
+		{D: 720, M1: 1, M2: 0, M3: 3},
+		{D: 720, M1: 1, M2: 25, M3: 3},
+		{D: 720, M1: 1, M2: 12, M3: 0},
+		{D: 720, M1: 1, M2: 12, M3: 13},
+	} {
+		if err := p.validate(); err == nil {
+			t.Errorf("validate(%+v): want error", p)
+		}
+	}
+	if err := DefaultParams().validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestTraceNeighborMasksCount(t *testing.T) {
+	// M2=12, M3=3: C(12,0)+C(12,1)+C(12,2) = 1+12+66 = 79 masks.
+	masks := traceNeighborMasks(12, 3)
+	if len(masks) != 79 {
+		t.Fatalf("%d masks, want 79", len(masks))
+	}
+	seen := map[int]bool{}
+	for _, m := range masks {
+		if seen[m] {
+			t.Fatalf("duplicate mask %b", m)
+		}
+		seen[m] = true
+		if popcount(m) >= 3 {
+			t.Fatalf("mask %b flips %d bits", m, popcount(m))
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(DefaultParams(), nil); err == nil {
+		t.Error("empty cluster: want error")
+	}
+	if _, err := Build(DefaultParams(), []BitVec{NewBitVec(10)}); err == nil {
+		t.Error("wrong dimension: want error")
+	}
+	bad := DefaultParams()
+	bad.M2 = 0
+	if _, err := Build(bad, []BitVec{NewBitVec(DefaultD)}); err == nil {
+		t.Error("bad params: want error")
+	}
+}
+
+// clusterAround builds synthetic unary-encoded flows near a center level
+// pattern, plus the encoder used.
+func clusterAround(t *testing.T, rng *rand.Rand, n int, center flow.Stats, spread float64) (*Encoder, []BitVec, []flow.Stats) {
+	t.Helper()
+	e := MustDefaultEncoder()
+	vecs := make([]BitVec, 0, n)
+	stats := make([]flow.Stats, 0, n)
+	for i := 0; i < n; i++ {
+		s := flow.Stats{
+			Bytes:      center.Bytes * (1 + spread*(rng.Float64()-0.5)),
+			Packets:    center.Packets * (1 + spread*(rng.Float64()-0.5)),
+			DurationMS: center.DurationMS * (1 + spread*(rng.Float64()-0.5)),
+			BitRate:    center.BitRate * (1 + spread*(rng.Float64()-0.5)),
+			PacketRate: center.PacketRate * (1 + spread*(rng.Float64()-0.5)),
+		}
+		stats = append(stats, s)
+		vecs = append(vecs, e.Encode(s))
+	}
+	return e, vecs, stats
+}
+
+var httpCenter = flow.Stats{Bytes: 20000, Packets: 30, DurationMS: 1500, BitRate: 100000, PacketRate: 20}
+
+func TestSearchFindsExactMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, vecs, _ := clusterAround(t, rng, 60, httpCenter, 0.4)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Querying with a training member must find a very close neighbor —
+	// the approximation returns a representative within a few trace
+	// collisions of the member itself (empirically ≤ ~20 of 720 bits).
+	for i := 0; i < 20; i++ {
+		res, ok := st.Search(vecs[i])
+		if !ok {
+			t.Fatalf("Search returned nothing for member %d", i)
+		}
+		if res.Distance > 60 {
+			t.Errorf("member %d neighbor at distance %d, want ≤ 60", i, res.Distance)
+		}
+	}
+}
+
+func TestSearchApproximatesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e, vecs, _ := clusterAround(t, rng, 80, httpCenter, 0.5)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := e.Encode(flow.Stats{
+			Bytes:      httpCenter.Bytes * (1 + 0.6*(rng.Float64()-0.5)),
+			Packets:    httpCenter.Packets * (1 + 0.6*(rng.Float64()-0.5)),
+			DurationMS: httpCenter.DurationMS,
+			BitRate:    httpCenter.BitRate,
+			PacketRate: httpCenter.PacketRate,
+		})
+		res, ok := st.Search(q)
+		if !ok {
+			t.Fatal("no neighbor found")
+		}
+		best := 1 << 30
+		for _, v := range vecs {
+			if h := q.Hamming(v); h < best {
+				best = h
+			}
+		}
+		// KOR is an approximation: allow a generous factor but require the
+		// same order of magnitude.
+		if res.Distance > 4*best+40 {
+			t.Errorf("trial %d: approx distance %d vs exact %d", trial, res.Distance, best)
+		}
+	}
+}
+
+func TestSearchSeparatesFarQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, vecs, _ := clusterAround(t, rng, 80, httpCenter, 0.4)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An exploit-like flow: huge byte count, tiny duration, extreme rates.
+	q := e.Encode(flow.Stats{Bytes: 120000, Packets: 80, DurationMS: 40, BitRate: 23e6, PacketRate: 2000})
+	res, ok := st.Search(q)
+	if !ok {
+		t.Fatal("no neighbor for far query")
+	}
+	// Near-query distances for comparison.
+	near, ok := st.Search(vecs[0])
+	if !ok {
+		t.Fatal("no neighbor for member")
+	}
+	if res.Distance <= near.Distance+100 {
+		t.Errorf("far query distance %d not well beyond member distance %d", res.Distance, near.Distance)
+	}
+}
+
+// TestExactSearchIsGroundTruth verifies ExactSearch against a manual scan
+// and bounds the approximate search's excess distance over it.
+func TestExactSearchIsGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, vecs, _ := clusterAround(t, rng, 60, httpCenter, 0.5)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var excess int
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		q := e.Encode(flow.Stats{
+			Bytes:      httpCenter.Bytes * (1 + 0.7*(rng.Float64()-0.5)),
+			Packets:    httpCenter.Packets * (1 + 0.7*(rng.Float64()-0.5)),
+			DurationMS: httpCenter.DurationMS,
+			BitRate:    httpCenter.BitRate,
+			PacketRate: httpCenter.PacketRate,
+		})
+		exact, ok := st.ExactSearch(q)
+		if !ok {
+			t.Fatal("exact search failed")
+		}
+		// Cross-check against a manual scan.
+		want := 1 << 30
+		for _, v := range vecs {
+			if h := q.Hamming(v); h < want {
+				want = h
+			}
+		}
+		if exact.Distance != want {
+			t.Fatalf("ExactSearch distance %d, manual scan %d", exact.Distance, want)
+		}
+		approx, ok := st.Search(q)
+		if !ok {
+			t.Fatal("approx search failed")
+		}
+		if approx.Distance < exact.Distance {
+			t.Fatalf("approx distance %d below exact %d", approx.Distance, exact.Distance)
+		}
+		excess += approx.Distance - exact.Distance
+	}
+	if avg := float64(excess) / trials; avg > 30 {
+		t.Errorf("mean approximation excess %.1f bits of 720, want tight", avg)
+	}
+}
+
+func TestExactSearchWrongDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	_, vecs, _ := clusterAround(t, rng, 10, httpCenter, 0.3)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.ExactSearch(NewBitVec(10)); ok {
+		t.Error("wrong-dimension exact query should fail")
+	}
+}
+
+// TestMultiTableM1 exercises M1>1 (the paper uses M1=1): structures must
+// build and search correctly with redundant tables.
+func TestMultiTableM1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, vecs, _ := clusterAround(t, rng, 40, httpCenter, 0.4)
+	params := DefaultParams()
+	params.M1 = 3
+	st, err := Build(params, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := st.Search(vecs[i]); !ok {
+			t.Fatalf("M1=3 search failed for member %d", i)
+		}
+	}
+}
+
+func TestSearchWrongDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	_, vecs, _ := clusterAround(t, rng, 20, httpCenter, 0.3)
+	st, err := Build(DefaultParams(), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Search(NewBitVec(10)); ok {
+		t.Error("wrong-dimension query should fail")
+	}
+}

@@ -1,0 +1,102 @@
+package nns
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"infilter/internal/flow"
+)
+
+// The detector serializer persists what cannot be rebuilt cheaply or must
+// be identical across hosts: the configuration, each subcluster's indexed
+// training vectors and its calibrated threshold. The table structures are
+// NOT stored — Build is deterministic in Params.Seed, so load-time
+// reconstruction yields bit-identical structures at a fraction of the file
+// size (the tables alone would be ~12 MB per subcluster).
+
+// detectorDTO is the on-disk form.
+type detectorDTO struct {
+	Version  int
+	Config   DetectorConfig
+	Clusters map[flow.Subcluster]clusterDTO
+}
+
+type clusterDTO struct {
+	Threshold int
+	NBits     int
+	Vecs      [][]uint64
+}
+
+// detectorFormatVersion guards against incompatible files.
+const detectorFormatVersion = 1
+
+// Save persists the trained detector.
+func (d *Detector) Save(w io.Writer) error {
+	dto := detectorDTO{
+		Version:  detectorFormatVersion,
+		Config:   d.cfg,
+		Clusters: make(map[flow.Subcluster]clusterDTO, len(d.clusters)),
+	}
+	for c, st := range d.clusters {
+		cd := clusterDTO{
+			Threshold: st.threshold,
+			NBits:     d.cfg.Params.D,
+			Vecs:      make([][]uint64, st.structure.ClusterSize()),
+		}
+		for i := 0; i < st.structure.ClusterSize(); i++ {
+			words := st.structure.ClusterVec(i).Words()
+			cp := make([]uint64, len(words))
+			copy(cp, words)
+			cd.Vecs[i] = cp
+		}
+		dto.Clusters[c] = cd
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("nns: save detector: %w", err)
+	}
+	return nil
+}
+
+// LoadDetector reconstructs a detector saved with Save: thresholds are
+// restored verbatim and the per-cluster KOR structures are rebuilt from
+// the stored vectors with the saved seeds.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	var dto detectorDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("nns: load detector: %w", err)
+	}
+	if dto.Version != detectorFormatVersion {
+		return nil, fmt.Errorf("nns: detector file version %d, want %d", dto.Version, detectorFormatVersion)
+	}
+	if len(dto.Clusters) == 0 {
+		return nil, fmt.Errorf("nns: detector file has no clusters")
+	}
+	enc, err := NewEncoder(dto.Config.Params.D, dto.Config.Ranges)
+	if err != nil {
+		return nil, fmt.Errorf("nns: load detector: %w", err)
+	}
+	d := &Detector{
+		cfg:      dto.Config,
+		enc:      enc,
+		clusters: make(map[flow.Subcluster]*clusterState, len(dto.Clusters)),
+	}
+	for c, cd := range dto.Clusters {
+		vecs := make([]BitVec, len(cd.Vecs))
+		for i, words := range cd.Vecs {
+			v, err := FromWords(words, cd.NBits)
+			if err != nil {
+				return nil, fmt.Errorf("nns: load %v cluster vec %d: %w", c, i, err)
+			}
+			vecs[i] = v
+		}
+		params := dto.Config.Params
+		params.Seed = dto.Config.Params.Seed + int64(c)
+		st, err := Build(params, vecs)
+		if err != nil {
+			return nil, fmt.Errorf("nns: rebuild %v structure: %w", c, err)
+		}
+		d.clusters[c] = &clusterState{structure: st, threshold: cd.Threshold}
+	}
+	return d, nil
+}

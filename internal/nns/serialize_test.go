@@ -1,0 +1,71 @@
+package nns
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	d, err := Train(DetectorConfig{}, trainFlows(t, 1200, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same clusters, same thresholds.
+	orig, got := d.Clusters(), loaded.Clusters()
+	if len(orig) != len(got) {
+		t.Fatalf("clusters %v vs %v", orig, got)
+	}
+	for _, c := range orig {
+		to, _ := d.Threshold(c)
+		tl, ok := loaded.Threshold(c)
+		if !ok || to != tl {
+			t.Errorf("cluster %v threshold %d vs %d (%v)", c, to, tl, ok)
+		}
+	}
+
+	// Identical assessments on fresh traffic (Build is deterministic in
+	// the saved seeds, so the structures must agree flow by flow).
+	probe := trainFlows(t, 300, 22)
+	for i, r := range probe {
+		a, b := d.Assess(r), loaded.Assess(r)
+		if a.Anomalous != b.Anomalous || a.Distance != b.Distance || a.Cluster != b.Cluster {
+			t.Fatalf("flow %d: original %+v vs loaded %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadDetectorErrors(t *testing.T) {
+	if _, err := LoadDetector(strings.NewReader("not gob data")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := LoadDetector(bytes.NewReader(nil)); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestBitVecWordsRoundTrip(t *testing.T) {
+	v := NewBitVec(130)
+	v.Set(0)
+	v.Set(65)
+	v.Set(129)
+	back, err := FromWords(v.Words(), 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Error("Words/FromWords round trip broke the vector")
+	}
+	if _, err := FromWords(v.Words(), 500); err == nil {
+		t.Error("mismatched bit count: want error")
+	}
+}

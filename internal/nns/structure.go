@@ -1,0 +1,280 @@
+package nns
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Params are the KOR structure parameters. The paper's experiments use
+// d=720, M1=1, M2=12, M3=3 (§4.2).
+type Params struct {
+	D  int // encoding dimension
+	M1 int // tables per substructure
+	M2 int // test vectors (trace bits) per table
+	M3 int // Hamming radius for table fill: entries z with HD(trace,z) < M3
+	// Seed fixes the test-vector PRNG.
+	Seed int64
+}
+
+// DefaultParams returns the paper's parameter set.
+func DefaultParams() Params {
+	return Params{D: DefaultD, M1: 1, M2: 12, M3: 3, Seed: 1}
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.D <= 0:
+		return fmt.Errorf("nns: D must be positive, got %d", p.D)
+	case p.M1 <= 0:
+		return fmt.Errorf("nns: M1 must be positive, got %d", p.M1)
+	case p.M2 <= 0 || p.M2 > 20:
+		return fmt.Errorf("nns: M2 must be in [1,20], got %d", p.M2)
+	case p.M3 <= 0 || p.M3 > p.M2:
+		return fmt.Errorf("nns: M3 must be in [1,M2], got %d", p.M3)
+	default:
+		return nil
+	}
+}
+
+// table is one T_ij: M2 test vectors and the 2^M2-entry table holding, per
+// entry, the index of the last training flow entered (-1 when empty). The
+// paper's search only needs emptiness plus one representative flow.
+type table struct {
+	tests   []BitVec
+	entries []int32
+}
+
+// Structure is the per-cluster KOR search structure over a training set.
+type Structure struct {
+	params  Params
+	cluster []BitVec  // encoded training flows, by index
+	subs    [][]table // subs[i-1] are the M1 tables of S_i, i = distance 1..D
+}
+
+// Build constructs the structure over the encoded training cluster,
+// following the creation algorithm of paper Figure 6: substructure S_i
+// gets test vectors from CreateTestVector(b=1/(2i)), and each flow is
+// entered at every table entry within Hamming radius M3 of its trace.
+func Build(params Params, cluster []BitVec) (*Structure, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(cluster) == 0 {
+		return nil, fmt.Errorf("nns: empty training cluster")
+	}
+	for i, v := range cluster {
+		if v.Len() != params.D {
+			return nil, fmt.Errorf("nns: training flow %d has %d bits, want %d", i, v.Len(), params.D)
+		}
+	}
+	s := &Structure{
+		params:  params,
+		cluster: cluster,
+		subs:    make([][]table, params.D),
+	}
+	neighbors := traceNeighborMasks(params.M2, params.M3)
+	// Each substructure draws its test vectors from its own seed-derived
+	// stream, so creation parallelizes across substructures while staying
+	// deterministic in params.Seed (the property the model serializer
+	// relies on).
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > params.D {
+		workers = params.D
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.subs[i-1] = buildSubstructure(params, cluster, neighbors, i)
+			}
+		}()
+	}
+	for i := 1; i <= params.D; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return s, nil
+}
+
+// buildSubstructure constructs S_i's M1 tables.
+func buildSubstructure(params Params, cluster []BitVec, neighbors []int, i int) []table {
+	rng := rand.New(rand.NewSource(subSeed(params.Seed, i)))
+	b := 1 / (2 * float64(i))
+	tabs := make([]table, params.M1)
+	for j := range tabs {
+		t := table{
+			tests:   make([]BitVec, params.M2),
+			entries: make([]int32, 1<<uint(params.M2)),
+		}
+		for k := range t.entries {
+			t.entries[k] = -1
+		}
+		for k := range t.tests {
+			t.tests[k] = createTestVector(rng, params.D, b)
+		}
+		for fi, fv := range cluster {
+			z := traceOf(t.tests, fv)
+			for _, m := range neighbors {
+				t.entries[z^m] = int32(fi)
+			}
+		}
+		tabs[j] = t
+	}
+	return tabs
+}
+
+// subSeed derives substructure i's PRNG seed from the structure seed.
+func subSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// createTestVector is the paper's CreateTestVector: each bit is 1 with
+// probability b/2, independently.
+func createTestVector(rng *rand.Rand, d int, b float64) BitVec {
+	v := NewBitVec(d)
+	p := b / 2
+	for i := 0; i < d; i++ {
+		if rng.Float64() < p {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// traceOf computes trace(φ) = (Test(u_1,φ),…,Test(u_M2,φ)) packed into an
+// integer.
+func traceOf(tests []BitVec, v BitVec) int {
+	z := 0
+	for k, u := range tests {
+		z |= u.Dot(v) << uint(k)
+	}
+	return z
+}
+
+// traceNeighborMasks enumerates the XOR masks of all M2-bit strings within
+// Hamming distance < m3 of a given trace (0, 1 and 2 bit flips for the
+// paper's M3=3).
+func traceNeighborMasks(m2, m3 int) []int {
+	masks := []int{0}
+	if m3 >= 2 {
+		for i := 0; i < m2; i++ {
+			masks = append(masks, 1<<uint(i))
+		}
+	}
+	if m3 >= 3 {
+		for i := 0; i < m2; i++ {
+			for j := i + 1; j < m2; j++ {
+				masks = append(masks, 1<<uint(i)|1<<uint(j))
+			}
+		}
+	}
+	if m3 >= 4 {
+		// General case for radii beyond the paper's: recurse over flip
+		// counts 3..m3-1.
+		var rec func(start, left, mask int)
+		rec = func(start, left, mask int) {
+			if left == 0 {
+				masks = append(masks, mask)
+				return
+			}
+			for i := start; i < m2; i++ {
+				rec(i+1, left-1, mask|1<<uint(i))
+			}
+		}
+		for flips := 3; flips < m3; flips++ {
+			rec(0, flips, 0)
+		}
+	}
+	return masks
+}
+
+// Result is a nearest-neighbor answer.
+type Result struct {
+	// Index of the neighbor within the training cluster.
+	Index int
+	// Distance is the exact Hamming distance between query and neighbor.
+	Distance int
+}
+
+// Search runs the binary search of paper Figure 8: at candidate distance t
+// it picks one of S_t's tables, computes the query's trace, and narrows
+// toward smaller distances whenever the table entry holds a training flow.
+// Among the O(log d) representatives the probes surface, it returns the one
+// at minimum exact Hamming distance from the query — a refinement of the
+// paper's "last non-empty entry" rule that costs nothing extra (each probe
+// already touches its representative) and sharply reduces approximation
+// noise.
+func (s *Structure) Search(query BitVec) (Result, bool) {
+	if query.Len() != s.params.D {
+		return Result{}, false
+	}
+	var (
+		bestIdx  = -1
+		bestDist = 0
+		lo, hi   = 1, s.params.D
+	)
+	consider := func(idx int32) {
+		if idx < 0 {
+			return
+		}
+		d := query.Hamming(s.cluster[idx])
+		if bestIdx < 0 || d < bestDist {
+			bestIdx, bestDist = int(idx), d
+		}
+	}
+	// rng for the M1 table choice; deterministic per structure for
+	// reproducibility (M1=1 in the paper, so this rarely matters).
+	rng := rand.New(rand.NewSource(s.params.Seed ^ 0x5f5f5f5f))
+	for lo < hi {
+		mid := (lo + hi) / 2
+		tabs := s.subs[mid-1]
+		t := tabs[rng.Intn(len(tabs))]
+		z := traceOf(t.tests, query)
+		if idx := t.entries[z]; idx >= 0 {
+			consider(idx)
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Probe the final distance as well.
+	tabs := s.subs[lo-1]
+	t := tabs[rng.Intn(len(tabs))]
+	consider(t.entries[traceOf(t.tests, query)])
+	if bestIdx < 0 {
+		return Result{}, false
+	}
+	return Result{Index: bestIdx, Distance: bestDist}, true
+}
+
+// ExactSearch is the brute-force comparator: the true nearest neighbor by
+// linear scan. It exists to quantify the KOR structure's approximation
+// quality (see the ablation benchmarks) and as a reference in tests; it is
+// O(n·d) per query where Search is O(log d · M2 · d).
+func (s *Structure) ExactSearch(query BitVec) (Result, bool) {
+	if query.Len() != s.params.D || len(s.cluster) == 0 {
+		return Result{}, false
+	}
+	best, bestIdx := -1, -1
+	for i, v := range s.cluster {
+		if h := query.Hamming(v); best < 0 || h < best {
+			best, bestIdx = h, i
+		}
+	}
+	return Result{Index: bestIdx, Distance: best}, true
+}
+
+// ClusterSize returns the number of training flows indexed.
+func (s *Structure) ClusterSize() int { return len(s.cluster) }
+
+// ClusterVec returns the encoded training flow at index i.
+func (s *Structure) ClusterVec(i int) BitVec { return s.cluster[i] }

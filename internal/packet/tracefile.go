@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"infilter/internal/netaddr"
+)
+
+// Trace-file format: the DAG-capture substitute the testbed replays. A
+// trace is a little header followed by fixed-size packet records ordered by
+// timestamp. Binary, big-endian, so traces round-trip across platforms.
+//
+//	header : magic "IFTR" | uint16 version | uint16 reserved
+//	record : int64 unixNanos | uint32 src | uint32 dst |
+//	         uint8 proto | uint8 tos | uint8 tcpFlags | uint8 flagBits |
+//	         uint16 srcPort | uint16 dstPort | uint16 length | uint16 fragOff
+//
+// flagBits bit0 = more-fragments.
+
+const (
+	traceMagic   = "IFTR"
+	traceVersion = 1
+	recordSize   = 8 + 4 + 4 + 4 + 2 + 2 + 2 + 2
+)
+
+// Errors returned by the trace codec.
+var (
+	ErrBadTrace    = errors.New("packet: malformed trace file")
+	ErrBadVersion  = errors.New("packet: unsupported trace version")
+	ErrShortRecord = errors.New("packet: truncated trace record")
+)
+
+// TraceWriter streams packets into a trace file.
+type TraceWriter struct {
+	w     *bufio.Writer
+	count int
+}
+
+// NewTraceWriter writes the trace header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, fmt.Errorf("packet: write trace header: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: write trace header: %w", err)
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one packet record.
+func (tw *TraceWriter) Write(p Packet) error {
+	var rec [recordSize]byte
+	binary.BigEndian.PutUint64(rec[0:8], uint64(p.Time.UnixNano()))
+	binary.BigEndian.PutUint32(rec[8:12], uint32(p.Src))
+	binary.BigEndian.PutUint32(rec[12:16], uint32(p.Dst))
+	rec[16] = p.Proto
+	rec[17] = p.TOS
+	rec[18] = p.TCPFlags
+	if p.MoreFrag {
+		rec[19] = 1
+	}
+	binary.BigEndian.PutUint16(rec[20:22], p.SrcPort)
+	binary.BigEndian.PutUint16(rec[22:24], p.DstPort)
+	binary.BigEndian.PutUint16(rec[24:26], p.Length)
+	binary.BigEndian.PutUint16(rec[26:28], p.FragOff)
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("packet: write trace record: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *TraceWriter) Count() int { return tw.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *TraceWriter) Flush() error {
+	if err := tw.w.Flush(); err != nil {
+		return fmt.Errorf("packet: flush trace: %w", err)
+	}
+	return nil
+}
+
+// TraceReader streams packets out of a trace file.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(hdr[0:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[0:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != traceVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Read returns the next packet, or io.EOF at end of trace.
+func (tr *TraceReader) Read() (Packet, error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(tr.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: %v", ErrShortRecord, err)
+	}
+	return Packet{
+		Time:     time.Unix(0, int64(binary.BigEndian.Uint64(rec[0:8]))).UTC(),
+		Src:      netaddr.IPv4(binary.BigEndian.Uint32(rec[8:12])),
+		Dst:      netaddr.IPv4(binary.BigEndian.Uint32(rec[12:16])),
+		Proto:    rec[16],
+		TOS:      rec[17],
+		TCPFlags: rec[18],
+		MoreFrag: rec[19]&1 != 0,
+		SrcPort:  binary.BigEndian.Uint16(rec[20:22]),
+		DstPort:  binary.BigEndian.Uint16(rec[22:24]),
+		Length:   binary.BigEndian.Uint16(rec[24:26]),
+		FragOff:  binary.BigEndian.Uint16(rec[26:28]),
+	}, nil
+}
+
+// ReadAll drains the remaining records.
+func (tr *TraceReader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,181 @@
+// Package scan implements the Scan Analysis stage of Enhanced InFilter
+// (paper §4.1): a bounded buffer of suspect flows with two counters that
+// recognize network scans (one destination port across many distinct hosts,
+// e.g. Slammer) and host scans (many destination ports on one host, e.g.
+// nmap Idlescan). It sits between EIA analysis and NNS search.
+package scan
+
+import (
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// Config tunes the analyzer. Zero values take the paper's settings.
+type Config struct {
+	// BufferSize bounds the suspect-flow buffer. Zero defaults to 200,
+	// the size used in the paper's experiments.
+	BufferSize int
+	// NetworkScanThreshold flags a network scan when one destination port
+	// is targeted on at least this many distinct hosts. Zero defaults
+	// to 10.
+	NetworkScanThreshold int
+	// HostScanThreshold flags a host scan when one host is targeted on at
+	// least this many distinct ports. Zero defaults to 10.
+	HostScanThreshold int
+}
+
+// Defaults for Config.
+const (
+	DefaultBufferSize           = 200
+	DefaultNetworkScanThreshold = 10
+	DefaultHostScanThreshold    = 10
+)
+
+func (c Config) withDefaults() Config {
+	if c.BufferSize <= 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.NetworkScanThreshold <= 0 {
+		c.NetworkScanThreshold = DefaultNetworkScanThreshold
+	}
+	if c.HostScanThreshold <= 0 {
+		c.HostScanThreshold = DefaultHostScanThreshold
+	}
+	return c
+}
+
+// Result reports what the analyzer concluded about one suspect flow.
+type Result struct {
+	// Buffered is set when the flow was probe-like and entered the buffer.
+	Buffered bool
+	// NetworkScan is set when the flow's destination port crossed the
+	// distinct-host threshold.
+	NetworkScan bool
+	// HostScan is set when the flow's destination host crossed the
+	// distinct-port threshold.
+	HostScan bool
+}
+
+// Attack reports whether either scan counter fired.
+func (r Result) Attack() bool { return r.NetworkScan || r.HostScan }
+
+type portHost struct {
+	port uint16
+	host netaddr.IPv4
+}
+
+type bufEntry struct {
+	port uint16
+	host netaddr.IPv4
+}
+
+// Analyzer keeps the suspect-flow ring buffer and the two counting
+// structures. Not safe for concurrent use.
+type Analyzer struct {
+	cfg Config
+
+	ring []bufEntry
+	next int
+	full bool
+
+	// pairCount tracks duplicate (port,host) pairs inside the buffer so
+	// distinct counts stay exact under eviction.
+	pairCount map[portHost]int
+	// hostsPerPort counts distinct hosts targeted per destination port.
+	hostsPerPort map[uint16]int
+	// portsPerHost counts distinct ports targeted per destination host.
+	portsPerHost map[netaddr.IPv4]int
+}
+
+// New returns an empty analyzer.
+func New(cfg Config) *Analyzer {
+	cfg = cfg.withDefaults()
+	return &Analyzer{
+		cfg:          cfg,
+		ring:         make([]bufEntry, cfg.BufferSize),
+		pairCount:    make(map[portHost]int),
+		hostsPerPort: make(map[uint16]int),
+		portsPerHost: make(map[netaddr.IPv4]int),
+	}
+}
+
+// probeLike reports whether a flow has the shape of a scan probe: one or
+// two packets (a single worm datagram, a bare SYN, a fragment pair).
+// Established multi-packet flows never look like probes and are kept out
+// of the buffer so benign suspects cannot saturate the counters.
+func probeLike(r flow.Record) bool {
+	return r.Packets <= 2
+}
+
+// Add considers one suspect flow; probe-like flows enter the buffer and
+// the result reports whether a scan threshold fired.
+func (a *Analyzer) Add(rec flow.Record) Result {
+	if !probeLike(rec) {
+		return Result{}
+	}
+	if a.full {
+		a.evict(a.ring[a.next])
+	}
+	e := bufEntry{port: rec.Key.DstPort, host: rec.Key.Dst}
+	a.ring[a.next] = e
+	a.next++
+	if a.next == len(a.ring) {
+		a.next = 0
+		a.full = true
+	}
+	a.admit(e)
+
+	return Result{
+		Buffered:    true,
+		NetworkScan: a.hostsPerPort[e.port] >= a.cfg.NetworkScanThreshold,
+		HostScan:    a.portsPerHost[e.host] >= a.cfg.HostScanThreshold,
+	}
+}
+
+func (a *Analyzer) admit(e bufEntry) {
+	ph := portHost{port: e.port, host: e.host}
+	a.pairCount[ph]++
+	if a.pairCount[ph] == 1 {
+		a.hostsPerPort[e.port]++
+		a.portsPerHost[e.host]++
+	}
+}
+
+func (a *Analyzer) evict(e bufEntry) {
+	ph := portHost{port: e.port, host: e.host}
+	a.pairCount[ph]--
+	if a.pairCount[ph] == 0 {
+		delete(a.pairCount, ph)
+		a.hostsPerPort[e.port]--
+		if a.hostsPerPort[e.port] == 0 {
+			delete(a.hostsPerPort, e.port)
+		}
+		a.portsPerHost[e.host]--
+		if a.portsPerHost[e.host] == 0 {
+			delete(a.portsPerHost, e.host)
+		}
+	}
+}
+
+// Buffered returns the number of flows currently in the buffer.
+func (a *Analyzer) Buffered() int {
+	if a.full {
+		return len(a.ring)
+	}
+	return a.next
+}
+
+// HostsOnPort exposes the distinct-host count for a destination port.
+func (a *Analyzer) HostsOnPort(port uint16) int { return a.hostsPerPort[port] }
+
+// PortsOnHost exposes the distinct-port count for a destination host.
+func (a *Analyzer) PortsOnHost(host netaddr.IPv4) int { return a.portsPerHost[host] }
+
+// Reset clears the buffer and counters.
+func (a *Analyzer) Reset() {
+	a.next = 0
+	a.full = false
+	a.pairCount = make(map[portHost]int)
+	a.hostsPerPort = make(map[uint16]int)
+	a.portsPerHost = make(map[netaddr.IPv4]int)
+}

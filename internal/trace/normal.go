@@ -1,0 +1,259 @@
+// Package trace generates the synthetic traffic the testbed replays. It
+// substitutes for the CAIDA/NLANR captures ("normal" traffic) and the
+// Nessus/nmap-derived attack captures of paper §6.2: generators produce
+// packet-level traces with the same flow-statistic shapes, which Dagflow
+// turns into NetFlow records exactly as the original tool did.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/packet"
+)
+
+// NormalConfig parameterizes the normal-traffic generator.
+type NormalConfig struct {
+	// Seed fixes the PRNG so experiments are reproducible.
+	Seed int64
+	// Start is the timestamp of the first flow.
+	Start time.Time
+	// Flows is the number of flows to generate.
+	Flows int
+	// SrcPrefixes are the address blocks sources are drawn from (a Dagflow
+	// instance's allocated sub-blocks). Must be non-empty.
+	SrcPrefixes []netaddr.Prefix
+	// DstPrefix is the target network address range.
+	DstPrefix netaddr.Prefix
+	// MeanInterarrival is the mean gap between flow starts. Zero defaults
+	// to 10ms (about 100 flows/s per source).
+	MeanInterarrival time.Duration
+}
+
+// Service mix of the synthetic Internet traffic, approximating the
+// early-2000s backbone mixes the paper's traces carried. Weights sum to 100.
+var serviceMix = []struct {
+	cluster flow.Subcluster
+	weight  int
+}{
+	{flow.ClusterHTTP, 48},
+	{flow.ClusterSMTP, 10},
+	{flow.ClusterFTP, 5},
+	{flow.ClusterDNS, 15},
+	{flow.ClusterTCP, 12},
+	{flow.ClusterUDP, 7},
+	{flow.ClusterICMP, 3},
+}
+
+// GenerateNormal produces a time-ordered packet trace of benign flows.
+func GenerateNormal(cfg NormalConfig) ([]packet.Packet, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("trace: Flows must be positive, got %d", cfg.Flows)
+	}
+	if len(cfg.SrcPrefixes) == 0 {
+		return nil, fmt.Errorf("trace: SrcPrefixes must be non-empty")
+	}
+	if cfg.DstPrefix.IsZero() {
+		return nil, fmt.Errorf("trace: DstPrefix required")
+	}
+	mean := cfg.MeanInterarrival
+	if mean <= 0 {
+		mean = 10 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pkts []packet.Packet
+	now := cfg.Start
+	for i := 0; i < cfg.Flows; i++ {
+		now = now.Add(expDuration(rng, mean))
+		src := randomAddr(rng, cfg.SrcPrefixes[rng.Intn(len(cfg.SrcPrefixes))])
+		cluster := pickCluster(rng)
+		dst := serverAddr(rng, cfg.DstPrefix, cluster)
+		pkts = append(pkts, normalFlowPackets(rng, now, src, dst, cluster)...)
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time.Before(pkts[j].Time) })
+	return pkts, nil
+}
+
+// serverPoolSizes models that benign traffic into an ISP concentrates on a
+// small pool of servers per service (web farms, mail exchangers, the
+// network's resolvers) — unlike scans, which spray random hosts. These
+// pool sizes keep the per-port distinct-host counts of benign traffic well
+// under the Scan Analysis thresholds, as in the paper's real traces.
+var serverPoolSizes = map[flow.Subcluster]uint64{
+	flow.ClusterHTTP: 8,
+	flow.ClusterSMTP: 4,
+	flow.ClusterFTP:  4,
+	flow.ClusterDNS:  3,
+	flow.ClusterTCP:  24,
+	flow.ClusterUDP:  24,
+	flow.ClusterICMP: 16,
+}
+
+// serverAddr picks a destination host from the service's server pool
+// inside the target prefix. Pool members are spread deterministically
+// through the prefix.
+func serverAddr(rng *rand.Rand, p netaddr.Prefix, cluster flow.Subcluster) netaddr.IPv4 {
+	pool := serverPoolSizes[cluster]
+	if pool == 0 || pool > p.Size() {
+		return randomAddr(rng, p)
+	}
+	slot := uint64(rng.Int63n(int64(pool)))
+	// Offset each service's pool so services do not share hosts: stride the
+	// prefix by cluster index.
+	off := (slot*uint64(flow.NumSubclusters) + uint64(cluster)) % p.Size()
+	return p.Nth(off)
+}
+
+// normalFlowPackets emits the packets of one benign flow with statistics
+// typical for its service class.
+func normalFlowPackets(rng *rand.Rand, start time.Time, src, dst netaddr.IPv4, cluster flow.Subcluster) []packet.Packet {
+	srcPort := uint16(rng.Intn(64512) + 1024)
+
+	var (
+		proto    uint8
+		dstPort  uint16
+		nPackets int
+		pktSize  func() uint16
+		dur      time.Duration
+		tcpFlow  bool
+	)
+	switch cluster {
+	case flow.ClusterHTTP:
+		proto, dstPort, tcpFlow = flow.ProtoTCP, flow.PortHTTP, true
+		nPackets = 4 + int(paretoInt(rng, 6, 1.3, 200))
+		pktSize = func() uint16 { return uint16(200 + rng.Intn(1200)) }
+	case flow.ClusterSMTP:
+		proto, dstPort, tcpFlow = flow.ProtoTCP, flow.PortSMTP, true
+		nPackets = 6 + rng.Intn(30)
+		pktSize = func() uint16 { return uint16(100 + rng.Intn(900)) }
+	case flow.ClusterFTP:
+		proto, dstPort, tcpFlow = flow.ProtoTCP, flow.PortFTP, true
+		nPackets = 5 + rng.Intn(20)
+		pktSize = func() uint16 { return uint16(60 + rng.Intn(400)) }
+	case flow.ClusterDNS:
+		proto, dstPort = flow.ProtoUDP, flow.PortDNS
+		nPackets = 1 + rng.Intn(2)
+		pktSize = func() uint16 { return uint16(60 + rng.Intn(200)) }
+		dur = time.Duration(1+rng.Intn(80)) * time.Millisecond
+	case flow.ClusterTCP:
+		proto, dstPort, tcpFlow = flow.ProtoTCP, otherTCPPort(rng), true
+		nPackets = 3 + int(paretoInt(rng, 5, 1.2, 150))
+		pktSize = func() uint16 { return uint16(80 + rng.Intn(1300)) }
+	case flow.ClusterUDP:
+		proto, dstPort = flow.ProtoUDP, uint16(1024+rng.Intn(30000))
+		nPackets = 1 + rng.Intn(10)
+		pktSize = func() uint16 { return uint16(60 + rng.Intn(500)) }
+		dur = time.Duration(10+rng.Intn(2000)) * time.Millisecond
+	default: // ClusterICMP
+		proto, dstPort = flow.ProtoICMP, 0
+		srcPort = 0x0800 // echo request type/code
+		nPackets = 1 + rng.Intn(4)
+		pktSize = func() uint16 { return uint16(64 + rng.Intn(64)) }
+		dur = time.Duration(10+rng.Intn(1000)) * time.Millisecond
+	}
+
+	sizes := make([]uint16, nPackets)
+	totalBytes := 0
+	for j := range sizes {
+		sizes[j] = pktSize()
+		totalBytes += int(sizes[j])
+	}
+	if tcpFlow {
+		// A benign TCP flow's duration follows from its size over the
+		// sender's access bandwidth (dial-up through low-end broadband in
+		// the paper's era), so big flows are slow flows. Exploits break
+		// exactly this correlation.
+		bw := float64(64_000 + rng.Intn(4_000_000)) // bits/second
+		seconds := float64(totalBytes) * 8 / bw
+		dur = time.Duration(seconds * float64(time.Second))
+		if dur < 30*time.Millisecond {
+			dur = 30 * time.Millisecond
+		}
+		if dur > 60*time.Second {
+			dur = 60 * time.Second
+		}
+	}
+
+	pkts := make([]packet.Packet, 0, nPackets)
+	for j := 0; j < nPackets; j++ {
+		var ts time.Time
+		if nPackets == 1 {
+			ts = start
+		} else {
+			ts = start.Add(time.Duration(float64(dur) * float64(j) / float64(nPackets-1)))
+		}
+		var flags uint8
+		if proto == flow.ProtoTCP {
+			switch {
+			case j == 0:
+				flags = packet.FlagSYN
+			case j == nPackets-1:
+				flags = packet.FlagFIN | packet.FlagACK
+			default:
+				flags = packet.FlagACK
+			}
+		}
+		pkts = append(pkts, packet.Packet{
+			Time:     ts,
+			Src:      src,
+			Dst:      dst,
+			Proto:    proto,
+			SrcPort:  srcPort,
+			DstPort:  dstPort,
+			Length:   sizes[j],
+			TCPFlags: flags,
+		})
+	}
+	return pkts
+}
+
+func pickCluster(rng *rand.Rand) flow.Subcluster {
+	r := rng.Intn(100)
+	for _, m := range serviceMix {
+		if r < m.weight {
+			return m.cluster
+		}
+		r -= m.weight
+	}
+	return flow.ClusterICMP
+}
+
+// otherTCPPort returns a non-well-known TCP destination port (avoids the
+// dedicated-cluster services).
+func otherTCPPort(rng *rand.Rand) uint16 {
+	for {
+		p := uint16(rng.Intn(64000) + 100)
+		if p != flow.PortHTTP && p != flow.PortSMTP && p != flow.PortFTP {
+			return p
+		}
+	}
+}
+
+// randomAddr draws a uniform address inside p.
+func randomAddr(rng *rand.Rand, p netaddr.Prefix) netaddr.IPv4 {
+	return p.Nth(uint64(rng.Int63n(int64(p.Size()))))
+}
+
+// expDuration samples an exponential interarrival time with the given mean.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// paretoInt samples a bounded Pareto-ish heavy tail: xm * U^(-1/alpha),
+// capped at maxVal.
+func paretoInt(rng *rand.Rand, xm, alpha, maxVal float64) float64 {
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := xm * math.Pow(u, -1/alpha)
+	if v > maxVal {
+		return maxVal
+	}
+	return v
+}

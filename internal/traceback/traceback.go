@@ -1,0 +1,196 @@
+// Package traceback implements the extension the paper sketches in §1 and
+// §7: because InFilter observes which border router each suspect flow
+// entered through, its alerts can be aggregated into a traceback verdict —
+// the ingress point(s) attack traffic is using to enter the large IP
+// network, even though the source addresses themselves are spoofed.
+//
+// The tracker consumes IDMEF alerts (or engine decisions) and maintains
+// per-ingress evidence over a sliding window: alert counts, distinct
+// spoofed sources, distinct victims and stage breakdown. Ingresses whose
+// evidence dominates are reported as attack entry points, with a
+// confidence score proportional to their share of the window's alerts.
+package traceback
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
+)
+
+// Config tunes the tracker.
+type Config struct {
+	// Window is how long an alert contributes evidence. Zero defaults to
+	// five minutes.
+	Window time.Duration
+	// MinAlerts is the least evidence an ingress needs before it can be
+	// reported. Zero defaults to 5.
+	MinAlerts int
+	// MinShare is the least share of windowed alerts an ingress needs to
+	// be reported (0..1). Zero defaults to 0.2.
+	MinShare float64
+}
+
+// Defaults for Config.
+const (
+	DefaultWindow    = 5 * time.Minute
+	DefaultMinAlerts = 5
+)
+
+// DefaultMinShare is the default MinShare.
+const DefaultMinShare = 0.2
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinAlerts <= 0 {
+		c.MinAlerts = DefaultMinAlerts
+	}
+	if c.MinShare <= 0 {
+		c.MinShare = DefaultMinShare
+	}
+	return c
+}
+
+// event is one windowed alert.
+type event struct {
+	at     time.Time
+	peer   int
+	src    netaddr.IPv4
+	victim netaddr.IPv4
+	stage  idmef.Stage
+}
+
+// Ingress is the per-entry-point evidence summary.
+type Ingress struct {
+	PeerAS          int
+	Alerts          int
+	Share           float64 // fraction of windowed alerts
+	DistinctSources int
+	DistinctVictims int
+	ByStage         map[idmef.Stage]int
+	FirstSeen       time.Time
+	LastSeen        time.Time
+}
+
+// String summarizes the ingress evidence.
+func (in Ingress) String() string {
+	return fmt.Sprintf("peerAS=%d alerts=%d share=%.0f%% sources=%d victims=%d",
+		in.PeerAS, in.Alerts, 100*in.Share, in.DistinctSources, in.DistinctVictims)
+}
+
+// Tracker accumulates alerts into ingress evidence. Not safe for
+// concurrent use; serialize with the engine feeding it.
+type Tracker struct {
+	cfg    Config
+	events []event
+}
+
+// New returns an empty tracker.
+func New(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults()}
+}
+
+// Observe records one alert. Malformed addresses are counted with zero
+// source/victim rather than dropped, so evidence is never lost.
+func (t *Tracker) Observe(a idmef.Alert) {
+	src, _ := netaddr.ParseIPv4(a.Source.Address)
+	dst, _ := netaddr.ParseIPv4(a.Target.Address)
+	t.events = append(t.events, event{
+		at:     a.CreateTime,
+		peer:   a.Assessment.PeerAS,
+		src:    src,
+		victim: dst,
+		stage:  a.Assessment.Stage,
+	})
+}
+
+// prune drops events older than the window relative to now.
+func (t *Tracker) prune(now time.Time) {
+	cutoff := now.Add(-t.cfg.Window)
+	keep := t.events[:0]
+	for _, e := range t.events {
+		if !e.at.Before(cutoff) {
+			keep = append(keep, e)
+		}
+	}
+	t.events = keep
+}
+
+// Snapshot summarizes the evidence in the window ending at now, most
+// implicated ingress first.
+func (t *Tracker) Snapshot(now time.Time) []Ingress {
+	t.prune(now)
+	if len(t.events) == 0 {
+		return nil
+	}
+	type agg struct {
+		ingress Ingress
+		sources map[netaddr.IPv4]struct{}
+		victims map[netaddr.IPv4]struct{}
+	}
+	byPeer := make(map[int]*agg)
+	for _, e := range t.events {
+		a, ok := byPeer[e.peer]
+		if !ok {
+			a = &agg{
+				ingress: Ingress{
+					PeerAS:    e.peer,
+					ByStage:   make(map[idmef.Stage]int),
+					FirstSeen: e.at,
+					LastSeen:  e.at,
+				},
+				sources: make(map[netaddr.IPv4]struct{}),
+				victims: make(map[netaddr.IPv4]struct{}),
+			}
+			byPeer[e.peer] = a
+		}
+		a.ingress.Alerts++
+		a.ingress.ByStage[e.stage]++
+		a.sources[e.src] = struct{}{}
+		a.victims[e.victim] = struct{}{}
+		if e.at.Before(a.ingress.FirstSeen) {
+			a.ingress.FirstSeen = e.at
+		}
+		if e.at.After(a.ingress.LastSeen) {
+			a.ingress.LastSeen = e.at
+		}
+	}
+	total := len(t.events)
+	out := make([]Ingress, 0, len(byPeer))
+	for _, a := range byPeer {
+		a.ingress.Share = float64(a.ingress.Alerts) / float64(total)
+		a.ingress.DistinctSources = len(a.sources)
+		a.ingress.DistinctVictims = len(a.victims)
+		out = append(out, a.ingress)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alerts != out[j].Alerts {
+			return out[i].Alerts > out[j].Alerts
+		}
+		return out[i].PeerAS < out[j].PeerAS
+	})
+	return out
+}
+
+// EntryPoints returns the ingresses whose evidence clears both the
+// absolute and relative thresholds — the traceback verdict.
+func (t *Tracker) EntryPoints(now time.Time) []Ingress {
+	var out []Ingress
+	for _, in := range t.Snapshot(now) {
+		if in.Alerts >= t.cfg.MinAlerts && in.Share >= t.cfg.MinShare {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// WindowSize returns the number of alerts currently in the window (after
+// pruning at now).
+func (t *Tracker) WindowSize(now time.Time) int {
+	t.prune(now)
+	return len(t.events)
+}

@@ -1,0 +1,166 @@
+// Package traceroute implements the paper's §3.1 hypothesis-validation
+// methodology: periodic traceroutes from every Looking Glass site to every
+// target network, last-hop extraction, and change counting at three
+// aggregation levels — raw interface addresses, /24 subnets (smoothing
+// same-subnet redundant links), and FQDNs (smoothing cross-subnet pairs).
+package traceroute
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"infilter/internal/netaddr"
+	"infilter/internal/topo"
+)
+
+// LastHop is the peer-AS ↔ border-router adjacency extracted from one
+// traceroute.
+type LastHop struct {
+	Peer topo.Hop
+	BR   topo.Hop
+}
+
+// LastHopOf extracts the final AS-level hop from a path.
+func LastHopOf(p topo.Path) LastHop {
+	return LastHop{Peer: p.PeerHop(), BR: p.BRHop()}
+}
+
+// RawEqual reports whether the raw peer and BR interface addresses match.
+func RawEqual(a, b LastHop) bool {
+	return a.Peer.Addr == b.Peer.Addr && a.BR.Addr == b.BR.Addr
+}
+
+// SubnetEqual reports whether both hops match under /24 aggregation —
+// the relaxation §3.1 applies to absorb redundant links in one subnet.
+func SubnetEqual(a, b LastHop) bool {
+	return subnet24(a.Peer.Addr) == subnet24(b.Peer.Addr) &&
+		subnet24(a.BR.Addr) == subnet24(b.BR.Addr)
+}
+
+// FQDNEqual reports whether both hops resolve to the same router names —
+// the final smoothing step of §3.1.
+func FQDNEqual(a, b LastHop) bool {
+	return a.Peer.FQDN == b.Peer.FQDN && a.BR.FQDN == b.BR.FQDN
+}
+
+func subnet24(ip netaddr.IPv4) netaddr.Prefix {
+	return netaddr.MustPrefix(ip, 24)
+}
+
+// CampaignConfig describes one measurement run.
+type CampaignConfig struct {
+	// Period between successive traceroutes per (site, target) pair.
+	Period time.Duration
+	// Duration of the run (24h for the first campaign, 4 days for the
+	// second).
+	Duration time.Duration
+	// CompletionRate is the fraction of traceroutes that complete (the
+	// paper lost some samples to timeouts); zero means all complete.
+	CompletionRate float64
+}
+
+// Result aggregates a campaign's change statistics.
+type Result struct {
+	Samples       int // completed traceroute samples
+	Comparisons   int // consecutive-sample comparisons
+	RawChanges    int
+	SubnetChanges int
+	FQDNChanges   int
+}
+
+// RawChangePct is the fraction of comparisons whose raw last-hop changed.
+func (r Result) RawChangePct() float64 { return pct(r.RawChanges, r.Comparisons) }
+
+// SubnetChangePct is the change rate after /24 smoothing.
+func (r Result) SubnetChangePct() float64 { return pct(r.SubnetChanges, r.Comparisons) }
+
+// FQDNChangePct is the change rate after full aggregation.
+func (r Result) FQDNChangePct() float64 { return pct(r.FQDNChanges, r.Comparisons) }
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// String summarizes the result in the style of §3.1.1.
+func (r Result) String() string {
+	return fmt.Sprintf("samples=%d raw=%.1f%% subnet=%.1f%% aggregated=%.1f%%",
+		r.Samples, r.RawChangePct(), r.SubnetChangePct(), r.FQDNChangePct())
+}
+
+// HopStability samples one (site, target) pair repeatedly and returns the
+// per-hop change rate (router identity, by FQDN) at every hop position —
+// the data behind the paper's Figure 1 sketch: transit hops churn with the
+// IGP while the last AS-level hop stays put.
+func HopStability(n *topo.Network, site, tgt, samples int) []float64 {
+	if samples < 2 {
+		return nil
+	}
+	var prev topo.Path
+	var changes []int
+	for s := 0; s < samples; s++ {
+		p := n.Traceroute(site, tgt)
+		if changes == nil {
+			changes = make([]int, len(p.Hops))
+		}
+		if s > 0 {
+			for h := range p.Hops {
+				if h < len(prev.Hops) && p.Hops[h].FQDN != prev.Hops[h].FQDN {
+					changes[h]++
+				}
+			}
+		}
+		prev = p
+	}
+	out := make([]float64, len(changes))
+	for h, c := range changes {
+		out[h] = 100 * float64(c) / float64(samples-1)
+	}
+	return out
+}
+
+// Run executes the campaign over the network: every period, each Looking
+// Glass site traceroutes each target; consecutive completed samples per
+// pair are compared at the three aggregation levels.
+func Run(n *topo.Network, cfg CampaignConfig) (Result, error) {
+	if cfg.Period <= 0 || cfg.Duration < cfg.Period {
+		return Result{}, fmt.Errorf("traceroute: bad campaign %v/%v", cfg.Period, cfg.Duration)
+	}
+	rounds := int(cfg.Duration/cfg.Period) + 1
+	var (
+		res  Result
+		prev = make(map[[2]int]LastHop)
+		// Completion sampling uses its own deterministic stream so it does
+		// not perturb the topology's routing randomness.
+		rng = rand.New(rand.NewSource(int64(n.LGSites())*1_000_003 + int64(n.Targets())))
+	)
+	for round := 0; round < rounds; round++ {
+		for site := 0; site < n.LGSites(); site++ {
+			for tgt := 0; tgt < n.Targets(); tgt++ {
+				if cfg.CompletionRate > 0 && rng.Float64() > cfg.CompletionRate {
+					continue // traceroute did not complete
+				}
+				lh := LastHopOf(n.Traceroute(site, tgt))
+				res.Samples++
+				key := [2]int{site, tgt}
+				if p, ok := prev[key]; ok {
+					res.Comparisons++
+					if !RawEqual(p, lh) {
+						res.RawChanges++
+					}
+					if !SubnetEqual(p, lh) {
+						res.SubnetChanges++
+					}
+					if !FQDNEqual(p, lh) {
+						res.FQDNChanges++
+					}
+				}
+				prev[key] = lh
+			}
+		}
+	}
+	return res, nil
+}

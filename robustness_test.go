@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"infilter/internal/bgp"
+	"infilter/internal/flowtools"
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/packet"
+)
+
+// These tests assert the input-facing parsers never panic and never return
+// both a value and corruption on adversarial bytes — the daemon's sockets
+// face the open network.
+
+func TestNetFlowUnmarshalNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		d, err := netflow.Unmarshal(raw)
+		if err != nil {
+			return d == nil
+		}
+		return int(d.Header.Count) == len(d.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetFlowUnmarshalFlippedBits(t *testing.T) {
+	// Start from a valid datagram and flip random bytes: must never panic,
+	// and version/count checks must stay coherent.
+	d := &netflow.Datagram{Records: make([]netflow.Record, 7)}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		mut := append([]byte(nil), raw...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		if got, err := netflow.Unmarshal(mut); err == nil {
+			if int(got.Header.Count) != len(got.Records) {
+				t.Fatal("count/records mismatch on mutated input")
+			}
+		}
+	}
+}
+
+func TestBGPParserNeverPanics(t *testing.T) {
+	words := []string{"*", "*>", "4.0.0.0", "1.2.3.4", "4.2.101.0/24", "i", "e",
+		"1224", "38", "99999", "-3", "x", "(", "...", ""}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		var sb strings.Builder
+		lines := rng.Intn(5)
+		for l := 0; l < lines; l++ {
+			n := rng.Intn(8)
+			for w := 0; w < n; w++ {
+				sb.WriteString(words[rng.Intn(len(words))])
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		// Must not panic; errors are fine.
+		_, _ = bgp.ParseShowIPBGP(strings.NewReader(sb.String()))
+	}
+}
+
+func TestFlowtoolsASCIINeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = flowtools.ReadASCII(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceReaderNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr, err := packet.NewTraceReader(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		_, _ = tr.ReadAll()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreReaderNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		sr, err := flowtools.NewStoreReader(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		_, _ = sr.ReadAll()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterCompilerNeverPanics(t *testing.T) {
+	words := []string{"proto", "tcp", "udp", "and", "or", "not", "(", ")",
+		"dst-port", "80", "src-net", "61.0.0.0/11", "bogus", "-1", ""}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		var sb strings.Builder
+		n := rng.Intn(10)
+		for w := 0; w < n; w++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		_, _ = flowtools.CompileFilter(sb.String())
+	}
+}
+
+func TestParseIPv4NeverAcceptsGarbage(t *testing.T) {
+	f := func(s string) bool {
+		ip, err := netaddr.ParseIPv4(s)
+		if err != nil {
+			return true
+		}
+		// Anything accepted must round-trip.
+		back, err2 := netaddr.ParseIPv4(ip.String())
+		return err2 == nil && back == ip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
