@@ -491,6 +491,116 @@ func BenchmarkAblationApproxVsExact(b *testing.B) {
 	})
 }
 
+// --- Tentpole: sharded parallel analysis throughput ---
+
+// parallelBenchWorkload builds per-peer training flows plus suspect
+// streams from unexpected blocks, so every benchmarked flow takes the
+// expensive suspect path (scan + NNS). Promotion is disabled so the
+// workload stays suspect-heavy no matter how long the benchmark runs.
+func parallelBenchWorkload(b *testing.B, peers int) (analysis.Config, []analysis.LabeledRecord, []analysis.LabeledRecord) {
+	b.Helper()
+	cfg := analysis.Config{
+		Mode: analysis.ModeEnhanced,
+		EIA:  eia.Config{PromoteThreshold: 1 << 30},
+	}
+	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	target := netaddr.MustParsePrefix("192.0.2.0/24")
+	drain := func(seed int64, flows int, prefix string, t time.Time) []flow.Record {
+		pkts, err := trace.GenerateNormal(trace.NormalConfig{
+			Seed: seed, Start: t, Flows: flows,
+			SrcPrefixes: []netaddr.Prefix{netaddr.MustParsePrefix(prefix)},
+			DstPrefix:   target,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := netflow.NewCache(netflow.CacheConfig{ExpireOnFINRST: true})
+		for _, p := range pkts {
+			cache.Observe(p, 1)
+		}
+		cache.FlushAll()
+		return cache.Drain()
+	}
+	var labeled, suspects []analysis.LabeledRecord
+	for p := 1; p <= peers; p++ {
+		peer := eia.PeerAS(p)
+		for _, r := range drain(int64(p), 300, itoa(32+p)+".0.0.0/11", start) {
+			labeled = append(labeled, analysis.LabeledRecord{Peer: peer, Record: r})
+		}
+		for _, r := range drain(int64(100+p), 250, itoa(128+p)+".0.0.0/11", start.Add(time.Hour)) {
+			suspects = append(suspects, analysis.LabeledRecord{Peer: peer, Record: r})
+		}
+	}
+	// Round-robin interleave across peers so consecutive submissions land
+	// on different shards, as the per-port receive loops would produce.
+	byPeer := make(map[eia.PeerAS][]analysis.LabeledRecord)
+	for _, s := range suspects {
+		byPeer[s.Peer] = append(byPeer[s.Peer], s)
+	}
+	var interleaved []analysis.LabeledRecord
+	for i := 0; ; i++ {
+		added := false
+		for p := 1; p <= peers; p++ {
+			if q := byPeer[eia.PeerAS(p)]; i < len(q) {
+				interleaved = append(interleaved, q[i])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return cfg, labeled, interleaved
+}
+
+// BenchmarkParallelPipeline measures Enhanced-InFilter suspect-flow
+// throughput of the sharded engine against the serial baseline (§6.4's
+// per-flow cost, scaled out): flows/sec grows with shard count when cores
+// are available, since NNS assessment dominates and shards share no
+// mutable hot state. On a single-core host (GOMAXPROCS=1) the shard
+// variants instead measure sharding overhead, which should stay within a
+// few percent of serial.
+func BenchmarkParallelPipeline(b *testing.B) {
+	const peers = 8
+	cfg, labeled, suspects := parallelBenchWorkload(b, peers)
+
+	b.Run("serial", func(b *testing.B) {
+		engine, err := analysis.Train(cfg, labeled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := suspects[i%len(suspects)]
+			engine.Process(s.Peer, s.Record)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+	})
+	for _, shards := range []int{1, 4, 8} {
+		b.Run("shards-"+itoa(shards), func(b *testing.B) {
+			engine, err := analysis.TrainParallel(analysis.ParallelConfig{
+				Config: cfg,
+				Shards: shards,
+			}, labeled)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := suspects[i%len(suspects)]
+				if err := engine.Submit(s.Peer, s.Record); err != nil {
+					b.Fatal(err)
+				}
+			}
+			engine.Flush()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkEIACheck measures the Basic InFilter hot path.

@@ -11,9 +11,17 @@
 // demultiplexing convention, paper §6.2). EIA sets are trained from the
 // first -eia-training flows observed per port unless -eia-file provides
 // them explicitly (lines: "<peerAS> <cidr>").
+//
+// Flows are analyzed by a sharded analysis.ParallelEngine: each peer AS
+// maps to one worker shard (-workers, default one per port), fed through a
+// bounded queue (-queue-depth) that applies backpressure to the UDP
+// receive loops when analysis falls behind. On SIGINT/SIGTERM the daemon
+// stops ingest, drains every queued flow through the pipeline, then
+// flushes the capture archive and the alert connection before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,24 +44,39 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// run is the daemon body: it returns once ctx is canceled (the signal
+// path) and every in-flight flow has been drained and flushed.
+func run(ctx context.Context, args []string) error {
+	return runWith(ctx, args, nil)
+}
+
+// runWith additionally reports the bound UDP ports through onReady, letting
+// tests drive a daemon listening on ephemeral ports.
+func runWith(ctx context.Context, args []string, onReady func(ports []int)) error {
+	fs := flag.NewFlagSet("infilterd", flag.ContinueOnError)
 	var (
-		portsFlag   = flag.String("ports", "5001", "comma-separated UDP ports; port i carries peer AS i")
-		modeFlag    = flag.String("mode", "EI", "BI (basic) or EI (enhanced)")
-		alertFlag   = flag.String("alert", "", "IDMEF consumer TCP address (empty: log alerts)")
-		eiaFile     = flag.String("eia-file", "", "file of '<peerAS> <cidr>' lines preloading EIA sets")
-		modelFile   = flag.String("model", "", "detector model file: loaded if present, else trained and saved there (EI mode)")
-		trainFlows  = flag.Int("train-flows", 1500, "synthetic flows for NNS training (EI mode)")
-		trainSeed   = flag.Int64("train-seed", 1, "seed for synthetic training traffic")
-		captureDir  = flag.String("capture", "", "archive received flows into this directory (flow-capture role)")
-		statsPeriod = flag.Duration("stats", 30*time.Second, "period for stats logging")
+		portsFlag   = fs.String("ports", "5001", "comma-separated UDP ports; port i carries peer AS i")
+		modeFlag    = fs.String("mode", "EI", "BI (basic) or EI (enhanced)")
+		alertFlag   = fs.String("alert", "", "IDMEF consumer TCP address (empty: log alerts)")
+		eiaFile     = fs.String("eia-file", "", "file of '<peerAS> <cidr>' lines preloading EIA sets")
+		modelFile   = fs.String("model", "", "detector model file: loaded if present, else trained and saved there (EI mode)")
+		trainFlows  = fs.Int("train-flows", 1500, "synthetic flows for NNS training (EI mode)")
+		trainSeed   = fs.Int64("train-seed", 1, "seed for synthetic training traffic")
+		captureDir  = fs.String("capture", "", "archive received flows into this directory (flow-capture role)")
+		statsPeriod = fs.Duration("stats", 30*time.Second, "period for stats logging")
+		workers     = fs.Int("workers", 0, "analysis shards; flows route by peer AS (0: one per port)")
+		queueDepth  = fs.Int("queue-depth", analysis.DefaultQueueDepth, "bounded per-shard queue depth (backpressure)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	mode := analysis.ModeEnhanced
 	switch strings.ToUpper(*modeFlag) {
@@ -67,6 +90,10 @@ func run() error {
 	ports, err := parsePorts(*portsFlag)
 	if err != nil {
 		return err
+	}
+	shards := *workers
+	if shards <= 0 {
+		shards = len(ports)
 	}
 
 	set := eia.NewSet(eia.Config{})
@@ -84,7 +111,11 @@ func run() error {
 			return err
 		}
 	}
-	engine, err := analysis.NewEngine(analysis.Config{Mode: mode}, set, detector)
+	engine, err := analysis.NewParallelEngine(analysis.ParallelConfig{
+		Config:     analysis.Config{Mode: mode},
+		Shards:     shards,
+		QueueDepth: *queueDepth,
+	}, set, detector)
 	if err != nil {
 		return err
 	}
@@ -93,9 +124,9 @@ func run() error {
 	if *alertFlag != "" {
 		sender, err = idmef.Dial(*alertFlag)
 		if err != nil {
+			engine.Close()
 			return err
 		}
-		defer sender.Close()
 		engine.SetAlertSink(func(a idmef.Alert) {
 			if err := sender.Send(a); err != nil {
 				log.Printf("send alert: %v", err)
@@ -113,59 +144,106 @@ func run() error {
 	if *captureDir != "" {
 		capture, err = flowtools.NewCapture(*captureDir, flowtools.DefaultRotation)
 		if err != nil {
+			engine.Close()
+			if sender != nil {
+				sender.Close()
+			}
 			return err
 		}
-		defer capture.Close()
 		log.Printf("archiving flows into %s", *captureDir)
 	}
 
-	peerOfPort := make(map[int]eia.PeerAS, len(ports))
-	var mu sync.Mutex // engine is single-threaded; collector is not
+	// The receive loops start inside Listen, before the bound port (and so
+	// the peer AS) of an ephemeral listener is known, so the port→peer map
+	// is filled under a lock the handler shares.
+	var (
+		peerMu     sync.RWMutex
+		peerOfPort = make(map[int]eia.PeerAS, len(ports))
+	)
 	collector := flowtools.NewCollector(func(port int, recs []flow.Record) {
+		peerMu.RLock()
 		peer, ok := peerOfPort[port]
+		peerMu.RUnlock()
 		if !ok {
 			return
 		}
-		mu.Lock()
-		defer mu.Unlock()
 		for _, r := range recs {
 			if capture != nil {
 				if err := capture.Write(r); err != nil {
 					log.Printf("archive flow: %v", err)
 				}
 			}
-			engine.Process(peer, r)
+			if err := engine.Submit(peer, r); err != nil {
+				return // engine closed: shutdown in progress
+			}
 		}
 	})
-	defer collector.Close()
 
+	bound := make([]int, 0, len(ports))
 	for i, p := range ports {
-		bound, err := collector.Listen(p)
+		peerMu.Lock()
+		bp, err := collector.Listen(p)
+		if err == nil {
+			peerOfPort[bp] = eia.PeerAS(i + 1)
+			bound = append(bound, bp)
+		}
+		peerMu.Unlock()
 		if err != nil {
+			collector.Close()
+			engine.Close()
+			if capture != nil {
+				capture.Close()
+			}
+			if sender != nil {
+				sender.Close()
+			}
 			return fmt.Errorf("listen %d: %w", p, err)
 		}
-		peerOfPort[bound] = eia.PeerAS(i + 1)
-		log.Printf("peer AS %d on udp/%d (%s mode)", i+1, bound, mode)
+		log.Printf("peer AS %d on udp/%d (%s mode, %d shards)", i+1, bp, mode, shards)
+	}
+	if onReady != nil {
+		onReady(bound)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	ticker := time.NewTicker(*statsPeriod)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			mu.Lock()
 			st := engine.Stats()
-			mu.Unlock()
 			recv, malformed := collector.Stats()
 			log.Printf("stats: received=%d malformed=%d processed=%d suspects=%d attacks=%d promotions=%d",
 				recv, malformed, st.Processed, st.Suspects, st.Attacks, st.Promotions)
-		case s := <-sig:
-			log.Printf("shutting down on %v", s)
-			return nil
+		case <-ctx.Done():
+			log.Printf("shutting down: draining in-flight flows")
+			return shutdown(collector, engine, capture, sender)
 		}
 	}
+}
+
+// shutdown tears the daemon down in dependency order: stop ingest and join
+// the receive loops, drain every queued flow through the analysis shards
+// (emitting their alerts), then flush the capture archive and close the
+// alert connection. The first error is reported; later stages still run.
+func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, capture *flowtools.Capture, sender *idmef.Sender) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(collector.Close())
+	keep(engine.Close())
+	if capture != nil {
+		keep(capture.Close())
+	}
+	if sender != nil {
+		keep(sender.Close())
+	}
+	st := engine.Stats()
+	log.Printf("drained: processed=%d suspects=%d attacks=%d promotions=%d",
+		st.Processed, st.Suspects, st.Attacks, st.Promotions)
+	return firstErr
 }
 
 func parsePorts(s string) ([]int, error) {

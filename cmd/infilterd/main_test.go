@@ -1,12 +1,22 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/flowtools"
+	"infilter/internal/idmef"
 	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/testutil"
 )
 
 func TestParsePorts(t *testing.T) {
@@ -61,6 +71,119 @@ func TestLoadEIAFileErrors(t *testing.T) {
 		}
 		if err := loadEIAFile(set, path); err == nil {
 			t.Errorf("loadEIAFile(%q): want error", content)
+		}
+	}
+}
+
+// TestRunShutdownDrainsAndFlushes drives the daemon end to end on ephemeral
+// ports and exercises the SIGTERM-equivalent path: cancel the context, then
+// require that run returns cleanly, every submitted flow produced its alert,
+// and the capture archive was flushed to disk (readable, complete).
+func TestRunShutdownDrainsAndFlushes(t *testing.T) {
+	var alerts atomic.Int64
+	consumer := idmef.NewConsumer(func(idmef.Alert) { alerts.Add(1) })
+	alertPort, err := consumer.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	captureDir := t.TempDir()
+	eiaPath := filepath.Join(t.TempDir(), "eia.txt")
+	if err := os.WriteFile(eiaPath, []byte("1 61.0.0.0/11\n2 70.0.0.0/11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// BI mode with preloaded EIA sets: flows from 99.0.0.0/8 are Unknown to
+	// both peers, so every record becomes exactly one attack alert.
+	args := []string{
+		"-ports", "0,0", "-mode", "BI",
+		"-alert", fmt.Sprintf("127.0.0.1:%d", alertPort),
+		"-capture", captureDir, "-eia-file", eiaPath,
+		"-stats", "1h", "-workers", "2", "-queue-depth", "64",
+	}
+
+	const datagrams, perDatagram = 3, 10
+	const total = int64(datagrams * perDatagram)
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ready := make(chan []int, 1)
+		done := make(chan error, 1)
+		go func() { done <- runWith(ctx, args, func(ports []int) { ready <- ports }) }()
+
+		var ports []int
+		select {
+		case ports = <-ready:
+		case err := <-done:
+			t.Fatalf("run exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		if len(ports) != 2 {
+			t.Fatalf("bound %d ports, want 2", len(ports))
+		}
+
+		for i := 0; i < datagrams; i++ {
+			d := &netflow.Datagram{}
+			for j := 0; j < perDatagram; j++ {
+				d.Records = append(d.Records, netflow.Record{
+					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
+					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
+				})
+			}
+			raw, err := d.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", ports[i%len(ports)]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+		}
+
+		deadline := time.Now().Add(10 * time.Second)
+		for alerts.Load() < total {
+			if time.Now().After(deadline) {
+				t.Fatalf("got %d alerts, want %d", alerts.Load(), total)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after cancel", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not return after cancel")
+		}
+	})
+
+	recs, err := flowtools.ReadArchive(captureDir)
+	if err != nil {
+		t.Fatalf("archive not readable after shutdown: %v", err)
+	}
+	if int64(len(recs)) != total {
+		t.Errorf("archive has %d records, want %d", len(recs), total)
+	}
+}
+
+// TestRunRejectsBadFlags covers the pre-listen validation paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "XX"},
+		{"-ports", "abc"},
+		{"-no-such-flag"},
+		{"-eia-file", filepath.Join(t.TempDir(), "missing")},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v): want error", args)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"infilter/internal/eia"
 	"infilter/internal/flow"
 	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
 	"infilter/internal/nns"
 	"infilter/internal/scan"
 )
@@ -77,13 +78,97 @@ type Stats struct {
 	ScanFlagged int
 }
 
+// eiaState is the slice of the EIA-set API the normal-processing phase
+// needs. Both *eia.Set (serial Engine) and *eia.ConcurrentSet (shared
+// across ParallelEngine shards) satisfy it.
+type eiaState interface {
+	Check(peer eia.PeerAS, src netaddr.IPv4) eia.Verdict
+	RecordLegal(peer eia.PeerAS, src netaddr.IPv4) bool
+}
+
+// pipeline is the normal-processing phase of §5.2 (Figure 12) over a set of
+// analysis components: EIA check, then Scan Analysis, then NNS search. The
+// Engine runs one pipeline; ParallelEngine runs one per shard with the EIA
+// state and detector shared. A pipeline is only as concurrency-safe as its
+// components: the scanner is always owned by a single caller, the detector
+// is read-only after training, and the EIA state supplies its own locking
+// when shared.
+type pipeline struct {
+	mode     Mode
+	eia      eiaState
+	scanner  *scan.Analyzer
+	detector *nns.Detector
+}
+
+// decide runs one flow through the pipeline; scanFlagged reports whether
+// the scan stage fired (tracked separately from the Decision for stats).
+func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFlagged bool) {
+	d = Decision{Verdict: p.eia.Check(peer, rec.Key.Src)}
+	if d.Verdict == eia.Match {
+		// Case (b): expected ingress — legal flow, no alarms.
+		return d, false
+	}
+	// Case (a): unexpected ingress or unknown source.
+	if p.mode == ModeBasic {
+		d.Attack = true
+		d.Stage = idmef.StageEIA
+		return d, false
+	}
+	// Enhanced: Scan Analysis first.
+	if res := p.scanner.Add(rec); res.Attack() {
+		d.Attack = true
+		d.Stage = idmef.StageScan
+		return d, true
+	}
+	// Then NNS search against the flow's subcluster.
+	d.Assessment = p.detector.Assess(rec)
+	if d.Assessment.Anomalous {
+		d.Attack = true
+		d.Stage = idmef.StageNNS
+		return d, false
+	}
+	// Within normal behavior: vouch for the source; promote after enough
+	// confirmations so a route change stops raising suspicion (§5.2(a)).
+	d.Promoted = p.eia.RecordLegal(peer, rec.Key.Src)
+	return d, false
+}
+
+// record folds one decision into the counters.
+func (s *Stats) record(d Decision, scanFlagged bool) {
+	s.Processed++
+	if d.Verdict != eia.Match {
+		s.Suspects++
+	}
+	if d.Attack {
+		s.Attacks++
+		s.ByStage[d.Stage]++
+	}
+	if d.Promoted {
+		s.Promotions++
+	}
+	if scanFlagged {
+		s.ScanFlagged++
+	}
+}
+
+// merge adds other's counters into s.
+func (s *Stats) merge(other Stats) {
+	s.Processed += other.Processed
+	s.Suspects += other.Suspects
+	s.Attacks += other.Attacks
+	s.Promotions += other.Promotions
+	s.ScanFlagged += other.ScanFlagged
+	for k, v := range other.ByStage {
+		s.ByStage[k] += v
+	}
+}
+
 // Engine is the per-deployment analysis state. Not safe for concurrent
-// use; the daemon serializes flows into it.
+// use; use ParallelEngine to process flows from many ingresses at once.
 type Engine struct {
 	cfg      Config
 	eiaSet   *eia.Set
-	scanner  *scan.Analyzer
-	detector *nns.Detector
+	pl       pipeline
 	stats    Stats
 	alertFn  func(idmef.Alert)
 	alertSeq int
@@ -103,12 +188,16 @@ func NewEngine(cfg Config, set *eia.Set, detector *nns.Detector) (*Engine, error
 		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
 	}
 	return &Engine{
-		cfg:      cfg,
-		eiaSet:   set,
-		scanner:  scan.New(cfg.Scan),
-		detector: detector,
-		stats:    Stats{ByStage: make(map[idmef.Stage]int)},
-		now:      time.Now,
+		cfg:    cfg,
+		eiaSet: set,
+		pl: pipeline{
+			mode:     cfg.Mode,
+			eia:      set,
+			scanner:  scan.New(cfg.Scan),
+			detector: detector,
+		},
+		stats: Stats{ByStage: make(map[idmef.Stage]int)},
+		now:   time.Now,
 	}, nil
 }
 
@@ -177,53 +266,13 @@ func (e *Engine) Stats() Stats {
 // 12) and returns the decision.
 func (e *Engine) Process(peer eia.PeerAS, rec flow.Record) Decision {
 	start := e.now()
-	d := e.process(peer, rec)
+	d, scanFlagged := e.pl.decide(peer, rec)
 	d.Latency = e.now().Sub(start)
 
-	e.stats.Processed++
-	if d.Verdict != eia.Match {
-		e.stats.Suspects++
-	}
+	e.stats.record(d, scanFlagged)
 	if d.Attack {
-		e.stats.Attacks++
-		e.stats.ByStage[d.Stage]++
 		e.emitAlert(peer, rec, d)
 	}
-	if d.Promoted {
-		e.stats.Promotions++
-	}
-	return d
-}
-
-func (e *Engine) process(peer eia.PeerAS, rec flow.Record) Decision {
-	d := Decision{Verdict: e.eiaSet.Check(peer, rec.Key.Src)}
-	if d.Verdict == eia.Match {
-		// Case (b): expected ingress — legal flow, no alarms.
-		return d
-	}
-	// Case (a): unexpected ingress or unknown source.
-	if e.cfg.Mode == ModeBasic {
-		d.Attack = true
-		d.Stage = idmef.StageEIA
-		return d
-	}
-	// Enhanced: Scan Analysis first.
-	if res := e.scanner.Add(rec); res.Attack() {
-		e.stats.ScanFlagged++
-		d.Attack = true
-		d.Stage = idmef.StageScan
-		return d
-	}
-	// Then NNS search against the flow's subcluster.
-	d.Assessment = e.detector.Assess(rec)
-	if d.Assessment.Anomalous {
-		d.Attack = true
-		d.Stage = idmef.StageNNS
-		return d
-	}
-	// Within normal behavior: vouch for the source; promote after enough
-	// confirmations so a route change stops raising suspicion (§5.2(a)).
-	d.Promoted = e.eiaSet.RecordLegal(peer, rec.Key.Src)
 	return d
 }
 

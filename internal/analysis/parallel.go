@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/nns"
+	"infilter/internal/scan"
+)
+
+// ParallelConfig assembles a ParallelEngine.
+type ParallelConfig struct {
+	// Config carries the pipeline settings shared with the serial Engine.
+	Config
+	// Shards is the number of worker shards. Flows are routed by peer AS
+	// (shard = peer mod Shards), so every ingress keeps FIFO order and one
+	// peer's flows never race each other — the per-peer-AS EIA semantics of
+	// §3 carry over shard boundaries unchanged. Zero defaults to
+	// runtime.GOMAXPROCS(0).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue. Submit blocks once a
+	// shard's queue is full, pushing backpressure onto the producer (for
+	// infilterd, the UDP receive loops; the kernel sheds load beyond
+	// that). Zero defaults to DefaultQueueDepth.
+	QueueDepth int
+}
+
+// DefaultQueueDepth is the per-shard queue bound when none is configured.
+const DefaultQueueDepth = 256
+
+// ErrEngineClosed is returned by Submit after Close.
+var ErrEngineClosed = errors.New("analysis: parallel engine closed")
+
+type shardItem struct {
+	peer eia.PeerAS
+	rec  flow.Record
+}
+
+// shard is one worker's private state: its queue, its own Scan Analysis
+// buffer (suspect interleaving is per-shard, matching the per-ingress
+// deployment of the paper's prototype) and its own counters, merged only
+// when Stats is read.
+type shard struct {
+	pl    pipeline
+	queue chan shardItem
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// ParallelEngine is the sharded, concurrency-safe Enhanced-InFilter
+// pipeline. It partitions work by peer AS across Shards workers: the EIA
+// set is shared behind an eia.ConcurrentSet (lookups take a read lock,
+// promotions a write lock), the NNS detector is shared read-only (Assess
+// is safe for concurrent use after training), and each shard owns a
+// private scan analyzer and stats block so the hot path takes no global
+// locks.
+//
+// Submit and Stats are safe for concurrent use. SetAlertSink and SetClock
+// must be called before the first Submit; the installed alert sink is
+// invoked from worker goroutines and must itself be concurrency-safe.
+type ParallelEngine struct {
+	cfg      ParallelConfig
+	eiaSet   *eia.ConcurrentSet
+	detector *nns.Detector
+	shards   []*shard
+
+	alertFn  func(idmef.Alert)
+	alertSeq atomic.Int64
+	now      func() time.Time
+
+	submitted atomic.Int64
+	processed atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewParallelEngine assembles a sharded engine from pre-trained
+// components and starts its workers. detector may be nil only in
+// ModeBasic. The set is wrapped in an eia.ConcurrentSet and must not be
+// mutated directly afterwards.
+func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector) (*ParallelEngine, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEnhanced
+	}
+	if set == nil {
+		return nil, fmt.Errorf("analysis: nil EIA set")
+	}
+	if cfg.Mode == ModeEnhanced && detector == nil {
+		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	e := &ParallelEngine{
+		cfg:      cfg,
+		eiaSet:   eia.NewConcurrentSet(set),
+		detector: detector,
+		shards:   make([]*shard, cfg.Shards),
+		now:      time.Now,
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			pl: pipeline{
+				mode:     cfg.Mode,
+				eia:      e.eiaSet,
+				scanner:  scan.New(cfg.Scan),
+				detector: detector,
+			},
+			queue: make(chan shardItem, cfg.QueueDepth),
+			stats: Stats{ByStage: make(map[idmef.Stage]int)},
+		}
+	}
+	for _, s := range e.shards {
+		e.wg.Add(1)
+		go e.worker(s)
+	}
+	return e, nil
+}
+
+// TrainParallel builds a fully-trained sharded engine from labeled normal
+// traffic, the way Train does for the serial Engine.
+func TrainParallel(cfg ParallelConfig, normal []LabeledRecord) (*ParallelEngine, error) {
+	serial, err := Train(cfg.Config, normal)
+	if err != nil {
+		return nil, err
+	}
+	return NewParallelEngine(cfg, serial.eiaSet, serial.pl.detector)
+}
+
+// SetAlertSink installs a callback receiving an IDMEF alert per detected
+// attack. It must be called before the first Submit; the callback runs on
+// worker goroutines and must be safe for concurrent use.
+func (e *ParallelEngine) SetAlertSink(fn func(idmef.Alert)) { e.alertFn = fn }
+
+// SetClock overrides the engine's clock (tests and replay). It must be
+// called before the first Submit; the clock is read concurrently by every
+// worker and must be safe for concurrent use.
+func (e *ParallelEngine) SetClock(now func() time.Time) {
+	if now != nil {
+		e.now = now
+	}
+}
+
+// EIASet exposes the engine's shared EIA state (monitoring, tests).
+func (e *ParallelEngine) EIASet() *eia.ConcurrentSet { return e.eiaSet }
+
+// Shards returns the number of worker shards.
+func (e *ParallelEngine) Shards() int { return len(e.shards) }
+
+// shardFor routes a peer AS to its worker.
+func (e *ParallelEngine) shardFor(peer eia.PeerAS) *shard {
+	return e.shards[int(peer)%len(e.shards)]
+}
+
+// Submit enqueues one flow for its peer's shard, blocking while the
+// shard's queue is full (backpressure). It returns ErrEngineClosed after
+// Close.
+func (e *ParallelEngine) Submit(peer eia.PeerAS, rec flow.Record) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.submitted.Add(1)
+	e.shardFor(peer).queue <- shardItem{peer: peer, rec: rec}
+	return nil
+}
+
+func (e *ParallelEngine) worker(s *shard) {
+	defer e.wg.Done()
+	for it := range s.queue {
+		start := e.now()
+		d, scanFlagged := s.pl.decide(it.peer, it.rec)
+		d.Latency = e.now().Sub(start)
+
+		s.mu.Lock()
+		s.stats.record(d, scanFlagged)
+		s.mu.Unlock()
+		if d.Attack {
+			e.emitAlert(it.peer, it.rec, d)
+		}
+		e.processed.Add(1)
+	}
+}
+
+func (e *ParallelEngine) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {
+	if e.alertFn == nil {
+		return
+	}
+	seq := e.alertSeq.Add(1)
+	class := "spoofed-traffic/" + string(d.Stage)
+	e.alertFn(idmef.NewAlert(
+		"infilter-"+strconv.FormatInt(seq, 10),
+		e.now(), d.Stage, int(peer), class, rec.Key, d.Assessment.Distance,
+	))
+}
+
+// Stats returns the engine counters merged across shards. It may be called
+// concurrently with Submit; the snapshot is consistent per shard.
+func (e *ParallelEngine) Stats() Stats {
+	out := Stats{ByStage: make(map[idmef.Stage]int)}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		out.merge(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Flush blocks until every flow submitted before the call has been
+// processed. It is a drain barrier for tests and benchmarks; it does not
+// stop the engine.
+func (e *ParallelEngine) Flush() {
+	target := e.submitted.Load()
+	for e.processed.Load() < target {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Close drains the shard queues, waits for every worker to exit and
+// releases the engine. Subsequent Submits return ErrEngineClosed; Close is
+// idempotent. Flows already queued are fully processed (graceful drain),
+// so counters and alerts for them are emitted before Close returns.
+func (e *ParallelEngine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.queue)
+	}
+	e.wg.Wait()
+	return nil
+}

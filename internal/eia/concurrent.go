@@ -1,0 +1,103 @@
+package eia
+
+import (
+	"io"
+	"sync"
+
+	"infilter/internal/netaddr"
+)
+
+// ConcurrentSet wraps a Set for shared use by concurrent analysis shards.
+// The EIA set is read-mostly at run time — the hot path is Check, a pure
+// longest-prefix lookup — while the only writers are promotions of
+// repeatedly-vouched sources (RecordLegal) and operator preloads. An
+// RWMutex therefore keeps lookups uncontended: Check and the other
+// read-side accessors take the read lock; RecordLegal, AddPrefix and Train
+// take the write lock.
+//
+// All methods are safe for concurrent use. The wrapped Set must not be
+// used directly while the ConcurrentSet is shared.
+type ConcurrentSet struct {
+	mu sync.RWMutex
+	s  *Set
+}
+
+// NewConcurrentSet wraps set; a nil set gets a fresh empty Set with the
+// default Config.
+func NewConcurrentSet(set *Set) *ConcurrentSet {
+	if set == nil {
+		set = NewSet(Config{})
+	}
+	return &ConcurrentSet{s: set}
+}
+
+// Check classifies a flow's source address observed at peer.
+func (c *ConcurrentSet) Check(peer PeerAS, src netaddr.IPv4) Verdict {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Check(peer, src)
+}
+
+// ExpectedPeer returns the peer AS whose EIA set contains src.
+func (c *ConcurrentSet) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.ExpectedPeer(src)
+}
+
+// RecordLegal notes a vouched source and reports whether it was promoted
+// into peer's EIA set on this call.
+func (c *ConcurrentSet) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.RecordLegal(peer, src)
+}
+
+// AddPrefix records that sources inside p are expected at peer.
+func (c *ConcurrentSet) AddPrefix(peer PeerAS, p netaddr.Prefix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.AddPrefix(peer, p)
+}
+
+// Train initializes EIA sets from observed traffic (see Set.Train).
+func (c *ConcurrentSet) Train(obs []TrainingSource, maskBits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Train(obs, maskBits)
+}
+
+// PendingCount exposes the promotion progress for a source subnet at peer.
+func (c *ConcurrentSet) PendingCount(peer PeerAS, src netaddr.IPv4) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.PendingCount(peer, src)
+}
+
+// Len returns the total number of prefixes across all peers.
+func (c *ConcurrentSet) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Len()
+}
+
+// PeerPrefixCount returns how many prefixes map to peer.
+func (c *ConcurrentSet) PeerPrefixCount(peer PeerAS) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.PeerPrefixCount(peer)
+}
+
+// Peers returns the peer ASes with at least one prefix, ascending.
+func (c *ConcurrentSet) Peers() []PeerAS {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Peers()
+}
+
+// WriteTo serializes the wrapped set in the text format of Set.WriteTo.
+func (c *ConcurrentSet) WriteTo(w io.Writer) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.WriteTo(w)
+}

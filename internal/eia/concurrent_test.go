@@ -1,0 +1,79 @@
+package eia
+
+import (
+	"sync"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+func TestConcurrentSetSemantics(t *testing.T) {
+	cs := NewConcurrentSet(nil)
+	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+
+	if got := cs.Check(1, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+		t.Errorf("Check = %v, want Match", got)
+	}
+	if got := cs.Check(1, netaddr.MustParseIPv4("70.1.1.1")); got != WrongPeer {
+		t.Errorf("Check = %v, want WrongPeer", got)
+	}
+	if got := cs.Check(1, netaddr.MustParseIPv4("99.1.1.1")); got != Unknown {
+		t.Errorf("Check = %v, want Unknown", got)
+	}
+	if peer, ok := cs.ExpectedPeer(netaddr.MustParseIPv4("70.1.1.1")); !ok || peer != 2 {
+		t.Errorf("ExpectedPeer = %v, %v", peer, ok)
+	}
+	if cs.Len() != 2 || cs.PeerPrefixCount(1) != 1 {
+		t.Errorf("Len = %d, PeerPrefixCount(1) = %d", cs.Len(), cs.PeerPrefixCount(1))
+	}
+
+	// Promotion through the wrapper behaves like the bare set.
+	src := netaddr.MustParseIPv4("99.2.3.4")
+	var promoted bool
+	for i := 0; i < DefaultPromoteThreshold; i++ {
+		promoted = cs.RecordLegal(3, src)
+	}
+	if !promoted {
+		t.Fatal("RecordLegal never promoted at the threshold")
+	}
+	if got := cs.Check(3, src); got != Match {
+		t.Errorf("post-promotion Check = %v, want Match", got)
+	}
+}
+
+// TestConcurrentSetParallelAccess hammers the wrapper from many goroutines;
+// it exists to fail under -race if any accessor skips the lock.
+func TestConcurrentSetParallelAccess(t *testing.T) {
+	cs := NewConcurrentSet(nil)
+	for i := 0; i < 8; i++ {
+		cs.AddPrefix(PeerAS(i+1), netaddr.MustPrefix(netaddr.IPv4(uint32(i+10)<<24), 8))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := PeerAS(g + 1)
+			base := netaddr.IPv4(uint32(g+100) << 24)
+			for i := 0; i < 500; i++ {
+				src := base + netaddr.IPv4(i%7)<<8
+				cs.Check(peer, src)
+				cs.RecordLegal(peer, src)
+				cs.ExpectedPeer(src)
+				if i%100 == 0 {
+					cs.Len()
+					cs.Peers()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Each goroutine vouched ~72 times for each of 7 disjoint /24s, far
+	// past the promotion threshold: every subnet must have been promoted.
+	for g := 0; g < 8; g++ {
+		if got := cs.Check(PeerAS(g+1), netaddr.IPv4(uint32(g+100)<<24)); got != Match {
+			t.Errorf("goroutine %d subnet not promoted: %v", g, got)
+		}
+	}
+}

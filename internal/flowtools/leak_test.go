@@ -1,0 +1,106 @@
+package flowtools
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
+	"infilter/internal/testutil"
+)
+
+// TestCollectorGoroutineLeak cycles Listen/Close with live traffic and
+// fails if any receive-loop goroutine survives Close.
+func TestCollectorGoroutineLeak(t *testing.T) {
+	d := &netflow.Datagram{Records: []netflow.Record{{
+		SrcAddr: netaddr.MustParseIPv4("61.1.1.1"),
+		DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+		Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
+	}}}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		for i := 0; i < 3; i++ {
+			got := make(chan struct{}, 16)
+			c := NewCollector(func(port int, recs []flow.Record) {
+				got <- struct{}{}
+			})
+			var ports []int
+			for j := 0; j < 3; j++ {
+				p, err := c.Listen(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ports = append(ports, p)
+			}
+			// Push one datagram through each listener so Close races with
+			// real handler activity, not idle loops.
+			for _, p := range ports {
+				conn, err := net.Dial("udp", net.JoinHostPort("127.0.0.1", itoa(p)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := conn.Write(raw); err != nil {
+					t.Fatal(err)
+				}
+				conn.Close()
+			}
+			for range ports {
+				select {
+				case <-got:
+				case <-time.After(5 * time.Second):
+					t.Fatal("datagram never delivered")
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Listen(0); err != ErrCollectorClosed {
+				t.Errorf("Listen after Close = %v, want ErrCollectorClosed", err)
+			}
+		}
+	})
+}
+
+// TestCaptureCloseCycle exercises the capture writer's start/stop cycle:
+// Close must flush everything and further Writes must fail cleanly.
+func TestCaptureCloseCycle(t *testing.T) {
+	dir := t.TempDir()
+	rec := flow.Record{
+		Key:     flow.Key{Src: netaddr.MustParseIPv4("61.1.1.1"), Dst: netaddr.MustParseIPv4("192.0.2.1")},
+		Packets: 3, Bytes: 1200,
+		Start: time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2005, 4, 1, 0, 0, 2, 0, time.UTC),
+	}
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		for i := 0; i < 3; i++ {
+			cap, err := NewCapture(dir, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cap.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := cap.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := cap.Close(); err != nil {
+				t.Errorf("second Close = %v", err)
+			}
+			if err := cap.Write(rec); err == nil {
+				t.Error("Write after Close: want error")
+			}
+		}
+	})
+	recs, err := ReadArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("archive has %d records, want 3", len(recs))
+	}
+}

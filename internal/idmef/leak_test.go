@@ -1,0 +1,84 @@
+package idmef
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/testutil"
+)
+
+// TestConsumerGoroutineLeak cycles the consumer's accept/read loops with a
+// live sender and fails if Close leaves any goroutine behind.
+func TestConsumerGoroutineLeak(t *testing.T) {
+	key := flow.Key{
+		Src: netaddr.MustParseIPv4("70.1.1.1"), Dst: netaddr.MustParseIPv4("192.0.2.1"),
+		Proto: flow.ProtoUDP, DstPort: 1434,
+	}
+	alert := NewAlert("leak-1", time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC),
+		StageNNS, 1, "spoofed-traffic/nns", key, 42)
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		for i := 0; i < 3; i++ {
+			got := make(chan Alert, 8)
+			c := NewConsumer(func(a Alert) { got <- a })
+			port, err := c.Listen(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Dial(addr(port))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Send(alert); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case a := <-got:
+				if a.MessageID != "leak-1" {
+					t.Errorf("got alert %q", a.MessageID)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("alert never delivered")
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Listen(0); err != ErrConsumerClosed {
+				t.Errorf("Listen after Close = %v, want ErrConsumerClosed", err)
+			}
+		}
+	})
+}
+
+// TestConsumerCloseWithLiveSender closes the consumer while a sender's
+// connection is still open: the read loops must exit without waiting for
+// the peer.
+func TestConsumerCloseWithLiveSender(t *testing.T) {
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		c := NewConsumer(func(Alert) {})
+		port, err := c.Listen(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Dial(addr(port))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		// Give the accept loop a moment to register the connection so
+		// Close exercises the live-conn teardown path.
+		time.Sleep(20 * time.Millisecond)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func addr(port int) string {
+	return fmt.Sprintf("127.0.0.1:%d", port)
+}

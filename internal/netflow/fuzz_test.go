@@ -1,0 +1,77 @@
+package netflow
+
+import (
+	"bytes"
+	"testing"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// FuzzDecodeDatagram throws arbitrary bytes at the v5 decoder. Inputs the
+// decoder accepts must survive the full consumer path (ToFlowRecord, as
+// the collector runs it) and re-encode to bytes that decode to the same
+// datagram — the round-trip property the daemon's ingest relies on.
+func FuzzDecodeDatagram(f *testing.F) {
+	// Seed corpus: the codec test vectors — an empty datagram, a full
+	// 30-record datagram, boundary values, and known-bad wire forms.
+	empty := &Datagram{}
+	raw, err := empty.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+
+	full := &Datagram{Header: Header{
+		SysUptimeMS: 3_600_000, UnixSecs: 1_112_313_600, UnixNsecs: 999,
+		FlowSequence: 42, EngineType: 1, EngineID: 7, SamplingInterval: 10,
+	}}
+	for i := 0; i < MaxRecords; i++ {
+		full.Records = append(full.Records, Record{
+			SrcAddr: netaddr.IPv4(0x3d000000 + uint32(i)), DstAddr: 0xc0000201,
+			NextHop: 0x0a000001, InputIf: uint16(i), OutputIf: 1,
+			Packets: uint32(i) * 1000, Octets: ^uint32(0), FirstMS: 1, LastMS: 2,
+			SrcPort: 1024, DstPort: 1434, TCPFlags: 0x12, Proto: flow.ProtoUDP,
+			TOS: 0xe0, SrcAS: 65001, DstAS: 65002, SrcMask: 11, DstMask: 24,
+		})
+	}
+	raw, err = full.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:HeaderSize])                             // header only, count lies
+	f.Add(raw[:HeaderSize+RecordSize/2])                // truncated mid-record
+	f.Add([]byte{0, 9, 0, 0})                           // wrong version, short
+	f.Add(append(append([]byte{}, raw...), 0xff, 0xee)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input: only panics are failures here
+		}
+		if len(d.Records) != int(d.Header.Count) {
+			t.Fatalf("decoded %d records, header count %d", len(d.Records), d.Header.Count)
+		}
+		// The collector converts every accepted record; must not panic.
+		for _, r := range d.Records {
+			_ = r.ToFlowRecord(d.Header, r.InputIf)
+		}
+		// Re-encode and re-decode: the canonical bytes must be stable.
+		enc, err := d.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted datagram: %v", err)
+		}
+		d2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		enc2, err := d2.Marshal()
+		if err != nil {
+			t.Fatalf("second marshal: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round-trip not stable:\n%x\n%x", enc, enc2)
+		}
+	})
+}

@@ -73,6 +73,10 @@ type clusterState struct {
 // Detector partitions training flows into protocol subclusters
 // (§5.1.3(b,c)), builds one KOR structure per subcluster (§5.1.3(d)), and
 // assesses incoming flows against the matching subcluster (§5.1.3(e)).
+//
+// A Detector is read-only once built: Assess mutates no detector state, so
+// a single trained Detector may be shared by any number of goroutines
+// (analysis.ParallelEngine shares one across all shards).
 type Detector struct {
 	cfg      DetectorConfig
 	enc      *Encoder

@@ -70,7 +70,10 @@ type bufEntry struct {
 }
 
 // Analyzer keeps the suspect-flow ring buffer and the two counting
-// structures. Not safe for concurrent use.
+// structures. Not safe for concurrent use: callers that process flows in
+// parallel give each worker its own Analyzer, as analysis.ParallelEngine
+// does with one per shard (the buffer then sees only that shard's peers,
+// which preserves detection since scans arrive through a single ingress).
 type Analyzer struct {
 	cfg Config
 

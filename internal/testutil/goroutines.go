@@ -1,0 +1,46 @@
+// Package testutil holds helpers shared by tests across packages. It must
+// only be imported from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// ExpectNoGoroutineGrowth runs fn and fails t if the process goroutine
+// count has not returned to its starting level shortly after fn returns.
+// It is the leak gate for every background worker with a Stop/Close:
+// wrap a start/stop cycle in fn and any goroutine the cycle leaves behind
+// fails the test with a full stack dump.
+func ExpectNoGoroutineGrowth(t testing.TB, fn func()) {
+	t.Helper()
+	// Let goroutines from earlier tests finish dying before the baseline.
+	settle()
+	base := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > base {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			base, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// settle waits briefly for the goroutine count to stop shrinking.
+func settle() {
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n >= prev {
+			return
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Expanded tier-1 gate: vet + build + race-enabled tests + fuzz smoke.
+#
+# The race run includes the serial/parallel equivalence stress test
+# (internal/analysis/parallel_test.go) and every goroutine-leak test, so a
+# pass means the sharded pipeline is race-clean under concurrent load and
+# no background worker outlives its Close. The fuzz smoke runs each native
+# fuzz target briefly against fresh random inputs on top of the checked-in
+# seed corpus.
+#
+# Usage: scripts/check.sh [fuzztime]   (default fuzz smoke: 5s per target)
+set -eu
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-5s}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run=NoSuchTest -fuzz='^FuzzDecodeDatagram$' -fuzztime="$FUZZTIME" ./internal/netflow
+go test -run=NoSuchTest -fuzz='^FuzzCompileFilter$' -fuzztime="$FUZZTIME" ./internal/flowtools
+
+echo "==> all checks passed"
