@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"infilter/internal/telemetry"
+	"infilter/internal/testutil"
+)
+
+// adminGet fetches a path with a keep-alive-free transport so the check
+// leaves no idle client connections behind.
+func adminGet(t *testing.T, tr *http.Transport, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminServerDrainAndClose is the goroutine-leak and shutdown gate
+// for the admin HTTP server: /healthz flips to draining on the SIGTERM
+// path, Close joins the serve goroutine, and a full serve cycle leaves
+// no goroutines behind.
+func TestAdminServerDrainAndClose(t *testing.T) {
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		tr := &http.Transport{}
+		defer tr.CloseIdleConnections()
+
+		reg := telemetry.NewRegistry()
+		reg.Counter("admin_test_total", "test counter").Add(7)
+		a, err := newAdminServer("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := "http://" + a.Addr()
+
+		if code, body := adminGet(t, tr, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+			t.Errorf("healthz = %d %q, want 200 ok", code, body)
+		}
+		code, body := adminGet(t, tr, base+"/metrics")
+		if code != http.StatusOK {
+			t.Errorf("metrics status = %d", code)
+		}
+		if !strings.Contains(body, "admin_test_total 7\n") {
+			t.Errorf("metrics body missing counter:\n%s", body)
+		}
+		if code, _ := adminGet(t, tr, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+			t.Errorf("pprof cmdline status = %d", code)
+		}
+
+		// SIGTERM path: draining is visible before the server stops.
+		a.setDraining()
+		if code, body := adminGet(t, tr, base+"/healthz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+			t.Errorf("draining healthz = %d %q, want 503 draining", code, body)
+		}
+		if code, _ := adminGet(t, tr, base+"/metrics"); code != http.StatusOK {
+			t.Errorf("metrics while draining = %d, want 200", code)
+		}
+
+		if err := a.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		tr.CloseIdleConnections()
+		if _, err := (&http.Client{Transport: tr}).Get(base + "/healthz"); err == nil {
+			t.Error("server still serving after Close")
+		}
+	})
+}
+
+// TestAdminServerBindError covers the unbindable-address path.
+func TestAdminServerBindError(t *testing.T) {
+	if _, err := newAdminServer("256.0.0.1:99999", telemetry.NewRegistry()); err == nil {
+		t.Error("want bind error")
+	}
+}

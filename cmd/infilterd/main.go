@@ -18,6 +18,12 @@
 // receive loops when analysis falls behind. On SIGINT/SIGTERM the daemon
 // stops ingest, drains every queued flow through the pipeline, then
 // flushes the capture archive and the alert connection before exiting.
+//
+// With -admin-addr the daemon also serves an operator HTTP endpoint:
+// /metrics (Prometheus text format covering the collector, the analysis
+// shards, EIA, scan, NNS and the alert sink), /healthz (flips to 503
+// "draining" the moment shutdown starts) and /debug/pprof. The admin
+// server closes last during shutdown so the drain is observable.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"infilter/internal/idmef"
 	"infilter/internal/netaddr"
 	"infilter/internal/nns"
+	"infilter/internal/telemetry"
 	"infilter/internal/trace"
 )
 
@@ -57,14 +64,16 @@ func run(ctx context.Context, args []string) error {
 	return runWith(ctx, args, nil)
 }
 
-// runWith additionally reports the bound UDP ports through onReady, letting
-// tests drive a daemon listening on ephemeral ports.
-func runWith(ctx context.Context, args []string, onReady func(ports []int)) error {
+// runWith additionally reports the bound UDP ports and the admin HTTP
+// address ("" when disabled) through onReady, letting tests drive a
+// daemon listening on ephemeral ports.
+func runWith(ctx context.Context, args []string, onReady func(ports []int, adminAddr string)) error {
 	fs := flag.NewFlagSet("infilterd", flag.ContinueOnError)
 	var (
 		portsFlag   = fs.String("ports", "5001", "comma-separated UDP ports; port i carries peer AS i")
 		modeFlag    = fs.String("mode", "EI", "BI (basic) or EI (enhanced)")
 		alertFlag   = fs.String("alert", "", "IDMEF consumer TCP address (empty: log alerts)")
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz and /debug/pprof (empty: disabled)")
 		eiaFile     = fs.String("eia-file", "", "file of '<peerAS> <cidr>' lines preloading EIA sets")
 		modelFile   = fs.String("model", "", "detector model file: loaded if present, else trained and saved there (EI mode)")
 		trainFlows  = fs.Int("train-flows", 1500, "synthetic flows for NNS training (EI mode)")
@@ -111,12 +120,38 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 			return err
 		}
 	}
+
+	// Telemetry: every component records into one registry; the admin
+	// server (when enabled) exposes it on /metrics. The registry is built
+	// regardless of the flag so every metric family exists from startup.
+	reg := telemetry.NewRegistry()
+	senderMetrics := idmef.NewSenderMetrics(reg)
+	nnsMetrics := nns.NewMetrics(reg)
+	if detector != nil {
+		detector.SetMetrics(nnsMetrics)
+	}
+	var admin *adminServer
+	if *adminAddr != "" {
+		admin, err = newAdminServer(*adminAddr, reg)
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *adminAddr, err)
+		}
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /debug/pprof)", admin.Addr())
+	}
+	closeAdmin := func() {
+		if admin != nil {
+			admin.Close()
+		}
+	}
+
 	engine, err := analysis.NewParallelEngine(analysis.ParallelConfig{
 		Config:     analysis.Config{Mode: mode},
 		Shards:     shards,
 		QueueDepth: *queueDepth,
+		Metrics:    analysis.NewPipelineMetrics(reg, shards),
 	}, set, detector)
 	if err != nil {
+		closeAdmin()
 		return err
 	}
 
@@ -125,8 +160,10 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 		sender, err = idmef.Dial(*alertFlag)
 		if err != nil {
 			engine.Close()
+			closeAdmin()
 			return err
 		}
+		sender.SetMetrics(senderMetrics)
 		engine.SetAlertSink(func(a idmef.Alert) {
 			if err := sender.Send(a); err != nil {
 				log.Printf("send alert: %v", err)
@@ -134,6 +171,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 		})
 	} else {
 		engine.SetAlertSink(func(a idmef.Alert) {
+			senderMetrics.Sent.Inc() // delivered to the log sink
 			log.Printf("ALERT %s stage=%s peerAS=%d %s:%d -> %s:%d",
 				a.MessageID, a.Assessment.Stage, a.Assessment.PeerAS,
 				a.Source.Address, a.Source.Port, a.Target.Address, a.Target.Port)
@@ -148,6 +186,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 			if sender != nil {
 				sender.Close()
 			}
+			closeAdmin()
 			return err
 		}
 		log.Printf("archiving flows into %s", *captureDir)
@@ -178,6 +217,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 			}
 		}
 	})
+	collector.SetMetrics(flowtools.NewCollectorMetrics(reg))
 
 	bound := make([]int, 0, len(ports))
 	for i, p := range ports {
@@ -197,12 +237,17 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 			if sender != nil {
 				sender.Close()
 			}
+			closeAdmin()
 			return fmt.Errorf("listen %d: %w", p, err)
 		}
 		log.Printf("peer AS %d on udp/%d (%s mode, %d shards)", i+1, bp, mode, shards)
 	}
 	if onReady != nil {
-		onReady(bound)
+		addr := ""
+		if admin != nil {
+			addr = admin.Addr()
+		}
+		onReady(bound, addr)
 	}
 
 	ticker := time.NewTicker(*statsPeriod)
@@ -216,21 +261,26 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int)) erro
 				recv, malformed, st.Processed, st.Suspects, st.Attacks, st.Promotions)
 		case <-ctx.Done():
 			log.Printf("shutting down: draining in-flight flows")
-			return shutdown(collector, engine, capture, sender)
+			return shutdown(collector, engine, capture, sender, admin)
 		}
 	}
 }
 
-// shutdown tears the daemon down in dependency order: stop ingest and join
-// the receive loops, drain every queued flow through the analysis shards
-// (emitting their alerts), then flush the capture archive and close the
-// alert connection. The first error is reported; later stages still run.
-func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, capture *flowtools.Capture, sender *idmef.Sender) error {
+// shutdown tears the daemon down in dependency order: flip /healthz to
+// draining, stop ingest and join the receive loops, drain every queued
+// flow through the analysis shards (emitting their alerts), flush the
+// capture archive, close the alert connection, and finally stop the
+// admin server — last, so /metrics stays scrapable through the drain.
+// The first error is reported; later stages still run.
+func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if admin != nil {
+		admin.setDraining()
 	}
 	keep(collector.Close())
 	keep(engine.Close())
@@ -243,6 +293,9 @@ func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, c
 	st := engine.Stats()
 	log.Printf("drained: processed=%d suspects=%d attacks=%d promotions=%d",
 		st.Processed, st.Suspects, st.Attacks, st.Promotions)
+	if admin != nil {
+		keep(admin.Close())
+	}
 	return firstErr
 }
 

@@ -3,9 +3,13 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -109,7 +113,7 @@ func TestRunShutdownDrainsAndFlushes(t *testing.T) {
 		defer cancel()
 		ready := make(chan []int, 1)
 		done := make(chan error, 1)
-		go func() { done <- runWith(ctx, args, func(ports []int) { ready <- ports }) }()
+		go func() { done <- runWith(ctx, args, func(ports []int, _ string) { ready <- ports }) }()
 
 		var ports []int
 		select {
@@ -172,6 +176,236 @@ func TestRunShutdownDrainsAndFlushes(t *testing.T) {
 	if int64(len(recs)) != total {
 		t.Errorf("archive has %d records, want %d", len(recs), total)
 	}
+}
+
+// parsePromText parses a Prometheus text exposition into series → value,
+// keyed by the full sample name including labels.
+func parsePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// sumMetric totals every series of one family across its labels.
+func sumMetric(m map[string]float64, name string) float64 {
+	var sum float64
+	for k, v := range m {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func scrapeAdmin(t *testing.T, tr *http.Transport, url string) map[string]float64 {
+	t.Helper()
+	resp, err := (&http.Client{Transport: tr}).Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return parsePromText(t, string(body))
+}
+
+// TestAdminMetricsEndToEnd replays flows over real UDP into a daemon
+// with the admin endpoint enabled, then scrapes /metrics and requires
+// the collector, per-shard pipeline, EIA and alert-sink counters to be
+// consistent with the alerts the TCP consumer actually observed.
+func TestAdminMetricsEndToEnd(t *testing.T) {
+	var alerts atomic.Int64
+	consumer := idmef.NewConsumer(func(idmef.Alert) { alerts.Add(1) })
+	alertPort, err := consumer.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	eiaPath := filepath.Join(t.TempDir(), "eia.txt")
+	if err := os.WriteFile(eiaPath, []byte("1 61.0.0.0/11\n2 70.0.0.0/11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-ports", "0,0", "-mode", "BI",
+		"-alert", fmt.Sprintf("127.0.0.1:%d", alertPort),
+		"-admin-addr", "127.0.0.1:0",
+		"-eia-file", eiaPath,
+		"-stats", "1h", "-workers", "2", "-queue-depth", "64",
+	}
+
+	const spoofDatagrams, perDatagram = 3, 10
+	const spoofed = int64(spoofDatagrams * perDatagram)
+	const legal = int64(perDatagram)
+	const total = spoofed + legal
+
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		tr := &http.Transport{}
+		defer tr.CloseIdleConnections()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		type readyInfo struct {
+			ports []int
+			admin string
+		}
+		ready := make(chan readyInfo, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- runWith(ctx, args, func(ports []int, admin string) {
+				ready <- readyInfo{ports: ports, admin: admin}
+			})
+		}()
+
+		var info readyInfo
+		select {
+		case info = <-ready:
+		case err := <-done:
+			t.Fatalf("run exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		if info.admin == "" {
+			t.Fatal("no admin address reported")
+		}
+		base := "http://" + info.admin
+
+		if resp, err := (&http.Client{Transport: tr}).Get(base + "/healthz"); err != nil {
+			t.Fatalf("healthz: %v", err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("healthz = %d before shutdown", resp.StatusCode)
+			}
+		}
+
+		send := func(port int, raw []byte) {
+			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", port))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One datagram of legal flows for peer 1 (EIA hits, no alerts).
+		d := &netflow.Datagram{}
+		for j := 0; j < perDatagram; j++ {
+			d.Records = append(d.Records, netflow.Record{
+				SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("61.0.7.%d", j+1)),
+				DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+				Packets: 9, Octets: 4040, Proto: flow.ProtoTCP, DstPort: 80,
+			})
+		}
+		raw, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		send(info.ports[0], raw)
+		// Spoofed datagrams (99/8 is in no EIA set: one alert per record).
+		for i := 0; i < spoofDatagrams; i++ {
+			d := &netflow.Datagram{}
+			for j := 0; j < perDatagram; j++ {
+				d.Records = append(d.Records, netflow.Record{
+					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
+					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
+				})
+			}
+			raw, err := d.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			send(info.ports[i%len(info.ports)], raw)
+		}
+		// One malformed datagram: counted, dropped, no records.
+		send(info.ports[0], []byte("not netflow"))
+
+		deadline := time.Now().Add(10 * time.Second)
+		for alerts.Load() < spoofed {
+			if time.Now().After(deadline) {
+				t.Fatalf("got %d alerts, want %d", alerts.Load(), spoofed)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		// The legal flows race the alert wait; poll the scrape until every
+		// record has been analyzed.
+		var m map[string]float64
+		for {
+			m = scrapeAdmin(t, tr, base+"/metrics")
+			if sumMetric(m, "infilter_pipeline_flows_total") >= float64(total) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("pipeline analyzed %v flows, want %d",
+					sumMetric(m, "infilter_pipeline_flows_total"), total)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		checks := []struct {
+			name string
+			want float64
+		}{
+			{"infilter_collector_datagrams_total", float64(spoofDatagrams + 2)},
+			{"infilter_collector_records_total", float64(total)},
+			{"infilter_collector_decode_errors_total", 1},
+			{"infilter_pipeline_flows_total", float64(total)},
+			{"infilter_eia_hits_total", float64(legal)},
+			{"infilter_eia_misses_total", float64(spoofed)},
+			{"infilter_alerts_sent_total", float64(alerts.Load())},
+			{"infilter_pipeline_stage_latency_seconds_count", float64(total)},
+		}
+		for _, c := range checks {
+			if got := sumMetric(m, c.name); got != c.want {
+				t.Errorf("%s = %v, want %v", c.name, got, c.want)
+			}
+		}
+		// Per-shard series exist for both workers.
+		for _, shard := range []string{"0", "1"} {
+			for _, name := range []string{
+				`infilter_pipeline_flows_total{shard="` + shard + `"}`,
+				`infilter_pipeline_queue_depth{shard="` + shard + `"}`,
+				`infilter_pipeline_enqueue_blocks_total{shard="` + shard + `"}`,
+			} {
+				if _, ok := m[name]; !ok {
+					t.Errorf("missing per-shard series %s", name)
+				}
+			}
+		}
+
+		tr.CloseIdleConnections()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after cancel", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not return after cancel")
+		}
+	})
 }
 
 // TestRunRejectsBadFlags covers the pre-listen validation paths.

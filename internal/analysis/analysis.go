@@ -98,12 +98,26 @@ type pipeline struct {
 	eia      eiaState
 	scanner  *scan.Analyzer
 	detector *nns.Detector
+	// metrics is the owning shard's instrumentation (nil on the serial
+	// Engine and on uninstrumented parallel engines). Stage timing uses
+	// the real clock, not the engine's replay clock: latency telemetry
+	// reports wall cost even when flows carry replayed timestamps.
+	metrics *shardMetrics
 }
 
 // decide runs one flow through the pipeline; scanFlagged reports whether
 // the scan stage fired (tracked separately from the Decision for stats).
 func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFlagged bool) {
+	m := p.metrics
+	var t time.Time
+	if m != nil {
+		m.flows.Inc()
+		t = time.Now()
+	}
 	d = Decision{Verdict: p.eia.Check(peer, rec.Key.Src)}
+	if m != nil {
+		m.observeStage(stageEIA, time.Since(t))
+	}
 	if d.Verdict == eia.Match {
 		// Case (b): expected ingress — legal flow, no alarms.
 		return d, false
@@ -115,13 +129,26 @@ func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFla
 		return d, false
 	}
 	// Enhanced: Scan Analysis first.
-	if res := p.scanner.Add(rec); res.Attack() {
+	if m != nil {
+		t = time.Now()
+	}
+	res := p.scanner.Add(rec)
+	if m != nil {
+		m.observeStage(stageScan, time.Since(t))
+	}
+	if res.Attack() {
 		d.Attack = true
 		d.Stage = idmef.StageScan
 		return d, true
 	}
 	// Then NNS search against the flow's subcluster.
+	if m != nil {
+		t = time.Now()
+	}
 	d.Assessment = p.detector.Assess(rec)
+	if m != nil {
+		m.observeStage(stageNNS, time.Since(t))
+	}
 	if d.Assessment.Anomalous {
 		d.Attack = true
 		d.Stage = idmef.StageNNS

@@ -14,6 +14,7 @@ import (
 	"infilter/internal/idmef"
 	"infilter/internal/nns"
 	"infilter/internal/scan"
+	"infilter/internal/telemetry"
 )
 
 // ParallelConfig assembles a ParallelEngine.
@@ -31,6 +32,10 @@ type ParallelConfig struct {
 	// infilterd, the UDP receive loops; the kernel sheds load beyond
 	// that). Zero defaults to DefaultQueueDepth.
 	QueueDepth int
+	// Metrics instruments the engine (nil: no telemetry). It must have
+	// been built with NewPipelineMetrics for the same shard count this
+	// config resolves to, and belongs to exactly one engine.
+	Metrics *PipelineMetrics
 }
 
 // DefaultQueueDepth is the per-shard queue bound when none is configured.
@@ -49,8 +54,9 @@ type shardItem struct {
 // deployment of the paper's prototype) and its own counters, merged only
 // when Stats is read.
 type shard struct {
-	pl    pipeline
-	queue chan shardItem
+	pl     pipeline
+	queue  chan shardItem
+	blocks *telemetry.Counter // Submits that found the queue full (nil ok)
 
 	mu    sync.Mutex
 	stats Stats
@@ -105,6 +111,9 @@ func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector)
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Metrics != nil && cfg.Metrics.Shards() != cfg.Shards {
+		return nil, fmt.Errorf("analysis: metrics built for %d shards, engine has %d", cfg.Metrics.Shards(), cfg.Shards)
+	}
 	e := &ParallelEngine{
 		cfg:      cfg,
 		eiaSet:   eia.NewConcurrentSet(set),
@@ -112,17 +121,29 @@ func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector)
 		shards:   make([]*shard, cfg.Shards),
 		now:      time.Now,
 	}
+	if cfg.Metrics != nil {
+		e.eiaSet.SetMetrics(cfg.Metrics.eia)
+	}
 	for i := range e.shards {
-		e.shards[i] = &shard{
+		scanner := scan.New(cfg.Scan)
+		s := &shard{
 			pl: pipeline{
 				mode:     cfg.Mode,
 				eia:      e.eiaSet,
-				scanner:  scan.New(cfg.Scan),
+				scanner:  scanner,
 				detector: detector,
 			},
 			queue: make(chan shardItem, cfg.QueueDepth),
 			stats: Stats{ByStage: make(map[idmef.Stage]int)},
 		}
+		if cfg.Metrics != nil {
+			scanner.SetMetrics(cfg.Metrics.scan)
+			s.pl.metrics = &cfg.Metrics.shards[i]
+			s.blocks = cfg.Metrics.shards[i].blocks
+			q := s.queue
+			cfg.Metrics.registerQueueGauge(i, func() int64 { return int64(len(q)) })
+		}
+		e.shards[i] = s
 	}
 	for _, s := range e.shards {
 		e.wg.Add(1)
@@ -176,7 +197,15 @@ func (e *ParallelEngine) Submit(peer eia.PeerAS, rec flow.Record) error {
 		return ErrEngineClosed
 	}
 	e.submitted.Add(1)
-	e.shardFor(peer).queue <- shardItem{peer: peer, rec: rec}
+	s := e.shardFor(peer)
+	it := shardItem{peer: peer, rec: rec}
+	select {
+	case s.queue <- it:
+	default:
+		// Full queue: count the backpressure event, then block as before.
+		s.blocks.Inc() // nil-safe
+		s.queue <- it
+	}
 	return nil
 }
 

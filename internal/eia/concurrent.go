@@ -5,7 +5,27 @@ import (
 	"sync"
 
 	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
 )
+
+// Metrics are the EIA runtime counters: Check outcomes split into hits
+// (expected ingress) and misses (wrong peer or unknown source), plus
+// completed promotions. All counters are shared across every shard that
+// uses the set — increments are single atomics, so sharing adds no lock.
+type Metrics struct {
+	Hits       *telemetry.Counter
+	Misses     *telemetry.Counter
+	Promotions *telemetry.Counter
+}
+
+// NewMetrics registers the EIA counters on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Hits:       r.Counter("infilter_eia_hits_total", "EIA checks whose source matched the observed peer's set."),
+		Misses:     r.Counter("infilter_eia_misses_total", "EIA checks flagged suspect (wrong peer or unknown source)."),
+		Promotions: r.Counter("infilter_eia_promotions_total", "Vouched sources promoted into a peer's EIA set."),
+	}
+}
 
 // ConcurrentSet wraps a Set for shared use by concurrent analysis shards.
 // The EIA set is read-mostly at run time — the hot path is Check, a pure
@@ -18,8 +38,9 @@ import (
 // All methods are safe for concurrent use. The wrapped Set must not be
 // used directly while the ConcurrentSet is shared.
 type ConcurrentSet struct {
-	mu sync.RWMutex
-	s  *Set
+	mu      sync.RWMutex
+	s       *Set
+	metrics *Metrics
 }
 
 // NewConcurrentSet wraps set; a nil set gets a fresh empty Set with the
@@ -31,11 +52,24 @@ func NewConcurrentSet(set *Set) *ConcurrentSet {
 	return &ConcurrentSet{s: set}
 }
 
+// SetMetrics installs runtime counters (nil disables). Like the alert
+// sink of the engines, it must be called before the set is shared with
+// concurrent checkers.
+func (c *ConcurrentSet) SetMetrics(m *Metrics) { c.metrics = m }
+
 // Check classifies a flow's source address observed at peer.
 func (c *ConcurrentSet) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.s.Check(peer, src)
+	v := c.s.Check(peer, src)
+	c.mu.RUnlock()
+	if m := c.metrics; m != nil {
+		if v == Match {
+			m.Hits.Inc()
+		} else {
+			m.Misses.Inc()
+		}
+	}
+	return v
 }
 
 // ExpectedPeer returns the peer AS whose EIA set contains src.
@@ -49,8 +83,14 @@ func (c *ConcurrentSet) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
 // into peer's EIA set on this call.
 func (c *ConcurrentSet) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s.RecordLegal(peer, src)
+	promoted := c.s.RecordLegal(peer, src)
+	c.mu.Unlock()
+	if promoted {
+		if m := c.metrics; m != nil {
+			m.Promotions.Inc()
+		}
+	}
+	return promoted
 }
 
 // AddPrefix records that sources inside p are expected at peer.

@@ -12,7 +12,26 @@ import (
 
 	"infilter/internal/flow"
 	"infilter/internal/netflow"
+	"infilter/internal/telemetry"
 )
+
+// CollectorMetrics are the ingest-side runtime counters: datagrams
+// received off the wire, flow records decoded from them, and datagrams
+// dropped as undecodable.
+type CollectorMetrics struct {
+	Datagrams    *telemetry.Counter
+	Records      *telemetry.Counter
+	DecodeErrors *telemetry.Counter
+}
+
+// NewCollectorMetrics registers the collector counters on r.
+func NewCollectorMetrics(r *telemetry.Registry) *CollectorMetrics {
+	return &CollectorMetrics{
+		Datagrams:    r.Counter("infilter_collector_datagrams_total", "NetFlow datagrams received on the UDP listeners."),
+		Records:      r.Counter("infilter_collector_records_total", "Flow records decoded and handed to the pipeline."),
+		DecodeErrors: r.Counter("infilter_collector_decode_errors_total", "Datagrams dropped as malformed NetFlow v5."),
+	}
+}
 
 // Handler consumes flow records parsed from one datagram. localPort is the
 // UDP port the datagram arrived on — the testbed multiplexes one emulated
@@ -24,6 +43,7 @@ type Handler func(localPort int, recs []flow.Record)
 // Close stops all listeners and waits for their goroutines to exit.
 type Collector struct {
 	handler Handler
+	metrics *CollectorMetrics
 
 	mu     sync.Mutex
 	conns  []*net.UDPConn
@@ -43,6 +63,11 @@ var ErrCollectorClosed = errors.New("flowtools: collector closed")
 func NewCollector(handler Handler) *Collector {
 	return &Collector{handler: handler}
 }
+
+// SetMetrics installs runtime counters (nil disables). It must be called
+// before the first Listen: the receive loops read the pointer without
+// locking.
+func (c *Collector) SetMetrics(m *CollectorMetrics) { c.metrics = m }
 
 // Listen opens a UDP listener on the given port (0 picks an ephemeral
 // port) and starts receiving datagrams. It returns the bound port.
@@ -77,11 +102,18 @@ func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
 			// Closed socket (or fatal error): stop this listener.
 			return
 		}
+		m := c.metrics
+		if m != nil {
+			m.Datagrams.Inc()
+		}
 		d, err := netflow.Unmarshal(buf[:n])
 		if err != nil {
 			c.statsMu.Lock()
 			c.malfed++
 			c.statsMu.Unlock()
+			if m != nil {
+				m.DecodeErrors.Inc()
+			}
 			continue
 		}
 		recs := make([]flow.Record, len(d.Records))
@@ -91,6 +123,9 @@ func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
 		c.statsMu.Lock()
 		c.received += len(recs)
 		c.statsMu.Unlock()
+		if m != nil {
+			m.Records.Add(int64(len(recs)))
+		}
 		c.handler(port, recs)
 	}
 }

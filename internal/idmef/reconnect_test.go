@@ -1,0 +1,79 @@
+package idmef
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/telemetry"
+)
+
+// TestSenderReconnectsAfterConsumerRestart kills the sender's first
+// connection server-side and requires Send to recover by redialing,
+// with the reconnect visible in the sender metrics.
+func TestSenderReconnectsAfterConsumerRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// First connection is accepted and immediately torn down (consumer
+	// crash); later connections are drained normally.
+	go func() {
+		first, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		first.Close()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	s, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := telemetry.NewRegistry()
+	m := NewSenderMetrics(reg)
+	s.SetMetrics(m)
+
+	alert := NewAlert("m1", time.Now(), StageEIA, 1, "spoofed-traffic/eia-set", flow.Key{}, 0)
+	// The first writes may land in the kernel buffer before the RST is
+	// seen; keep sending until the failed write triggers the redial.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Reconnects.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect observed (sent=%d errors=%d)",
+				m.Sent.Value(), m.SendErrors.Value())
+		}
+		if err := s.Send(alert); err != nil {
+			t.Fatalf("Send failed instead of reconnecting: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.SendErrors.Value() == 0 {
+		t.Error("reconnect without a recorded send error")
+	}
+	// The connection is healthy again after the reconnect.
+	if err := s.Send(alert); err != nil {
+		t.Fatalf("Send after reconnect: %v", err)
+	}
+	if m.Sent.Value() == 0 {
+		t.Error("no successful sends recorded")
+	}
+}

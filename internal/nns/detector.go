@@ -3,9 +3,30 @@ package nns
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"infilter/internal/flow"
+	"infilter/internal/telemetry"
 )
+
+// Metrics are the NNS runtime counters: assessments performed, anomalous
+// verdicts, and the end-to-end query latency (encode + search). The
+// latency histogram is shared by every goroutine assessing against the
+// detector; recording is atomic, so the detector stays lock-free.
+type Metrics struct {
+	Queries   *telemetry.Counter
+	Anomalies *telemetry.Counter
+	Latency   *telemetry.Histogram
+}
+
+// NewMetrics registers the NNS counters and latency histogram on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Queries:   r.Counter("infilter_nns_queries_total", "Flows assessed against an NNS structure."),
+		Anomalies: r.Counter("infilter_nns_anomalies_total", "NNS assessments that returned an anomalous (attack) verdict."),
+		Latency:   r.Histogram("infilter_nns_query_latency_seconds", "NNS assessment latency (encode + approximate search).", telemetry.LatencyBuckets(), telemetry.UnitSeconds),
+	}
+}
 
 // DetectorConfig tunes the per-cluster anomaly detector built on the KOR
 // structure.
@@ -81,7 +102,13 @@ type Detector struct {
 	cfg      DetectorConfig
 	enc      *Encoder
 	clusters map[flow.Subcluster]*clusterState
+	metrics  *Metrics
 }
+
+// SetMetrics installs runtime counters (nil disables). Like the detector
+// itself, the metrics pointer is read concurrently by every assessing
+// goroutine, so SetMetrics must be called before the detector is shared.
+func (d *Detector) SetMetrics(m *Metrics) { d.metrics = m }
 
 // Assessment is the outcome of one flow assessment.
 type Assessment struct {
@@ -204,6 +231,23 @@ func calibrate(st *Structure, build, calib []BitVec, cfg DetectorConfig) int {
 // subclusters with no trained structure are anomalous by definition: the
 // detector cannot vouch for a service it never saw.
 func (d *Detector) Assess(r flow.Record) Assessment {
+	m := d.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	a := d.assess(r)
+	if m != nil {
+		m.Latency.ObserveDuration(time.Since(start))
+		m.Queries.Inc()
+		if a.Anomalous {
+			m.Anomalies.Inc()
+		}
+	}
+	return a
+}
+
+func (d *Detector) assess(r flow.Record) Assessment {
 	c := flow.Classify(r.Key)
 	if d.cfg.DisablePartition {
 		c = flow.ClusterOther

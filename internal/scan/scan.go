@@ -8,7 +8,24 @@ package scan
 import (
 	"infilter/internal/flow"
 	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
 )
+
+// Metrics count scan-threshold trips. One Metrics may be shared by many
+// analyzers (analysis.ParallelEngine gives each shard its own Analyzer
+// but one shared Metrics): increments are single atomics.
+type Metrics struct {
+	NetworkScans *telemetry.Counter
+	HostScans    *telemetry.Counter
+}
+
+// NewMetrics registers the scan counters on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		NetworkScans: r.Counter("infilter_scan_network_trips_total", "Suspect flows that tripped the network-scan threshold."),
+		HostScans:    r.Counter("infilter_scan_host_trips_total", "Suspect flows that tripped the host-scan threshold."),
+	}
+}
 
 // Config tunes the analyzer. Zero values take the paper's settings.
 type Config struct {
@@ -75,7 +92,8 @@ type bufEntry struct {
 // does with one per shard (the buffer then sees only that shard's peers,
 // which preserves detection since scans arrive through a single ingress).
 type Analyzer struct {
-	cfg Config
+	cfg     Config
+	metrics *Metrics
 
 	ring []bufEntry
 	next int
@@ -128,12 +146,25 @@ func (a *Analyzer) Add(rec flow.Record) Result {
 	}
 	a.admit(e)
 
-	return Result{
+	res := Result{
 		Buffered:    true,
 		NetworkScan: a.hostsPerPort[e.port] >= a.cfg.NetworkScanThreshold,
 		HostScan:    a.portsPerHost[e.host] >= a.cfg.HostScanThreshold,
 	}
+	if m := a.metrics; m != nil {
+		if res.NetworkScan {
+			m.NetworkScans.Inc()
+		}
+		if res.HostScan {
+			m.HostScans.Inc()
+		}
+	}
+	return res
 }
+
+// SetMetrics installs trip counters (nil disables). Call it before the
+// analyzer's owner starts feeding it flows.
+func (a *Analyzer) SetMetrics(m *Metrics) { a.metrics = m }
 
 func (a *Analyzer) admit(e bufEntry) {
 	ph := portHost{port: e.port, host: e.host}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits in ascending order; one implicit +Inf bucket catches the
+// rest. Observe is lock-free — a short bound scan plus two atomic adds —
+// so it is safe on the analysis hot path under full concurrency. The
+// observation count is derived from the buckets at snapshot time, keeping
+// the record cost at exactly two atomic RMWs.
+//
+// A nil *Histogram discards observations.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum     atomic.Int64
+}
+
+// NewHistogram returns an unregistered histogram over the given bucket
+// bounds (see Registry.Histogram for registered ones). Bounds must be
+// non-empty and strictly ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("telemetry: histogram bounds must be strictly ascending")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~16) and typical latencies
+	// land in the first few buckets, so this beats a binary search on the
+	// hot path and keeps the branch predictor warm.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot is a consistent-enough copy of a histogram for merging and
+// encoding. Buckets are per-bucket (not cumulative) counts.
+type Snapshot struct {
+	Bounds  []int64
+	Buckets []int64 // len(Bounds)+1; last is +Inf
+	Sum     int64
+}
+
+// Snapshot copies the current state. Concurrent Observes may land between
+// bucket reads; each observation is still counted exactly once, which is
+// the consistency monitoring needs.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+		Sum:     h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s Snapshot) Count() int64 {
+	var n int64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Merge adds other's buckets and sum into s. The histograms must share
+// bucket bounds — per-shard histograms of one metric always do.
+func (s *Snapshot) Merge(other Snapshot) error {
+	if len(other.Buckets) == 0 {
+		return nil
+	}
+	if len(s.Buckets) == 0 {
+		s.Bounds = other.Bounds
+		s.Buckets = append([]int64(nil), other.Buckets...)
+		s.Sum = other.Sum
+		return nil
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("telemetry: merge of mismatched histograms (%d vs %d bounds)", len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if other.Bounds[i] != b {
+			return fmt.Errorf("telemetry: merge of mismatched histograms (bound %d: %d vs %d)", i, b, other.Bounds[i])
+		}
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Sum += other.Sum
+	return nil
+}
+
+// MergeHistograms snapshots and merges per-shard histograms of one metric
+// into a single series — the O(shards) scrape-side aggregation. All
+// histograms must share bounds (they do when built from one bound slice);
+// mismatches panic since they are construction bugs, not runtime state.
+func MergeHistograms(hs ...*Histogram) Snapshot {
+	var out Snapshot
+	for _, h := range hs {
+		if err := out.Merge(h.Snapshot()); err != nil {
+			panic(err.Error())
+		}
+	}
+	return out
+}
+
+// LatencyBuckets returns the default nanosecond bounds for hot-path
+// latency histograms: 1µs to 1s in a 1-5-10 progression. Encode these
+// with UnitSeconds so /metrics reports seconds.
+func LatencyBuckets() []int64 {
+	return []int64{
+		int64(1 * time.Microsecond),
+		int64(5 * time.Microsecond),
+		int64(10 * time.Microsecond),
+		int64(50 * time.Microsecond),
+		int64(100 * time.Microsecond),
+		int64(500 * time.Microsecond),
+		int64(1 * time.Millisecond),
+		int64(5 * time.Millisecond),
+		int64(10 * time.Millisecond),
+		int64(50 * time.Millisecond),
+		int64(100 * time.Millisecond),
+		int64(500 * time.Millisecond),
+		int64(1 * time.Second),
+	}
+}

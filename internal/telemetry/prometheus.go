@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus encodes every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; histogram series are expanded into cumulative _bucket lines plus
+// _sum and _count. Values are read live (counters/gauges) or snapshotted
+// and merged (histogram funcs) — the scrape path is the only place any
+// cross-shard aggregation happens.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, renderLabels(s.labels), formatInt(s.c.Value()))
+			case kindGauge:
+				v := s.gf
+				if v == nil {
+					v = s.g.Value
+				}
+				writeSample(bw, f.name, renderLabels(s.labels), formatInt(v()))
+			case kindHistogram:
+				var snap Snapshot
+				if s.hf != nil {
+					snap = s.hf()
+				} else {
+					snap = s.h.Snapshot()
+				}
+				writeHistogram(bw, f, s, snap)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, f *family, s *series, snap Snapshot) {
+	var cum int64
+	for i, n := range snap.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatScaled(snap.Bounds[i], f.unit)
+		}
+		labels := renderLabels(s.labels, Label{Key: "le", Value: le})
+		writeSample(bw, f.name+"_bucket", labels, formatInt(cum))
+	}
+	writeSample(bw, f.name+"_sum", renderLabels(s.labels), formatScaled(snap.Sum, f.unit))
+	writeSample(bw, f.name+"_count", renderLabels(s.labels), formatInt(cum))
+}
+
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatScaled renders a recorded integer divided by the family unit
+// (e.g. nanoseconds as seconds).
+func formatScaled(v int64, unit float64) string {
+	if unit == UnitNone || unit == 0 {
+		return formatInt(v)
+	}
+	return strconv.FormatFloat(float64(v)/unit, 'g', -1, 64)
+}

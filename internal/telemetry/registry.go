@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// Units convert recorded integer values into the float values encoded on
+// /metrics. Histograms recording nanoseconds use UnitSeconds so bounds
+// and sums follow the Prometheus convention of seconds.
+const (
+	UnitNone    float64 = 1
+	UnitSeconds float64 = 1e9 // recorded nanoseconds, encoded as seconds
+)
+
+type kind uint8
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one labeled instance of a family. Exactly one of the value
+// sources is set.
+type series struct {
+	labels []Label
+
+	c  *Counter
+	g  *Gauge
+	gf func() int64
+	h  *Histogram
+	hf func() Snapshot
+}
+
+// family is one metric name: its help text, kind, encoding unit and the
+// registered label combinations.
+type family struct {
+	name, help string
+	kind       kind
+	unit       float64
+	series     []*series
+	byLabel    map[string]struct{}
+}
+
+// Registry holds registered metrics and encodes them in Prometheus text
+// format. Registration locks; recording never does (it goes straight to
+// the returned Counter/Gauge/Histogram atomics). Registration errors —
+// invalid names, a name reused with a different kind, a duplicate
+// (name, labels) series — panic: they are wiring bugs that must fail at
+// startup, not scrape time.
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]*family
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter registers (or panics on conflict) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := NewCounter()
+	r.register(name, help, kindCounter, UnitNone, &series{labels: labels, c: c})
+	return c
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := NewGauge()
+	r.register(name, help, kindGauge, UnitNone, &series{labels: labels, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time (e.g. a queue depth). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindGauge, UnitNone, &series{labels: labels, gf: fn})
+}
+
+// Histogram registers a histogram series over the given bounds, encoded
+// divided by unit (UnitSeconds for nanosecond latencies).
+func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, kindHistogram, unit, &series{labels: labels, h: h})
+	return h
+}
+
+// HistogramFunc registers a histogram series whose snapshot is produced
+// by fn at scrape time — the hook for merging per-shard histograms into
+// one exported series. fn must be safe for concurrent use.
+func (r *Registry) HistogramFunc(name, help string, unit float64, fn func() Snapshot, labels ...Label) {
+	r.register(name, help, kindHistogram, unit, &series{labels: labels, hf: fn})
+}
+
+func (r *Registry) register(name, help string, k kind, unit float64, s *series) {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range s.labels {
+		if !validName(l.Key) || l.Key == "le" {
+			panic("telemetry: invalid label key " + strconv.Quote(l.Key) + " on " + name)
+		}
+	}
+	sort.SliceStable(s.labels, func(i, j int) bool { return s.labels[i].Key < s.labels[j].Key })
+	key := renderLabels(s.labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, unit: unit, byLabel: make(map[string]struct{})}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.kind, k))
+	}
+	if _, dup := f.byLabel[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, key))
+	}
+	f.byLabel[key] = struct{}{}
+	f.series = append(f.series, s)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels formats a sorted label set as {k="v",...}, or "" when
+// empty. Values are escaped per the Prometheus text exposition format.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

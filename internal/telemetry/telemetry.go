@@ -1,0 +1,84 @@
+// Package telemetry is the daemon's dependency-free runtime metrics
+// layer: atomic counters and gauges, fixed-bucket latency histograms with
+// lock-free hot-path recording, and a Prometheus text-format encoder.
+//
+// The design mirrors the per-shard stats-merge pattern of
+// analysis.ParallelEngine: hot-path writers touch only their own atomics
+// (a counter increment or a histogram bucket add — never a mutex), and
+// aggregation happens on the cold scrape path, where per-shard Snapshots
+// are merged in O(shards). Registration is the only locked operation and
+// happens once at startup.
+//
+// All recording methods are nil-receiver safe: a component whose metrics
+// were never wired records into nil and the call is a no-op, so
+// instrumentation needs no "enabled" flag on the hot path.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter discards increments.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns an unregistered counter (see Registry.Counter for
+// registered ones).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n; negative n is ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use;
+// a nil *Gauge discards writes.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns an unregistered gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

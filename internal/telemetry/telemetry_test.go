@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := NewGauge()
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 0, 1} // ≤10: {1,10}; ≤100: {11,100}; ≤1000: none; +Inf: 5000
+	for i, n := range want {
+		if s.Buckets[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], n)
+		}
+	}
+	if s.Count() != 5 {
+		t.Errorf("count = %d, want 5", s.Count())
+	}
+	if s.Sum != 1+10+11+100+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	b := NewHistogram([]int64{10, 100})
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(500)
+	m := MergeHistograms(a, b)
+	if m.Count() != 3 || m.Sum != 555 {
+		t.Errorf("merged count=%d sum=%d, want 3/555", m.Count(), m.Sum)
+	}
+	var empty Snapshot
+	if err := empty.Merge(a.Snapshot()); err != nil {
+		t.Fatalf("merge into empty: %v", err)
+	}
+	if empty.Count() != 1 {
+		t.Errorf("merge into empty count = %d", empty.Count())
+	}
+	other := NewHistogram([]int64{10, 200}).Snapshot()
+	s := a.Snapshot()
+	if err := s.Merge(other); err == nil {
+		t.Error("merge of mismatched bounds: want error")
+	}
+}
+
+func TestNewHistogramValidatesBounds(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {10, 10}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v): want panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_flows_total", "Flows seen.", Label{Key: "shard", Value: "0"})
+	c.Add(3)
+	r.Counter("test_flows_total", "Flows seen.", Label{Key: "shard", Value: "1"}).Add(4)
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(9)
+	r.GaugeFunc("test_fn", "Func gauge.", func() int64 { return 42 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []int64{1000, 1000000}, UnitSeconds)
+	h.Observe(500)
+	h.Observe(2000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_flows_total Flows seen.",
+		"# TYPE test_flows_total counter",
+		`test_flows_total{shard="0"} 3`,
+		`test_flows_total{shard="1"} 4`,
+		"# TYPE test_depth gauge",
+		"test_depth 9",
+		"test_fn 42",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="1e-06"} 1`,
+		`test_latency_seconds_bucket{le="0.001"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 2`,
+		"test_latency_seconds_sum 2.5e-06",
+		"test_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryHistogramFuncMergesShards(t *testing.T) {
+	r := NewRegistry()
+	shards := []*Histogram{NewHistogram(LatencyBuckets()), NewHistogram(LatencyBuckets())}
+	r.HistogramFunc("test_stage_seconds", "Merged.", UnitSeconds,
+		func() Snapshot { return MergeHistograms(shards...) })
+	shards[0].ObserveDuration(2 * time.Microsecond)
+	shards[1].ObserveDuration(3 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test_stage_seconds_count 2\n") {
+		t.Errorf("merged count missing:\n%s", sb.String())
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	for name, fn := range map[string]func(r *Registry){
+		"bad name":      func(r *Registry) { r.Counter("7bad", "") },
+		"bad label":     func(r *Registry) { r.Counter("ok_total", "", Label{Key: "le", Value: "x"}) },
+		"kind mismatch": func(r *Registry) { r.Counter("m", ""); r.Gauge("m", "") },
+		"duplicate":     func(r *Registry) { r.Counter("d", ""); r.Counter("d", "") },
+		"duplicate label": func(r *Registry) {
+			r.Counter("d", "", Label{Key: "a", Value: "b"})
+			r.Counter("d", "", Label{Key: "a", Value: "b"})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{Key: "v", Value: "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentRecordAndScrape hammers the hot-path recorders while
+// scraping; run under -race this is the lock-freedom gate.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	h := r.Histogram("ch_seconds", "", LatencyBuckets(), UnitSeconds)
+	g := r.Gauge("cg", "")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if got := h.Snapshot().Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}

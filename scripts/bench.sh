@@ -1,0 +1,56 @@
+#!/bin/sh
+# Bench-regression harness: runs the curated hot-path benchmarks with
+# fixed settings and writes machine-readable results to BENCH_PR2.json.
+#
+# The curated set covers the online path end to end — the sharded
+# pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
+# per-stage costs (EIA check, NetFlow codec, unary encode, BI/EI flow
+# latency), and the telemetry hot path (counter inc, histogram observe,
+# snapshot merge). The slow paper-validation benchmarks (figures,
+# tables, ablations) are deliberately excluded: they measure replay
+# fidelity, not regressions.
+#
+# CI uploads BENCH_PR2.json as a non-blocking artifact so reviewers can
+# diff ns/op and allocs/op across PRs without the job gating merges.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR2.json)
+set -eu
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_PR2.json}"
+BENCHTIME="${BENCHTIME:-300ms}"
+COUNT="${COUNT:-1}"
+
+PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkNetFlowCodec|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
+
+echo "==> go test -bench (benchtime=${BENCHTIME} count=${COUNT})"
+RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem \
+	-benchtime="$BENCHTIME" -count="$COUNT" . ./internal/telemetry)
+echo "$RAW"
+
+echo "$RAW" | awk -v goversion="$(go env GOVERSION)" \
+	-v benchtime="$BENCHTIME" -v count="$COUNT" '
+BEGIN {
+	printf "{\n  \"schema\": \"infilter-bench/1\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n  \"count\": %s,\n", benchtime, count
+	printf "  \"results\": ["
+	n = 0
+}
+/^Benchmark/ {
+	name = $1; ns = ""; bytes = "0"; allocs = "0"
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")    ns = $(i - 1)
+		if ($i == "B/op")     bytes = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		name, ns, bytes, allocs
+}
+END {
+	if (n == 0) { print "error: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+	printf "\n  ]\n}\n"
+}' >"$OUT"
+
+echo "==> wrote $(grep -c '"name"' "$OUT") results to $OUT"

@@ -4,9 +4,10 @@
 # The race run includes the serial/parallel equivalence stress test
 # (internal/analysis/parallel_test.go) and every goroutine-leak test, so a
 # pass means the sharded pipeline is race-clean under concurrent load and
-# no background worker outlives its Close. The fuzz smoke runs each native
-# fuzz target briefly against fresh random inputs on top of the checked-in
-# seed corpus.
+# no background worker outlives its Close. The fuzz smoke discovers every
+# native fuzz target in the module and runs each briefly against fresh
+# random inputs on top of the checked-in seed corpus, so new targets are
+# picked up without editing this script.
 #
 # Usage: scripts/check.sh [fuzztime]   (default fuzz smoke: 5s per target)
 set -eu
@@ -23,7 +24,18 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
-go test -run=NoSuchTest -fuzz='^FuzzDecodeDatagram$' -fuzztime="$FUZZTIME" ./internal/netflow
-go test -run=NoSuchTest -fuzz='^FuzzCompileFilter$' -fuzztime="$FUZZTIME" ./internal/flowtools
+# `go test -list` prints each package's matching targets followed by its
+# "ok <import-path> ..." line; pair them up into "pkg target" rows.
+TARGETS=$(go test -list '^Fuzz' ./... | awk '
+	/^Fuzz/   { names[n++] = $1; next }
+	$1 == "ok" { for (i = 0; i < n; i++) print $2, names[i]; n = 0 }')
+if [ -z "$TARGETS" ]; then
+	echo "error: fuzz smoke found no fuzz targets" >&2
+	exit 1
+fi
+echo "$TARGETS" | while read -r pkg target; do
+	echo "--> $pkg $target"
+	go test -run=NoSuchTest -fuzz="^${target}\$" -fuzztime="$FUZZTIME" "$pkg" || exit 1
+done
 
 echo "==> all checks passed"
