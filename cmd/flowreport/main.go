@@ -20,7 +20,7 @@ import (
 
 	"infilter/internal/flow"
 	"infilter/internal/flowtools"
-	"infilter/internal/metrics"
+	"infilter/internal/stats"
 )
 
 func main() {
@@ -62,7 +62,7 @@ func run() error {
 		groups = groups[:*topN]
 	}
 
-	tab := metrics.Table{
+	tab := stats.Table{
 		Title:   fmt.Sprintf("%d flows, %d groups (grouped by %s)", len(recs), len(groups), *groupSpec),
 		Columns: []string{"group", "flows", "packets", "bytes", "duration", "avg bps", "avg pps"},
 	}

@@ -19,6 +19,12 @@
 // stops ingest, drains every queued flow through the pipeline, then
 // flushes the capture archive and the alert connection before exiting.
 //
+// With -state-dir the daemon warm-restarts: EIA state (including runtime
+// promotions) and the trained NNS detector are checkpointed into the
+// directory every -checkpoint-interval and flushed once more during the
+// shutdown drain; on the next start the checkpoints are loaded and the
+// daemon resumes with its learned state instead of retraining.
+//
 // With -admin-addr the daemon also serves an operator HTTP endpoint:
 // /metrics (Prometheus text format covering the collector, the analysis
 // shards, EIA, scan, NNS and the alert sink), /healthz (flips to 503
@@ -30,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"infilter/internal/analysis"
+	"infilter/internal/checkpoint"
 	"infilter/internal/eia"
 	"infilter/internal/flow"
 	"infilter/internal/flowtools"
@@ -48,6 +56,12 @@ import (
 	"infilter/internal/nns"
 	"infilter/internal/telemetry"
 	"infilter/internal/trace"
+)
+
+// Checkpoint artifact names inside -state-dir.
+const (
+	eiaCheckpointName = "eia.ckpt"
+	nnsCheckpointName = "nns.ckpt"
 )
 
 func main() {
@@ -82,6 +96,8 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		statsPeriod = fs.Duration("stats", 30*time.Second, "period for stats logging")
 		workers     = fs.Int("workers", 0, "analysis shards; flows route by peer AS (0: one per port)")
 		queueDepth  = fs.Int("queue-depth", analysis.DefaultQueueDepth, "bounded per-shard queue depth (backpressure)")
+		stateDir    = fs.String("state-dir", "", "warm-restart directory: EIA and NNS state checkpointed here and loaded on startup (empty: disabled)")
+		ckptPeriod  = fs.Duration("checkpoint-interval", checkpoint.DefaultInterval, "period between background checkpoints (with -state-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,12 +128,41 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		}
 		log.Printf("loaded %d EIA prefixes from %s", set.Len(), *eiaFile)
 	}
+	// The checkpoint loads after -eia-file: a row present in both re-homes
+	// to its checkpointed peer, so warm-restart state — which includes every
+	// runtime promotion — wins over the static preload.
+	if *stateDir != "" {
+		ok, err := checkpoint.Load(*stateDir, eiaCheckpointName, func(r io.Reader) error {
+			return eia.ReadCheckpointInto(set, r)
+		})
+		if err != nil {
+			return err
+		}
+		if ok {
+			log.Printf("warm restart: %d EIA prefixes from %s", set.Len(), *stateDir)
+		}
+	}
 
 	var detector *nns.Detector
 	if mode == analysis.ModeEnhanced {
-		detector, err = obtainDetector(*modelFile, *trainSeed, *trainFlows)
-		if err != nil {
-			return err
+		if *stateDir != "" {
+			ok, err := checkpoint.Load(*stateDir, nnsCheckpointName, func(r io.Reader) error {
+				d, err := nns.LoadDetector(r)
+				detector = d
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if ok {
+				log.Printf("warm restart: detector with %d clusters from %s", len(detector.Clusters()), *stateDir)
+			}
+		}
+		if detector == nil {
+			detector, err = obtainDetector(*modelFile, *trainSeed, *trainFlows)
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -155,11 +200,41 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		return err
 	}
 
+	// Warm-restart checkpoints: the engine's snapshot store and the trained
+	// detector are periodically serialized into -state-dir (atomic rename,
+	// so a crash never corrupts the previous generation) and flushed one
+	// last time during shutdown, after the drain.
+	var ckpt *checkpoint.Manager
+	if *stateDir != "" {
+		arts := []checkpoint.Artifact{{Name: eiaCheckpointName, Write: engine.EIASet().WriteCheckpoint}}
+		if detector != nil {
+			arts = append(arts, checkpoint.Artifact{Name: nnsCheckpointName, Write: detector.Save})
+		}
+		ckpt, err = checkpoint.NewManager(
+			checkpoint.Config{Dir: *stateDir, Interval: *ckptPeriod},
+			checkpoint.NewMetrics(reg), arts...)
+		if err != nil {
+			engine.Close()
+			closeAdmin()
+			return err
+		}
+		ckpt.Start()
+		log.Printf("checkpointing state into %s every %s", *stateDir, *ckptPeriod)
+	}
+	closeCkpt := func() {
+		if ckpt != nil {
+			if err := ckpt.Close(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}
+	}
+
 	var sender *idmef.Sender
 	if *alertFlag != "" {
 		sender, err = idmef.Dial(*alertFlag)
 		if err != nil {
 			engine.Close()
+			closeCkpt()
 			closeAdmin()
 			return err
 		}
@@ -183,6 +258,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		capture, err = flowtools.NewCapture(*captureDir, flowtools.DefaultRotation)
 		if err != nil {
 			engine.Close()
+			closeCkpt()
 			if sender != nil {
 				sender.Close()
 			}
@@ -231,6 +307,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		if err != nil {
 			collector.Close()
 			engine.Close()
+			closeCkpt()
 			if capture != nil {
 				capture.Close()
 			}
@@ -261,7 +338,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 				recv, malformed, st.Processed, st.Suspects, st.Attacks, st.Promotions)
 		case <-ctx.Done():
 			log.Printf("shutting down: draining in-flight flows")
-			return shutdown(collector, engine, capture, sender, admin)
+			return shutdown(collector, engine, ckpt, capture, sender, admin)
 		}
 	}
 }
@@ -269,10 +346,12 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 // shutdown tears the daemon down in dependency order: flip /healthz to
 // draining, stop ingest and join the receive loops, drain every queued
 // flow through the analysis shards (emitting their alerts), flush the
-// capture archive, close the alert connection, and finally stop the
-// admin server — last, so /metrics stays scrapable through the drain.
-// The first error is reported; later stages still run.
-func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
+// final state checkpoint — after the drain, so promotions the drain
+// produced are captured — then the capture archive and the alert
+// connection, and finally stop the admin server — last, so /metrics
+// stays scrapable through the drain. The first error is reported; later
+// stages still run.
+func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, ckpt *checkpoint.Manager, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -284,6 +363,9 @@ func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, c
 	}
 	keep(collector.Close())
 	keep(engine.Close())
+	if ckpt != nil {
+		keep(ckpt.Close())
+	}
 	if capture != nil {
 		keep(capture.Close())
 	}

@@ -408,6 +408,167 @@ func TestAdminMetricsEndToEnd(t *testing.T) {
 	})
 }
 
+// startDaemon launches runWith in the background and waits for readiness,
+// returning the bound ports, a cancel that initiates shutdown, and the
+// done channel carrying run's error.
+func startDaemon(t *testing.T, args []string) (ports []int, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan []int, 1)
+	done = make(chan error, 1)
+	go func() { done <- runWith(ctx, args, func(p []int, _ string) { ready <- p }) }()
+	select {
+	case ports = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return ports, cancel, done
+}
+
+func stopDaemon(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestWarmRestartReproducesVerdicts is the acceptance test for -state-dir:
+// a daemon started with preloaded EIA sets and a state dir is driven with a
+// trace of legal and spoofed flows, terminated, and restarted WITHOUT the
+// EIA preload. The restarted daemon must reproduce the pre-restart verdict
+// pattern on the replayed trace — legal sources stay silent, spoofed
+// sources alert — which is only possible if the EIA state survived through
+// the checkpoint flushed during the shutdown drain.
+func TestWarmRestartReproducesVerdicts(t *testing.T) {
+	var alerts atomic.Int64
+	consumer := idmef.NewConsumer(func(idmef.Alert) { alerts.Add(1) })
+	alertPort, err := consumer.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	stateDir := t.TempDir()
+	eiaPath := filepath.Join(t.TempDir(), "eia.txt")
+	if err := os.WriteFile(eiaPath, []byte("1 61.0.0.0/11\n2 70.0.0.0/11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{
+		"-ports", "0,0", "-mode", "BI",
+		"-alert", fmt.Sprintf("127.0.0.1:%d", alertPort),
+		"-state-dir", stateDir, "-checkpoint-interval", "1h",
+		"-stats", "1h", "-workers", "2", "-queue-depth", "64",
+	}
+
+	const perDatagram = 10
+	const spoofed = int64(2 * perDatagram)
+
+	// replay sends one datagram of legal peer-1 flows (61/11, in peer 1's
+	// EIA set) and two of spoofed flows (99/8, in no set), then waits for
+	// exactly the spoofed alerts.
+	replay := func(ports []int, wantAlerts int64) {
+		t.Helper()
+		send := func(port int, recs []netflow.Record) {
+			d := &netflow.Datagram{Records: recs}
+			raw, err := d.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", port))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var legalRecs []netflow.Record
+		for j := 0; j < perDatagram; j++ {
+			legalRecs = append(legalRecs, netflow.Record{
+				SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("61.0.7.%d", j+1)),
+				DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+				Packets: 9, Octets: 4040, Proto: flow.ProtoTCP, DstPort: 80,
+			})
+		}
+		send(ports[0], legalRecs)
+		for i := 0; i < 2; i++ {
+			var spoofRecs []netflow.Record
+			for j := 0; j < perDatagram; j++ {
+				spoofRecs = append(spoofRecs, netflow.Record{
+					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
+					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
+					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
+				})
+			}
+			send(ports[i%len(ports)], spoofRecs)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for alerts.Load() < wantAlerts {
+			if time.Now().After(deadline) {
+				t.Fatalf("got %d alerts, want %d", alerts.Load(), wantAlerts)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// First run: EIA preload + state dir. The 1h checkpoint interval never
+	// fires during the test, so the state on disk can only come from the
+	// shutdown flush.
+	ports, cancel, done := startDaemon(t, append([]string{"-eia-file", eiaPath}, base...))
+	replay(ports, spoofed)
+	stopDaemon(t, cancel, done)
+	if _, err := os.Stat(filepath.Join(stateDir, "eia.ckpt")); err != nil {
+		t.Fatalf("shutdown flush wrote no EIA checkpoint: %v", err)
+	}
+
+	// Restart WITHOUT -eia-file: the verdicts must come from the checkpoint.
+	ports, cancel, done = startDaemon(t, base)
+	replay(ports, 2*spoofed)
+	stopDaemon(t, cancel, done)
+
+	// The drain completed and the alert connection flushed before run
+	// returned; give the TCP consumer a beat, then require that the legal
+	// flows stayed silent both before and after the restart.
+	time.Sleep(200 * time.Millisecond)
+	if n := alerts.Load(); n != 2*spoofed {
+		t.Errorf("got %d alerts across both runs, want %d (legal flows alerted after restart)", n, 2*spoofed)
+	}
+}
+
+// TestWarmRestartLoadsDetector proves the NNS side of warm restart: the
+// first EI-mode run trains a detector and checkpoints it on shutdown; the
+// second run is started with -train-flows 0, which makes training
+// impossible (nns.Train rejects an empty training set), so it can only
+// become ready by loading nns.ckpt from the state dir.
+func TestWarmRestartLoadsDetector(t *testing.T) {
+	stateDir := t.TempDir()
+	base := []string{
+		"-ports", "0", "-mode", "EI",
+		"-state-dir", stateDir, "-checkpoint-interval", "1h",
+		"-stats", "1h",
+	}
+
+	_, cancel, done := startDaemon(t, append([]string{"-train-flows", "500", "-train-seed", "3"}, base...))
+	stopDaemon(t, cancel, done)
+	if _, err := os.Stat(filepath.Join(stateDir, "nns.ckpt")); err != nil {
+		t.Fatalf("shutdown flush wrote no NNS checkpoint: %v", err)
+	}
+
+	_, cancel, done = startDaemon(t, append([]string{"-train-flows", "0"}, base...))
+	stopDaemon(t, cancel, done)
+}
+
 // TestRunRejectsBadFlags covers the pre-listen validation paths.
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{

@@ -19,8 +19,8 @@ import (
 	"time"
 
 	"infilter/internal/bgp"
-	"infilter/internal/metrics"
 	"infilter/internal/netaddr"
+	"infilter/internal/stats"
 	"infilter/internal/topo"
 	"infilter/internal/traceroute"
 )
@@ -72,7 +72,7 @@ func runTraceroute(seed int64) error {
 			Period: time.Hour, Duration: 96 * time.Hour, CompletionRate: 0.92,
 		}},
 	}
-	tab := metrics.Table{
+	tab := stats.Table{
 		Title:   "Last AS-level hop change rates (paper: 4.8%/0.4% and 6.4%/0.6%)",
 		Columns: []string{"campaign", "samples", "raw", "/24 smoothed", "FQDN aggregated"},
 	}
@@ -84,9 +84,9 @@ func runTraceroute(seed int64) error {
 		}
 		tab.AddRow(c.name,
 			fmt.Sprintf("%d", res.Samples),
-			metrics.Pct(res.RawChangePct()),
-			metrics.Pct(res.SubnetChangePct()),
-			metrics.Pct(res.FQDNChangePct()))
+			stats.Pct(res.RawChangePct()),
+			stats.Pct(res.SubnetChangePct()),
+			stats.Pct(res.FQDNChangePct()))
 	}
 	fmt.Println(tab.String())
 	return nil
@@ -96,7 +96,7 @@ func runFigure1(seed int64) error {
 	fmt.Println("== Figure 1 (concept): route stability vs distance from source ==")
 	n := topo.New(topo.Config{Seed: seed})
 	rates := traceroute.HopStability(n, 0, 0, 500)
-	tab := metrics.Table{
+	tab := stats.Table{
 		Title:   "Per-hop router change rate over 500 samples (last two hops are the peer AS and BR)",
 		Columns: []string{"hop", "role", "change rate"},
 	}
@@ -107,7 +107,7 @@ func runFigure1(seed int64) error {
 		} else if h == len(rates)-1 {
 			role = "border router"
 		}
-		tab.AddRow(fmt.Sprintf("%d", h+1), role, metrics.Pct(r))
+		tab.AddRow(fmt.Sprintf("%d", h+1), role, stats.Pct(r))
 	}
 	fmt.Println(tab.String())
 	return nil
@@ -119,7 +119,7 @@ func runBGP(seed int64) error {
 	if err != nil {
 		return err
 	}
-	tab := metrics.Table{
+	tab := stats.Table{
 		Title:   "Figure 5: Source-AS-set change per target (paper: avg 1.6%, max 5%)",
 		Columns: []string{"target AS", "#peer ASes", "avg change", "max change"},
 	}
@@ -128,13 +128,13 @@ func runBGP(seed int64) error {
 		tab.AddRow(
 			fmt.Sprintf("%d", s.TargetAS),
 			fmt.Sprintf("%d", s.NumPeers),
-			metrics.Pct(100*s.AvgChange),
-			metrics.Pct(100*s.MaxChange))
+			stats.Pct(100*s.AvgChange),
+			stats.Pct(100*s.MaxChange))
 		avgs = append(avgs, 100*s.AvgChange)
 		maxes = append(maxes, 100*s.MaxChange)
 	}
 	fmt.Println(tab.String())
-	fmt.Printf("overall: avg=%.2f%% max=%.2f%%\n\n", metrics.Mean(avgs), metrics.Max(maxes))
+	fmt.Printf("overall: avg=%.2f%% max=%.2f%%\n\n", stats.Mean(avgs), stats.Max(maxes))
 	return nil
 }
 
@@ -156,7 +156,7 @@ func runDump(path, targetIP string) error {
 		return err
 	}
 	m := bgp.DeriveMapping(entries, ip)
-	tab := metrics.Table{
+	tab := stats.Table{
 		Title:   fmt.Sprintf("Peer AS -> source AS mapping for %s (%d RIB entries)", ip, len(entries)),
 		Columns: []string{"peer AS", "source AS set"},
 	}

@@ -3,17 +3,19 @@
 // routes EIA-flagged suspects through Scan Analysis and then NNS search,
 // raising IDMEF alerts for flows that fail every stage and adapting EIA
 // sets to route changes via promotion of repeatedly-vouched sources.
+//
+// There is exactly one pipeline implementation (see core.go): Engine
+// drives it synchronously through a single shard, ParallelEngine through
+// N queue-fed shards. Serial and parallel behavior agree by construction.
 package analysis
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"infilter/internal/eia"
 	"infilter/internal/flow"
 	"infilter/internal/idmef"
-	"infilter/internal/netaddr"
 	"infilter/internal/nns"
 	"infilter/internal/scan"
 )
@@ -78,30 +80,22 @@ type Stats struct {
 	ScanFlagged int
 }
 
-// eiaState is the slice of the EIA-set API the normal-processing phase
-// needs. Both *eia.Set (serial Engine) and *eia.ConcurrentSet (shared
-// across ParallelEngine shards) satisfy it.
-type eiaState interface {
-	Check(peer eia.PeerAS, src netaddr.IPv4) eia.Verdict
-	RecordLegal(peer eia.PeerAS, src netaddr.IPv4) bool
-}
-
 // pipeline is the normal-processing phase of §5.2 (Figure 12) over a set of
-// analysis components: EIA check, then Scan Analysis, then NNS search. The
-// Engine runs one pipeline; ParallelEngine runs one per shard with the EIA
-// state and detector shared. A pipeline is only as concurrency-safe as its
-// components: the scanner is always owned by a single caller, the detector
-// is read-only after training, and the EIA state supplies its own locking
-// when shared.
+// analysis components: EIA check, then Scan Analysis, then NNS search.
+// Every engine shard runs one pipeline with the EIA store and detector
+// shared. A pipeline is only as concurrency-safe as its components: the
+// scanner is always owned by a single caller, the detector is read-only
+// after training, and the EIA store is a copy-on-write snapshot store
+// whose Check is a lock-free read.
 type pipeline struct {
 	mode     Mode
-	eia      eiaState
+	eia      *eia.Store
 	scanner  *scan.Analyzer
 	detector *nns.Detector
-	// metrics is the owning shard's instrumentation (nil on the serial
-	// Engine and on uninstrumented parallel engines). Stage timing uses
-	// the real clock, not the engine's replay clock: latency telemetry
-	// reports wall cost even when flows carry replayed timestamps.
+	// metrics is the owning shard's instrumentation (nil on
+	// uninstrumented engines). Stage timing uses the real clock, not the
+	// engine's replay clock: latency telemetry reports wall cost even
+	// when flows carry replayed timestamps.
 	metrics *shardMetrics
 }
 
@@ -190,42 +184,25 @@ func (s *Stats) merge(other Stats) {
 	}
 }
 
-// Engine is the per-deployment analysis state. Not safe for concurrent
-// use; use ParallelEngine to process flows from many ingresses at once.
+// Engine is the per-deployment analysis state: the one-shard synchronous
+// case of the shared pipeline core. Process runs the caller's goroutine
+// through the same code path a ParallelEngine worker executes. Process is
+// not safe for concurrent use (the single shard's scan buffer assumes one
+// driver); use ParallelEngine to process flows from many ingresses at
+// once.
 type Engine struct {
-	cfg      Config
-	eiaSet   *eia.Set
-	pl       pipeline
-	stats    Stats
-	alertFn  func(idmef.Alert)
-	alertSeq int
-	now      func() time.Time
+	c *core
 }
 
 // NewEngine assembles an engine from pre-trained components. detector may
-// be nil only in ModeBasic.
+// be nil only in ModeBasic. The set must not be mutated directly
+// afterwards (the engine's store adopts it).
 func NewEngine(cfg Config, set *eia.Set, detector *nns.Detector) (*Engine, error) {
-	if cfg.Mode == 0 {
-		cfg.Mode = ModeEnhanced
+	c, err := newCore(cfg, set, detector, 1, nil)
+	if err != nil {
+		return nil, err
 	}
-	if set == nil {
-		return nil, fmt.Errorf("analysis: nil EIA set")
-	}
-	if cfg.Mode == ModeEnhanced && detector == nil {
-		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
-	}
-	return &Engine{
-		cfg:    cfg,
-		eiaSet: set,
-		pl: pipeline{
-			mode:     cfg.Mode,
-			eia:      set,
-			scanner:  scan.New(cfg.Scan),
-			detector: detector,
-		},
-		stats: Stats{ByStage: make(map[idmef.Stage]int)},
-		now:   time.Now,
-	}, nil
+	return &Engine{c: c}, nil
 }
 
 // LabeledRecord pairs a flow record with the peer AS it entered through.
@@ -239,78 +216,32 @@ type LabeledRecord struct {
 // and, in enhanced mode, the normal cluster is partitioned and indexed for
 // NNS (§5.1.3(b-d)).
 func Train(cfg Config, normal []LabeledRecord) (*Engine, error) {
-	if cfg.Mode == 0 {
-		cfg.Mode = ModeEnhanced
-	}
-	if len(normal) == 0 {
-		return nil, fmt.Errorf("analysis: empty training set")
-	}
-	set := eia.NewSet(cfg.EIA)
-	obs := make([]eia.TrainingSource, len(normal))
-	recs := make([]flow.Record, len(normal))
-	for i, lr := range normal {
-		obs[i] = eia.TrainingSource{Peer: lr.Peer, Src: lr.Record.Key.Src}
-		recs[i] = lr.Record
-	}
-	set.Train(obs, 0)
-
-	var detector *nns.Detector
-	if cfg.Mode == ModeEnhanced {
-		var err error
-		detector, err = nns.Train(cfg.NNS, recs)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: train NNS: %w", err)
-		}
+	set, detector, err := trainComponents(cfg, normal)
+	if err != nil {
+		return nil, err
 	}
 	return NewEngine(cfg, set, detector)
 }
 
 // SetAlertSink installs a callback receiving an IDMEF alert per detected
 // attack. Pass nil to disable.
-func (e *Engine) SetAlertSink(fn func(idmef.Alert)) { e.alertFn = fn }
+func (e *Engine) SetAlertSink(fn func(idmef.Alert)) { e.c.alertFn = fn }
 
 // SetClock overrides the engine's clock (tests and replay).
-func (e *Engine) SetClock(now func() time.Time) {
-	if now != nil {
-		e.now = now
-	}
-}
+func (e *Engine) SetClock(now func() time.Time) { e.c.setClock(now) }
 
-// EIASet exposes the engine's EIA set (monitoring, tests).
-func (e *Engine) EIASet() *eia.Set { return e.eiaSet }
+// EIASet exposes the engine's EIA snapshot store (monitoring, tests,
+// checkpointing).
+func (e *Engine) EIASet() *eia.Store { return e.c.store }
+
+// Detector exposes the engine's trained NNS detector (nil in ModeBasic).
+func (e *Engine) Detector() *nns.Detector { return e.c.detector }
 
 // Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats {
-	out := e.stats
-	out.ByStage = make(map[idmef.Stage]int, len(e.stats.ByStage))
-	for k, v := range e.stats.ByStage {
-		out.ByStage[k] = v
-	}
-	return out
-}
+func (e *Engine) Stats() Stats { return e.c.mergedStats() }
 
 // Process runs one flow through the normal-processing phase (§5.2, Figure
 // 12) and returns the decision.
 func (e *Engine) Process(peer eia.PeerAS, rec flow.Record) Decision {
-	start := e.now()
-	d, scanFlagged := e.pl.decide(peer, rec)
-	d.Latency = e.now().Sub(start)
-
-	e.stats.record(d, scanFlagged)
-	if d.Attack {
-		e.emitAlert(peer, rec, d)
-	}
-	return d
-}
-
-func (e *Engine) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {
-	if e.alertFn == nil {
-		return
-	}
-	e.alertSeq++
-	class := "spoofed-traffic/" + string(d.Stage)
-	e.alertFn(idmef.NewAlert(
-		"infilter-"+strconv.Itoa(e.alertSeq),
-		e.now(), d.Stage, int(peer), class, rec.Key, d.Assessment.Distance,
-	))
+	return e.c.process(e.c.shards[0], peer, rec)
 }

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/nns"
+	"infilter/internal/scan"
+	"infilter/internal/telemetry"
+)
+
+// core is the single pipeline implementation behind both engines: one
+// decide path (pipeline.decide), one stats accounting, one alert emitter.
+// Engine is a core with exactly one shard driven synchronously;
+// ParallelEngine is a core with N shards driven from queues. Because the
+// serial engine is the one-shard degenerate case of the same code, the
+// serial/parallel equivalence property holds by construction — there is
+// no second implementation to drift.
+//
+// Shared state is concurrency-safe by composition: the EIA store is a
+// lock-free copy-on-write snapshot store, the NNS detector is read-only
+// after training, and everything per-shard (scan buffer, stats block,
+// stage histograms) is touched only by that shard's driver.
+type core struct {
+	cfg      Config
+	store    *eia.Store
+	detector *nns.Detector
+	shards   []*shard
+
+	alertFn  func(idmef.Alert)
+	alertSeq atomic.Int64
+	now      func() time.Time
+}
+
+type shardItem struct {
+	peer eia.PeerAS
+	rec  flow.Record
+}
+
+// shard is one driver's private state: its own Scan Analysis buffer
+// (suspect interleaving is per-shard, matching the per-ingress deployment
+// of the paper's prototype) and its own counters, merged only when Stats
+// is read. The queue is set only on ParallelEngine shards; the serial
+// Engine dispatches into its single shard directly.
+type shard struct {
+	pl     pipeline
+	queue  chan shardItem
+	blocks *telemetry.Counter // Submits that found the queue full (nil ok)
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// newCore assembles the shared engine substrate: it validates the
+// configuration, wraps the EIA set in a copy-on-write snapshot store and
+// builds the per-shard pipelines. detector may be nil only in ModeBasic.
+// The set must not be mutated directly afterwards (the store adopts it).
+func newCore(cfg Config, set *eia.Set, detector *nns.Detector, shards int, metrics *PipelineMetrics) (*core, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEnhanced
+	}
+	if set == nil {
+		return nil, fmt.Errorf("analysis: nil EIA set")
+	}
+	if cfg.Mode == ModeEnhanced && detector == nil {
+		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
+	}
+	if metrics != nil && metrics.Shards() != shards {
+		return nil, fmt.Errorf("analysis: metrics built for %d shards, engine has %d", metrics.Shards(), shards)
+	}
+	c := &core{
+		cfg:      cfg,
+		store:    eia.NewStore(set),
+		detector: detector,
+		shards:   make([]*shard, shards),
+		now:      time.Now,
+	}
+	if metrics != nil {
+		c.store.SetMetrics(metrics.eia)
+	}
+	for i := range c.shards {
+		scanner := scan.New(cfg.Scan)
+		s := &shard{
+			pl: pipeline{
+				mode:     cfg.Mode,
+				eia:      c.store,
+				scanner:  scanner,
+				detector: detector,
+			},
+			stats: Stats{ByStage: make(map[idmef.Stage]int)},
+		}
+		if metrics != nil {
+			scanner.SetMetrics(metrics.scan)
+			s.pl.metrics = &metrics.shards[i]
+			s.blocks = metrics.shards[i].blocks
+		}
+		c.shards[i] = s
+	}
+	return c, nil
+}
+
+// process runs one flow through shard s: decide, fold the outcome into
+// the shard's counters, emit the alert. This is the one normal-processing
+// implementation both engines execute.
+func (c *core) process(s *shard, peer eia.PeerAS, rec flow.Record) Decision {
+	start := c.now()
+	d, scanFlagged := s.pl.decide(peer, rec)
+	d.Latency = c.now().Sub(start)
+
+	s.mu.Lock()
+	s.stats.record(d, scanFlagged)
+	s.mu.Unlock()
+	if d.Attack {
+		c.emitAlert(peer, rec, d)
+	}
+	return d
+}
+
+func (c *core) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {
+	if c.alertFn == nil {
+		return
+	}
+	seq := c.alertSeq.Add(1)
+	class := "spoofed-traffic/" + string(d.Stage)
+	c.alertFn(idmef.NewAlert(
+		"infilter-"+strconv.FormatInt(seq, 10),
+		c.now(), d.Stage, int(peer), class, rec.Key, d.Assessment.Distance,
+	))
+}
+
+// mergedStats returns the counters merged across shards. It may run
+// concurrently with processing; the snapshot is consistent per shard.
+func (c *core) mergedStats() Stats {
+	out := Stats{ByStage: make(map[idmef.Stage]int)}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.merge(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (c *core) setClock(now func() time.Time) {
+	if now != nil {
+		c.now = now
+	}
+}
+
+// trainComponents builds the trained state both engines start from:
+// EIA sets initialized from the observed (source, peer) pairs (§5.1.3(a))
+// and, in enhanced mode, the partitioned and indexed normal cluster for
+// NNS (§5.1.3(b-d)).
+func trainComponents(cfg Config, normal []LabeledRecord) (*eia.Set, *nns.Detector, error) {
+	if len(normal) == 0 {
+		return nil, nil, fmt.Errorf("analysis: empty training set")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEnhanced
+	}
+	set := eia.NewSet(cfg.EIA)
+	obs := make([]eia.TrainingSource, len(normal))
+	recs := make([]flow.Record, len(normal))
+	for i, lr := range normal {
+		obs[i] = eia.TrainingSource{Peer: lr.Peer, Src: lr.Record.Key.Src}
+		recs[i] = lr.Record
+	}
+	set.Train(obs, 0)
+
+	var detector *nns.Detector
+	if cfg.Mode == ModeEnhanced {
+		var err error
+		detector, err = nns.Train(cfg.NNS, recs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: train NNS: %w", err)
+		}
+	}
+	return set, detector, nil
+}

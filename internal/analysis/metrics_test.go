@@ -60,10 +60,10 @@ func TestParallelEngineMetrics(t *testing.T) {
 	const shards = 3
 	reg := telemetry.NewRegistry()
 	pm := NewPipelineMetrics(reg, shards)
-	serial.pl.detector.SetMetrics(nns.NewMetrics(reg))
+	serial.Detector().SetMetrics(nns.NewMetrics(reg))
 	pe, err := NewParallelEngine(
 		ParallelConfig{Config: w.cfg, Shards: shards, QueueDepth: 16, Metrics: pm},
-		freshTrainedSet(w.cfg, w.labeled), serial.pl.detector)
+		freshTrainedSet(w.cfg, w.labeled), serial.Detector())
 	if err != nil {
 		t.Fatal(err)
 	}

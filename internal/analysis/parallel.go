@@ -2,9 +2,7 @@ package analysis
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,8 +11,6 @@ import (
 	"infilter/internal/flow"
 	"infilter/internal/idmef"
 	"infilter/internal/nns"
-	"infilter/internal/scan"
-	"infilter/internal/telemetry"
 )
 
 // ParallelConfig assembles a ParallelEngine.
@@ -44,44 +40,20 @@ const DefaultQueueDepth = 256
 // ErrEngineClosed is returned by Submit after Close.
 var ErrEngineClosed = errors.New("analysis: parallel engine closed")
 
-type shardItem struct {
-	peer eia.PeerAS
-	rec  flow.Record
-}
-
-// shard is one worker's private state: its queue, its own Scan Analysis
-// buffer (suspect interleaving is per-shard, matching the per-ingress
-// deployment of the paper's prototype) and its own counters, merged only
-// when Stats is read.
-type shard struct {
-	pl     pipeline
-	queue  chan shardItem
-	blocks *telemetry.Counter // Submits that found the queue full (nil ok)
-
-	mu    sync.Mutex
-	stats Stats
-}
-
 // ParallelEngine is the sharded, concurrency-safe Enhanced-InFilter
-// pipeline. It partitions work by peer AS across Shards workers: the EIA
-// set is shared behind an eia.ConcurrentSet (lookups take a read lock,
-// promotions a write lock), the NNS detector is shared read-only (Assess
-// is safe for concurrent use after training), and each shard owns a
-// private scan analyzer and stats block so the hot path takes no global
-// locks.
+// pipeline: the N-shard queue-driven case of the shared pipeline core. It
+// partitions work by peer AS across Shards workers; the EIA store is the
+// shared copy-on-write snapshot store (Check is a lock-free read,
+// promotions go through its single writer), the NNS detector is shared
+// read-only (Assess is safe for concurrent use after training), and each
+// shard owns a private scan analyzer and stats block so the hot path
+// takes no global locks.
 //
 // Submit and Stats are safe for concurrent use. SetAlertSink and SetClock
 // must be called before the first Submit; the installed alert sink is
 // invoked from worker goroutines and must itself be concurrency-safe.
 type ParallelEngine struct {
-	cfg      ParallelConfig
-	eiaSet   *eia.ConcurrentSet
-	detector *nns.Detector
-	shards   []*shard
-
-	alertFn  func(idmef.Alert)
-	alertSeq atomic.Int64
-	now      func() time.Time
+	c *core
 
 	submitted atomic.Int64
 	processed atomic.Int64
@@ -93,59 +65,28 @@ type ParallelEngine struct {
 
 // NewParallelEngine assembles a sharded engine from pre-trained
 // components and starts its workers. detector may be nil only in
-// ModeBasic. The set is wrapped in an eia.ConcurrentSet and must not be
-// mutated directly afterwards.
+// ModeBasic. The set is adopted by an eia.Store and must not be mutated
+// directly afterwards.
 func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector) (*ParallelEngine, error) {
-	if cfg.Mode == 0 {
-		cfg.Mode = ModeEnhanced
-	}
-	if set == nil {
-		return nil, fmt.Errorf("analysis: nil EIA set")
-	}
-	if cfg.Mode == ModeEnhanced && detector == nil {
-		return nil, fmt.Errorf("analysis: enhanced mode requires a trained NNS detector")
-	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
-	if cfg.Metrics != nil && cfg.Metrics.Shards() != cfg.Shards {
-		return nil, fmt.Errorf("analysis: metrics built for %d shards, engine has %d", cfg.Metrics.Shards(), cfg.Shards)
+	c, err := newCore(cfg.Config, set, detector, cfg.Shards, cfg.Metrics)
+	if err != nil {
+		return nil, err
 	}
-	e := &ParallelEngine{
-		cfg:      cfg,
-		eiaSet:   eia.NewConcurrentSet(set),
-		detector: detector,
-		shards:   make([]*shard, cfg.Shards),
-		now:      time.Now,
-	}
-	if cfg.Metrics != nil {
-		e.eiaSet.SetMetrics(cfg.Metrics.eia)
-	}
-	for i := range e.shards {
-		scanner := scan.New(cfg.Scan)
-		s := &shard{
-			pl: pipeline{
-				mode:     cfg.Mode,
-				eia:      e.eiaSet,
-				scanner:  scanner,
-				detector: detector,
-			},
-			queue: make(chan shardItem, cfg.QueueDepth),
-			stats: Stats{ByStage: make(map[idmef.Stage]int)},
-		}
+	e := &ParallelEngine{c: c}
+	for i, s := range c.shards {
+		s.queue = make(chan shardItem, cfg.QueueDepth)
 		if cfg.Metrics != nil {
-			scanner.SetMetrics(cfg.Metrics.scan)
-			s.pl.metrics = &cfg.Metrics.shards[i]
-			s.blocks = cfg.Metrics.shards[i].blocks
 			q := s.queue
 			cfg.Metrics.registerQueueGauge(i, func() int64 { return int64(len(q)) })
 		}
-		e.shards[i] = s
 	}
-	for _, s := range e.shards {
+	for _, s := range c.shards {
 		e.wg.Add(1)
 		go e.worker(s)
 	}
@@ -155,36 +96,36 @@ func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector)
 // TrainParallel builds a fully-trained sharded engine from labeled normal
 // traffic, the way Train does for the serial Engine.
 func TrainParallel(cfg ParallelConfig, normal []LabeledRecord) (*ParallelEngine, error) {
-	serial, err := Train(cfg.Config, normal)
+	set, detector, err := trainComponents(cfg.Config, normal)
 	if err != nil {
 		return nil, err
 	}
-	return NewParallelEngine(cfg, serial.eiaSet, serial.pl.detector)
+	return NewParallelEngine(cfg, set, detector)
 }
 
 // SetAlertSink installs a callback receiving an IDMEF alert per detected
 // attack. It must be called before the first Submit; the callback runs on
 // worker goroutines and must be safe for concurrent use.
-func (e *ParallelEngine) SetAlertSink(fn func(idmef.Alert)) { e.alertFn = fn }
+func (e *ParallelEngine) SetAlertSink(fn func(idmef.Alert)) { e.c.alertFn = fn }
 
 // SetClock overrides the engine's clock (tests and replay). It must be
 // called before the first Submit; the clock is read concurrently by every
 // worker and must be safe for concurrent use.
-func (e *ParallelEngine) SetClock(now func() time.Time) {
-	if now != nil {
-		e.now = now
-	}
-}
+func (e *ParallelEngine) SetClock(now func() time.Time) { e.c.setClock(now) }
 
-// EIASet exposes the engine's shared EIA state (monitoring, tests).
-func (e *ParallelEngine) EIASet() *eia.ConcurrentSet { return e.eiaSet }
+// EIASet exposes the engine's shared EIA snapshot store (monitoring,
+// tests, checkpointing).
+func (e *ParallelEngine) EIASet() *eia.Store { return e.c.store }
+
+// Detector exposes the engine's trained NNS detector (nil in ModeBasic).
+func (e *ParallelEngine) Detector() *nns.Detector { return e.c.detector }
 
 // Shards returns the number of worker shards.
-func (e *ParallelEngine) Shards() int { return len(e.shards) }
+func (e *ParallelEngine) Shards() int { return len(e.c.shards) }
 
 // shardFor routes a peer AS to its worker.
 func (e *ParallelEngine) shardFor(peer eia.PeerAS) *shard {
-	return e.shards[int(peer)%len(e.shards)]
+	return e.c.shards[int(peer)%len(e.c.shards)]
 }
 
 // Submit enqueues one flow for its peer's shard, blocking while the
@@ -212,43 +153,14 @@ func (e *ParallelEngine) Submit(peer eia.PeerAS, rec flow.Record) error {
 func (e *ParallelEngine) worker(s *shard) {
 	defer e.wg.Done()
 	for it := range s.queue {
-		start := e.now()
-		d, scanFlagged := s.pl.decide(it.peer, it.rec)
-		d.Latency = e.now().Sub(start)
-
-		s.mu.Lock()
-		s.stats.record(d, scanFlagged)
-		s.mu.Unlock()
-		if d.Attack {
-			e.emitAlert(it.peer, it.rec, d)
-		}
+		e.c.process(s, it.peer, it.rec)
 		e.processed.Add(1)
 	}
 }
 
-func (e *ParallelEngine) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {
-	if e.alertFn == nil {
-		return
-	}
-	seq := e.alertSeq.Add(1)
-	class := "spoofed-traffic/" + string(d.Stage)
-	e.alertFn(idmef.NewAlert(
-		"infilter-"+strconv.FormatInt(seq, 10),
-		e.now(), d.Stage, int(peer), class, rec.Key, d.Assessment.Distance,
-	))
-}
-
 // Stats returns the engine counters merged across shards. It may be called
 // concurrently with Submit; the snapshot is consistent per shard.
-func (e *ParallelEngine) Stats() Stats {
-	out := Stats{ByStage: make(map[idmef.Stage]int)}
-	for _, s := range e.shards {
-		s.mu.Lock()
-		out.merge(s.stats)
-		s.mu.Unlock()
-	}
-	return out
-}
+func (e *ParallelEngine) Stats() Stats { return e.c.mergedStats() }
 
 // Flush blocks until every flow submitted before the call has been
 // processed. It is a drain barrier for tests and benchmarks; it does not
@@ -272,7 +184,7 @@ func (e *ParallelEngine) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	for _, s := range e.shards {
+	for _, s := range e.c.shards {
 		close(s.queue)
 	}
 	e.wg.Wait()

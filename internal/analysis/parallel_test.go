@@ -117,7 +117,7 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			pe, err := NewParallelEngine(
 				ParallelConfig{Config: w.cfg, Shards: shards, QueueDepth: 16},
-				freshTrainedSet(w.cfg, w.labeled), serial.pl.detector)
+				freshTrainedSet(w.cfg, w.labeled), serial.Detector())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,7 +173,7 @@ func TestParallelEngineScanDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	pe, err := NewParallelEngine(ParallelConfig{Config: cfg, Shards: 4},
-		freshTrainedSet(cfg, labeled), serial.pl.detector)
+		freshTrainedSet(cfg, labeled), serial.Detector())
 	if err != nil {
 		t.Fatal(err)
 	}

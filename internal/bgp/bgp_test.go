@@ -5,8 +5,8 @@ import (
 	"strings"
 	"testing"
 
-	"infilter/internal/metrics"
 	"infilter/internal/netaddr"
+	"infilter/internal/stats"
 )
 
 // paperDump is the worked example from §3.2 (2002-06-23-1000.dat excerpt).
@@ -236,8 +236,8 @@ func TestSimulateFigure5(t *testing.T) {
 		avgs = append(avgs, s.AvgChange)
 		maxes = append(maxes, s.MaxChange)
 	}
-	grandAvg := metrics.Mean(avgs)
-	grandMax := metrics.Max(maxes)
+	grandAvg := stats.Mean(avgs)
+	grandMax := stats.Max(maxes)
 	if grandAvg < 0.005 || grandAvg > 0.03 {
 		t.Errorf("average change %.4f, want ≈0.016 (paper: 1.6%%)", grandAvg)
 	}
@@ -254,9 +254,9 @@ func TestSimulateFigure5(t *testing.T) {
 			large = append(large, s.AvgChange)
 		}
 	}
-	if len(small) > 0 && len(large) > 0 && metrics.Mean(large) <= metrics.Mean(small)*0.8 {
+	if len(small) > 0 && len(large) > 0 && stats.Mean(large) <= stats.Mean(small)*0.8 {
 		t.Errorf("change does not grow with peers: small=%.4f large=%.4f",
-			metrics.Mean(small), metrics.Mean(large))
+			stats.Mean(small), stats.Mean(large))
 	}
 }
 

@@ -161,9 +161,11 @@ func (s *Set) Len() int { return s.index.Len() }
 func (s *Set) PeerPrefixCount(peer PeerAS) int { return s.perPeer[peer] }
 
 // Peers returns the peer ASes with at least one prefix, ascending.
-func (s *Set) Peers() []PeerAS {
-	out := make([]PeerAS, 0, len(s.perPeer))
-	for p, n := range s.perPeer {
+func (s *Set) Peers() []PeerAS { return peersOf(s.perPeer) }
+
+func peersOf(perPeer map[PeerAS]int) []PeerAS {
+	out := make([]PeerAS, 0, len(perPeer))
+	for p, n := range perPeer {
 		if n > 0 {
 			out = append(out, p)
 		}

@@ -14,12 +14,18 @@ import (
 // WriteTo serializes the EIA sets as "<peerAS> <cidr>" lines, sorted for
 // stable output. Pending promotion counters are transient and not saved.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	return writeRows(w, s.index)
+}
+
+// writeRows emits the sorted "<peerAS> <cidr>" body shared by the Set and
+// Store serializers.
+func writeRows(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) (int64, error) {
 	type row struct {
 		peer PeerAS
 		pfx  netaddr.Prefix
 	}
 	var rows []row
-	s.index.Walk(func(p netaddr.Prefix, peer PeerAS) bool {
+	index.Walk(func(p netaddr.Prefix, peer PeerAS) bool {
 		rows = append(rows, row{peer: peer, pfx: p})
 		return true
 	})
@@ -50,8 +56,14 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 // ReadInto loads "<peerAS> <cidr>" lines into the set. Blank lines and
 // '#' comments are skipped.
 func ReadInto(s *Set, r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	line := 0
+	return readLines(bufio.NewScanner(r), 0, s)
+}
+
+// readLines parses "<peerAS> <cidr>" rows from sc into s, with line
+// numbers in errors offset by startLine (the count of lines a caller
+// already consumed, e.g. a checkpoint header).
+func readLines(sc *bufio.Scanner, startLine int, s *Set) error {
+	line := startLine
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -76,4 +88,56 @@ func ReadInto(s *Set, r io.Reader) error {
 		return fmt.Errorf("eia: read: %w", err)
 	}
 	return nil
+}
+
+// Checkpoint format: a mandatory versioned header line followed by the
+// WriteTo body. The header is a '#' comment, so a checkpoint file still
+// loads through plain ReadInto; ReadCheckpointInto additionally rejects
+// files that lack the header or carry an unknown version, which is what
+// the warm-restart path wants (a truncated or foreign file must not be
+// silently accepted as empty EIA state).
+const (
+	checkpointMagic   = "# infilter-eia-checkpoint v"
+	checkpointVersion = 1
+)
+
+// WriteCheckpoint writes a versioned EIA checkpoint: header plus the
+// sorted rows of WriteTo.
+func (s *Set) WriteCheckpoint(w io.Writer) error {
+	return writeCheckpoint(w, s.index)
+}
+
+func writeCheckpoint(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) error {
+	if _, err := fmt.Fprintf(w, "%s%d\n", checkpointMagic, checkpointVersion); err != nil {
+		return fmt.Errorf("eia: write checkpoint header: %w", err)
+	}
+	_, err := writeRows(w, index)
+	return err
+}
+
+// ReadCheckpointInto loads a checkpoint written by WriteCheckpoint into
+// s. Malformed input — a missing or unversioned header, an unsupported
+// version, or any malformed row — returns an error; it never panics, so
+// a corrupt or truncated checkpoint file fails a warm restart loudly
+// instead of poisoning the EIA state.
+func ReadCheckpointInto(s *Set, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("eia: read checkpoint: %w", err)
+		}
+		return fmt.Errorf("eia: checkpoint: empty file")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, checkpointMagic) {
+		return fmt.Errorf("eia: checkpoint: bad header %q", header)
+	}
+	v, err := strconv.Atoi(strings.TrimPrefix(header, checkpointMagic))
+	if err != nil {
+		return fmt.Errorf("eia: checkpoint: bad version in header %q", header)
+	}
+	if v != checkpointVersion {
+		return fmt.Errorf("eia: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	return readLines(sc, 1, s)
 }

@@ -71,6 +71,59 @@ func TestWriteToStableOrder(t *testing.T) {
 	}
 }
 
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := NewSet(Config{})
+	s.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	s.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+	s.AddPrefix(3, netaddr.MustParsePrefix("4.2.101.0/24"))
+
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# infilter-eia-checkpoint v1\n") {
+		t.Errorf("checkpoint header missing: %q", buf.String())
+	}
+	loaded := NewSet(Config{})
+	if err := ReadCheckpointInto(loaded, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d prefixes, want %d", loaded.Len(), s.Len())
+	}
+	if got := loaded.Check(3, netaddr.MustParseIPv4("4.2.101.20")); got != Match {
+		t.Errorf("loaded Check = %v, want Match", got)
+	}
+	// A checkpoint is also a valid plain EIA file (header is a comment).
+	var buf2 bytes.Buffer
+	if err := s.WriteCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	plain := NewSet(Config{})
+	if err := ReadInto(plain, &buf2); err != nil {
+		t.Errorf("ReadInto of checkpoint: %v", err)
+	}
+	if plain.Len() != s.Len() {
+		t.Errorf("plain load got %d prefixes, want %d", plain.Len(), s.Len())
+	}
+}
+
+func TestReadCheckpointIntoRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",                                  // empty file
+		"1 61.0.0.0/11\n",                   // no header
+		"# infilter-eia-checkpoint vX\n",    // unparsable version
+		"# infilter-eia-checkpoint v99\n",   // future version
+		"# some other comment\n1 6.0.0.0/8", // wrong header
+		"# infilter-eia-checkpoint v1\n1 notacidr\n", // bad row
+		"# infilter-eia-checkpoint v1\nonlyfield\n",  // truncated row
+	} {
+		if err := ReadCheckpointInto(NewSet(Config{}), strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadCheckpointInto(%q): want error", bad)
+		}
+	}
+}
+
 func TestReadIntoSkipsCommentsAndErrors(t *testing.T) {
 	s := NewSet(Config{})
 	if err := ReadInto(s, strings.NewReader("# header\n\n1 61.0.0.0/11\n")); err != nil {

@@ -1,0 +1,255 @@
+package eia
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
+)
+
+// Metrics are the EIA runtime counters: Check outcomes split into hits
+// (expected ingress) and misses (wrong peer or unknown source), plus
+// completed promotions. All counters are shared across every shard that
+// uses the store — increments are single atomics, so sharing adds no lock.
+type Metrics struct {
+	Hits       *telemetry.Counter
+	Misses     *telemetry.Counter
+	Promotions *telemetry.Counter
+}
+
+// NewMetrics registers the EIA counters on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Hits:       r.Counter("infilter_eia_hits_total", "EIA checks whose source matched the observed peer's set."),
+		Misses:     r.Counter("infilter_eia_misses_total", "EIA checks flagged suspect (wrong peer or unknown source)."),
+		Promotions: r.Counter("infilter_eia_promotions_total", "Vouched sources promoted into a peer's EIA set."),
+	}
+}
+
+// snapshot is one immutable published version of the EIA state. Its trie
+// is extended exclusively through persistent inserts and its perPeer map
+// is never written after publication, so readers may traverse it freely
+// while the writer assembles a successor.
+type snapshot struct {
+	index   *netaddr.PrefixTrie[PeerAS]
+	perPeer map[PeerAS]int
+}
+
+// Store is the shared EIA state for concurrent analysis shards, built as
+// a copy-on-write snapshot store. The hot path — Check, one longest-prefix
+// lookup per flow (paper §5.2) — is a pure lock-free read: it loads the
+// current snapshot through an atomic pointer and walks an immutable trie,
+// acquiring no mutex and issuing no writes beyond its metric counters.
+//
+// All mutation funnels through a single writer side guarded by one
+// mutex: promotions of repeatedly-vouched sources (RecordLegal), operator
+// preloads (AddPrefix/AddPrefixes) and bulk training (Train). The writer
+// prepares a new snapshot — path-copying only the trie nodes it touches,
+// sharing every unchanged subtree — and publishes it with one atomic
+// pointer swap. Batch mutations build the whole batch against one base
+// and publish once.
+//
+// Readers therefore never block and never retry; the price is a staleness
+// window: a Check racing a promotion may classify against the pre-swap
+// snapshot. That is exactly the tolerance the paper's promotion semantics
+// already grant — a source being vouched was, by definition, still
+// suspect a moment earlier, so one extra WrongPeer/Unknown verdict during
+// the swap is indistinguishable from the flow having arrived slightly
+// sooner.
+//
+// All methods are safe for concurrent use. The Set passed to NewStore
+// must not be used directly afterwards (the store adopts its trie).
+type Store struct {
+	cfg     Config
+	snap    atomic.Pointer[snapshot]
+	metrics *Metrics
+
+	mu      sync.Mutex // writer side: pending counters + snapshot publication
+	pending map[pendingKey]int
+}
+
+// NewStore adopts set's contents as the first published snapshot; a nil
+// set gets a fresh empty Set with the default Config.
+func NewStore(set *Set) *Store {
+	if set == nil {
+		set = NewSet(Config{})
+	}
+	per := make(map[PeerAS]int, len(set.perPeer))
+	for p, n := range set.perPeer {
+		per[p] = n
+	}
+	st := &Store{
+		cfg:     set.cfg,
+		pending: make(map[pendingKey]int, len(set.pending)),
+	}
+	for k, v := range set.pending {
+		st.pending[k] = v
+	}
+	st.snap.Store(&snapshot{index: set.index, perPeer: per})
+	return st
+}
+
+// SetMetrics installs runtime counters (nil disables). Like the alert
+// sink of the engines, it must be called before the store is shared with
+// concurrent checkers.
+func (c *Store) SetMetrics(m *Metrics) { c.metrics = m }
+
+// Check classifies a flow's source address observed at peer. It is the
+// per-flow hot path and performs no locking: one atomic snapshot load,
+// one longest-prefix walk over an immutable trie.
+func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
+	expected, ok := c.snap.Load().index.Lookup(src)
+	var v Verdict
+	switch {
+	case !ok:
+		v = Unknown
+	case expected == peer:
+		v = Match
+	default:
+		v = WrongPeer
+	}
+	if m := c.metrics; m != nil {
+		if v == Match {
+			m.Hits.Inc()
+		} else {
+			m.Misses.Inc()
+		}
+	}
+	return v
+}
+
+// ExpectedPeer returns the peer AS whose EIA set contains src, by
+// longest-prefix match against the current snapshot (lock-free).
+func (c *Store) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
+	return c.snap.Load().index.Lookup(src)
+}
+
+// Assignment maps one prefix to the peer AS expected to carry its
+// traffic; batches of them are applied under a single snapshot swap.
+type Assignment struct {
+	Peer   PeerAS
+	Prefix netaddr.Prefix
+}
+
+// publishLocked swaps in a snapshot with the given prefixes added on top
+// of the current one, preserving the re-homing semantics of Set.AddPrefix.
+// Callers hold c.mu. The whole batch lands in one pointer swap.
+func (c *Store) publishLocked(assign []Assignment) {
+	cur := c.snap.Load()
+	index := cur.index
+	per := cur.perPeer
+	copied := false
+	for _, a := range assign {
+		if prev, ok := index.Get(a.Prefix); ok {
+			if prev == a.Peer {
+				continue
+			}
+			if !copied {
+				per, copied = clonePeerCounts(per), true
+			}
+			per[prev]--
+			per[a.Peer]++
+		} else {
+			if !copied {
+				per, copied = clonePeerCounts(per), true
+			}
+			per[a.Peer]++
+		}
+		index = index.InsertPersistent(a.Prefix, a.Peer)
+	}
+	if !copied {
+		return // every assignment was already in place
+	}
+	c.snap.Store(&snapshot{index: index, perPeer: per})
+}
+
+func clonePeerCounts(per map[PeerAS]int) map[PeerAS]int {
+	out := make(map[PeerAS]int, len(per)+1)
+	for p, n := range per {
+		out[p] = n
+	}
+	return out
+}
+
+// RecordLegal notes a vouched source and reports whether it was promoted
+// into peer's EIA set on this call (§5.2(a)). Promotion publishes a new
+// snapshot; concurrent Checks keep reading the previous one until the
+// swap lands.
+func (c *Store) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
+	pfx := netaddr.MustPrefix(src, c.cfg.PromoteMaskBits)
+	k := pendingKey{peer: peer, pfx: pfx}
+	c.mu.Lock()
+	c.pending[k]++
+	promoted := c.pending[k] >= c.cfg.PromoteThreshold
+	if promoted {
+		delete(c.pending, k)
+		c.publishLocked([]Assignment{{Peer: peer, Prefix: pfx}})
+	}
+	c.mu.Unlock()
+	if promoted {
+		if m := c.metrics; m != nil {
+			m.Promotions.Inc()
+		}
+	}
+	return promoted
+}
+
+// AddPrefix records that sources inside p are expected at peer. Inserting
+// the same prefix for a different peer re-homes it (route change
+// handling), exactly as Set.AddPrefix does.
+func (c *Store) AddPrefix(peer PeerAS, p netaddr.Prefix) {
+	c.AddPrefixes([]Assignment{{Peer: peer, Prefix: p}})
+}
+
+// AddPrefixes applies a batch of assignments under one snapshot swap:
+// readers observe either none or all of the batch.
+func (c *Store) AddPrefixes(assign []Assignment) {
+	c.mu.Lock()
+	c.publishLocked(assign)
+	c.mu.Unlock()
+}
+
+// Train initializes EIA sets from observed traffic the way Set.Train
+// does, publishing the whole training set as one snapshot swap.
+func (c *Store) Train(obs []TrainingSource, maskBits int) {
+	if maskBits <= 0 {
+		maskBits = c.cfg.PromoteMaskBits
+	}
+	assign := make([]Assignment, len(obs))
+	for i, o := range obs {
+		assign[i] = Assignment{Peer: o.Peer, Prefix: netaddr.MustPrefix(o.Src, maskBits)}
+	}
+	c.AddPrefixes(assign)
+}
+
+// PendingCount exposes the promotion progress for a source subnet at peer.
+func (c *Store) PendingCount(peer PeerAS, src netaddr.IPv4) int {
+	k := pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, c.cfg.PromoteMaskBits)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[k]
+}
+
+// Len returns the total number of prefixes across all peers.
+func (c *Store) Len() int { return c.snap.Load().index.Len() }
+
+// PeerPrefixCount returns how many prefixes map to peer.
+func (c *Store) PeerPrefixCount(peer PeerAS) int { return c.snap.Load().perPeer[peer] }
+
+// Peers returns the peer ASes with at least one prefix, ascending.
+func (c *Store) Peers() []PeerAS { return peersOf(c.snap.Load().perPeer) }
+
+// WriteTo serializes the current snapshot in the text format of
+// Set.WriteTo. It reads one consistent snapshot without blocking writers
+// or the Check hot path.
+func (c *Store) WriteTo(w io.Writer) (int64, error) {
+	return writeRows(w, c.snap.Load().index)
+}
+
+// WriteCheckpoint writes the current snapshot as a versioned checkpoint
+// (see Set.WriteCheckpoint), again without blocking the hot path.
+func (c *Store) WriteCheckpoint(w io.Writer) error {
+	return writeCheckpoint(w, c.snap.Load().index)
+}

@@ -1,0 +1,165 @@
+package eia
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+func TestStoreSemantics(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+
+	if got := cs.Check(1, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+		t.Errorf("Check = %v, want Match", got)
+	}
+	if got := cs.Check(1, netaddr.MustParseIPv4("70.1.1.1")); got != WrongPeer {
+		t.Errorf("Check = %v, want WrongPeer", got)
+	}
+	if got := cs.Check(1, netaddr.MustParseIPv4("99.1.1.1")); got != Unknown {
+		t.Errorf("Check = %v, want Unknown", got)
+	}
+	if peer, ok := cs.ExpectedPeer(netaddr.MustParseIPv4("70.1.1.1")); !ok || peer != 2 {
+		t.Errorf("ExpectedPeer = %v, %v", peer, ok)
+	}
+	if cs.Len() != 2 || cs.PeerPrefixCount(1) != 1 {
+		t.Errorf("Len = %d, PeerPrefixCount(1) = %d", cs.Len(), cs.PeerPrefixCount(1))
+	}
+
+	// Promotion through the store behaves like the bare set.
+	src := netaddr.MustParseIPv4("99.2.3.4")
+	var promoted bool
+	for i := 0; i < DefaultPromoteThreshold; i++ {
+		promoted = cs.RecordLegal(3, src)
+	}
+	if !promoted {
+		t.Fatal("RecordLegal never promoted at the threshold")
+	}
+	if got := cs.Check(3, src); got != Match {
+		t.Errorf("post-promotion Check = %v, want Match", got)
+	}
+}
+
+// TestStoreRehoming covers the route-change path: re-inserting a prefix
+// for a different peer must move it (and its count) in the next snapshot.
+func TestStoreRehoming(t *testing.T) {
+	cs := NewStore(nil)
+	p := netaddr.MustParsePrefix("61.0.0.0/11")
+	cs.AddPrefix(1, p)
+	cs.AddPrefix(2, p)
+	if cs.Len() != 1 {
+		t.Errorf("Len = %d after re-home, want 1", cs.Len())
+	}
+	if got := cs.PeerPrefixCount(1); got != 0 {
+		t.Errorf("PeerPrefixCount(1) = %d, want 0", got)
+	}
+	if got := cs.PeerPrefixCount(2); got != 1 {
+		t.Errorf("PeerPrefixCount(2) = %d, want 1", got)
+	}
+	if got := cs.Check(2, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+		t.Errorf("Check after re-home = %v, want Match", got)
+	}
+	// Re-inserting the same mapping publishes nothing and changes nothing.
+	cs.AddPrefix(2, p)
+	if cs.Len() != 1 || cs.PeerPrefixCount(2) != 1 {
+		t.Errorf("idempotent re-insert: Len=%d count=%d", cs.Len(), cs.PeerPrefixCount(2))
+	}
+}
+
+// TestStoreBatchPublish checks that AddPrefixes lands a whole batch and
+// Train aggregates to the promote mask, as Set.Train does.
+func TestStoreBatchPublish(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddPrefixes([]Assignment{
+		{Peer: 1, Prefix: netaddr.MustParsePrefix("61.0.0.0/11")},
+		{Peer: 1, Prefix: netaddr.MustParsePrefix("88.32.0.0/11")},
+		{Peer: 2, Prefix: netaddr.MustParsePrefix("70.0.0.0/11")},
+	})
+	if cs.Len() != 3 || cs.PeerPrefixCount(1) != 2 {
+		t.Errorf("Len = %d, PeerPrefixCount(1) = %d", cs.Len(), cs.PeerPrefixCount(1))
+	}
+	cs.Train([]TrainingSource{{Peer: 3, Src: netaddr.MustParseIPv4("10.1.2.3")}}, 0)
+	if got := cs.Check(3, netaddr.MustParseIPv4("10.1.2.99")); got != Match {
+		t.Errorf("trained /24 Check = %v, want Match", got)
+	}
+	if got := len(cs.Peers()); got != 3 {
+		t.Errorf("Peers = %d, want 3", got)
+	}
+}
+
+// TestStoreAdoptsSetState verifies NewStore carries over prefixes, config
+// and in-flight pending promotion counters from the seed Set.
+func TestStoreAdoptsSetState(t *testing.T) {
+	set := NewSet(Config{PromoteThreshold: 3})
+	set.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	src := netaddr.MustParseIPv4("99.2.3.4")
+	set.RecordLegal(2, src) // 1 of 3
+
+	cs := NewStore(set)
+	if got := cs.PendingCount(2, src); got != 1 {
+		t.Errorf("adopted PendingCount = %d, want 1", got)
+	}
+	if cs.RecordLegal(2, src) {
+		t.Error("promoted at 2 of 3")
+	}
+	if !cs.RecordLegal(2, src) {
+		t.Error("not promoted at 3 of 3")
+	}
+	var a, b bytes.Buffer
+	if _, err := cs.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Error("WriteTo wrote nothing")
+	}
+	if err := cs.WriteCheckpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), a.Bytes()) {
+		t.Error("checkpoint body does not contain WriteTo rows")
+	}
+}
+
+// TestStoreParallelAccess hammers the store from many goroutines; under
+// -race it proves the lock-free Check path and the single-writer side
+// are coherent (readers only ever see fully published snapshots).
+func TestStoreParallelAccess(t *testing.T) {
+	cs := NewStore(nil)
+	for i := 0; i < 8; i++ {
+		cs.AddPrefix(PeerAS(i+1), netaddr.MustPrefix(netaddr.IPv4(uint32(i+10)<<24), 8))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := PeerAS(g + 1)
+			base := netaddr.IPv4(uint32(g+100) << 24)
+			for i := 0; i < 500; i++ {
+				src := base + netaddr.IPv4(i%7)<<8
+				cs.Check(peer, src)
+				cs.RecordLegal(peer, src)
+				cs.ExpectedPeer(src)
+				if i%100 == 0 {
+					cs.Len()
+					cs.Peers()
+					var buf bytes.Buffer
+					if _, err := cs.WriteTo(&buf); err != nil {
+						t.Errorf("WriteTo: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Each goroutine vouched ~72 times for each of 7 disjoint /24s, far
+	// past the promotion threshold: every subnet must have been promoted.
+	for g := 0; g < 8; g++ {
+		if got := cs.Check(PeerAS(g+1), netaddr.IPv4(uint32(g+100)<<24)); got != Match {
+			t.Errorf("goroutine %d subnet not promoted: %v", g, got)
+		}
+	}
+}

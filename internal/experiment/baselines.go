@@ -6,7 +6,7 @@ import (
 	"infilter/internal/analysis"
 	"infilter/internal/baseline"
 	"infilter/internal/blocks"
-	"infilter/internal/metrics"
+	"infilter/internal/stats"
 )
 
 // BaselineResult is one detector's score on the shared workload.
@@ -172,13 +172,13 @@ func trainHIF(hif *baseline.HIF, wl *workload) float64 {
 }
 
 // BaselineTable renders the comparison.
-func BaselineTable(results []BaselineResult) metrics.Table {
-	t := metrics.Table{
+func BaselineTable(results []BaselineResult) stats.Table {
+	t := stats.Table{
 		Title:   "Detector comparison on one workload (8% attacks, 2% route change)",
 		Columns: []string{"detector", "detection rate", "false positive rate"},
 	}
 	for _, r := range results {
-		t.AddRow(r.Name, metrics.Pct(r.DetectionRate()), metrics.Pct(r.FalsePositiveRate()))
+		t.AddRow(r.Name, stats.Pct(r.DetectionRate()), stats.Pct(r.FalsePositiveRate()))
 	}
 	return t
 }

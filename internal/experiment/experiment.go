@@ -13,10 +13,10 @@ import (
 	"infilter/internal/blocks"
 	"infilter/internal/eia"
 	"infilter/internal/flow"
-	"infilter/internal/metrics"
 	"infilter/internal/netaddr"
 	"infilter/internal/netflow"
 	"infilter/internal/packet"
+	"infilter/internal/stats"
 	"infilter/internal/trace"
 )
 
@@ -153,8 +153,8 @@ func Run(cfg Config) (Result, error) {
 		fp = append(fp, rr.FalsePositiveRate())
 		lat += rr.AvgLatency
 	}
-	res.DetectionRate = metrics.Mean(det)
-	res.FPRate = metrics.Mean(fp)
+	res.DetectionRate = stats.Mean(det)
+	res.FPRate = stats.Mean(fp)
 	res.AvgLatency = lat / time.Duration(len(res.Runs))
 	return res, nil
 }

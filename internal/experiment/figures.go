@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"infilter/internal/analysis"
-	"infilter/internal/metrics"
+	"infilter/internal/stats"
 	"infilter/internal/trace"
 )
 
@@ -66,29 +66,29 @@ func RunSpoofedSweep(opts Options) (*SpoofedSweep, error) {
 }
 
 // Figure15 renders the attack-detection-rate figure.
-func (sw *SpoofedSweep) Figure15() metrics.Table {
-	t := metrics.Table{
+func (sw *SpoofedSweep) Figure15() stats.Table {
+	t := stats.Table{
 		Title:   "Figure 15: Attack detection rate (Enhanced InFilter)",
 		Columns: []string{"attack volume", "single attack set", "10 attack sets"},
 	}
 	for i, vol := range sw.Volumes {
 		t.AddRow(fmt.Sprintf("%d%%", vol),
-			metrics.Pct(sw.Single[i].DetectionRate),
-			metrics.Pct(sw.Ten[i].DetectionRate))
+			stats.Pct(sw.Single[i].DetectionRate),
+			stats.Pct(sw.Ten[i].DetectionRate))
 	}
 	return t
 }
 
 // Figure16 renders the false-positive-rate figure.
-func (sw *SpoofedSweep) Figure16() metrics.Table {
-	t := metrics.Table{
+func (sw *SpoofedSweep) Figure16() stats.Table {
+	t := stats.Table{
 		Title:   "Figure 16: False positive rate (Enhanced InFilter)",
 		Columns: []string{"attack volume", "single attack set", "10 attack sets"},
 	}
 	for i, vol := range sw.Volumes {
 		t.AddRow(fmt.Sprintf("%d%%", vol),
-			metrics.Pct(sw.Single[i].FPRate),
-			metrics.Pct(sw.Ten[i].FPRate))
+			stats.Pct(sw.Single[i].FPRate),
+			stats.Pct(sw.Ten[i].FPRate))
 	}
 	return t
 }
@@ -126,12 +126,12 @@ func RunRouteChangeSweep(opts Options, mode analysis.Mode) (*RouteChangeSweep, e
 }
 
 // Figure renders the sweep as the paper's Figure 17 (BI) or 18 (EI).
-func (sw *RouteChangeSweep) Figure() metrics.Table {
+func (sw *RouteChangeSweep) Figure() stats.Table {
 	num := 17
 	if sw.Mode == analysis.ModeEnhanced {
 		num = 18
 	}
-	t := metrics.Table{
+	t := stats.Table{
 		Title: fmt.Sprintf("Figure %d: False positive rate with route change — %s",
 			num, longModeName(sw.Mode)),
 		Columns: []string{"route change"},
@@ -142,7 +142,7 @@ func (sw *RouteChangeSweep) Figure() metrics.Table {
 	for j, rate := range sw.Rates {
 		row := []string{fmt.Sprintf("%d%%", rate)}
 		for i := range sw.Volumes {
-			row = append(row, metrics.Pct(sw.Grid[i][j].FPRate))
+			row = append(row, stats.Pct(sw.Grid[i][j].FPRate))
 		}
 		t.AddRow(row...)
 	}
@@ -150,16 +150,16 @@ func (sw *RouteChangeSweep) Figure() metrics.Table {
 }
 
 // Figure19 contrasts BI and EI false positives at 8% attack volume.
-func Figure19(bi, ei *RouteChangeSweep) metrics.Table {
-	t := metrics.Table{
+func Figure19(bi, ei *RouteChangeSweep) stats.Table {
+	t := stats.Table{
 		Title:   "Figure 19: False positive rate at 8% attack volume — Basic vs Enhanced",
 		Columns: []string{"route change", "Basic InFilter", "Enhanced InFilter"},
 	}
 	volIdx := len(AttackVolumes) - 1 // the 8% column
 	for j, rate := range RouteChangeRates {
 		t.AddRow(fmt.Sprintf("%d%%", rate),
-			metrics.Pct(bi.Grid[volIdx][j].FPRate),
-			metrics.Pct(ei.Grid[volIdx][j].FPRate))
+			stats.Pct(bi.Grid[volIdx][j].FPRate),
+			stats.Pct(ei.Grid[volIdx][j].FPRate))
 	}
 	return t
 }
@@ -190,14 +190,14 @@ func LatencyComparison(opts Options) (biLat, eiLat time.Duration, err error) {
 // AttackBreakdown runs one EI point and renders the per-attack-type
 // detection table (§6.3's "various kinds of attacks, stealthy and
 // voluminous"), aggregated over the runs.
-func AttackBreakdown(opts Options) (metrics.Table, error) {
+func AttackBreakdown(opts Options) (stats.Table, error) {
 	cfg := opts.config()
 	cfg.Mode = analysis.ModeEnhanced
 	cfg.AttackPercent = 8
 	cfg.AttackSets = 1
 	res, err := Run(cfg)
 	if err != nil {
-		return metrics.Table{}, err
+		return stats.Table{}, err
 	}
 	agg := make(map[trace.AttackType]TypeStats)
 	for _, rr := range res.Runs {
@@ -208,7 +208,7 @@ func AttackBreakdown(opts Options) (metrics.Table, error) {
 			agg[at] = cur
 		}
 	}
-	t := metrics.Table{
+	t := stats.Table{
 		Title:   "Per-attack detection (Enhanced InFilter, 8% attack volume)",
 		Columns: []string{"attack", "kind", "launched", "detected", "rate"},
 	}
@@ -228,7 +228,7 @@ func AttackBreakdown(opts Options) (metrics.Table, error) {
 		t.AddRow(info.Name, kind,
 			fmt.Sprintf("%d", ts.Launched),
 			fmt.Sprintf("%d", ts.Detected),
-			metrics.Pct(rate))
+			stats.Pct(rate))
 	}
 	return t, nil
 }

@@ -84,6 +84,44 @@ func (t *PrefixTrie[V]) Delete(p Prefix) bool {
 	return true
 }
 
+// InsertPersistent returns a new trie equal to the receiver plus v stored
+// at p, without modifying the receiver. Only the nodes on the insertion
+// path (at most p.Bits()+1 of them) are copied; every other subtree is
+// shared between the old and new trie. This is the substrate for
+// copy-on-write snapshot stores: a reader traversing the old trie never
+// observes a write, so published tries can be read lock-free while a
+// writer prepares the next version.
+func (t *PrefixTrie[V]) InsertPersistent(p Prefix, v V) *PrefixTrie[V] {
+	addr := uint32(p.Addr())
+	newRoot := t.root.clone()
+	n, old := newRoot, t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := (addr >> (31 - uint(i))) & 1
+		if old != nil {
+			old = old.child[b]
+		}
+		if old != nil {
+			n.child[b] = old.clone()
+		} else {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	size := t.size
+	if !n.set {
+		size++
+	}
+	n.val, n.set = v, true
+	return &PrefixTrie[V]{root: newRoot, size: size}
+}
+
+// clone copies one node; the children arrays are copied by value so both
+// tries share the subtrees hanging off them.
+func (n *trieNode[V]) clone() *trieNode[V] {
+	c := *n
+	return &c
+}
+
 // Lookup returns the value of the longest prefix containing ip.
 func (t *PrefixTrie[V]) Lookup(ip IPv4) (V, bool) {
 	var (

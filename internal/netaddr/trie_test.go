@@ -188,6 +188,76 @@ func TestTrieMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestTrieInsertPersistent checks the copy-on-write contract: the old
+// trie is observationally unchanged by inserts into its successors.
+func TestTrieInsertPersistent(t *testing.T) {
+	t0 := NewPrefixTrie[string]()
+	t1 := t0.InsertPersistent(MustParsePrefix("4.0.0.0/8"), "a")
+	t2 := t1.InsertPersistent(MustParsePrefix("4.2.101.0/24"), "b")
+	t3 := t2.InsertPersistent(MustParsePrefix("4.0.0.0/8"), "a2") // replace
+
+	if t0.Len() != 0 || t1.Len() != 1 || t2.Len() != 2 || t3.Len() != 2 {
+		t.Fatalf("Len chain = %d,%d,%d,%d; want 0,1,2,2",
+			t0.Len(), t1.Len(), t2.Len(), t3.Len())
+	}
+	ip := MustParseIPv4("4.2.101.20")
+	if _, ok := t0.Lookup(ip); ok {
+		t.Error("t0 sees a later insert")
+	}
+	if got, _ := t1.Lookup(ip); got != "a" {
+		t.Errorf("t1.Lookup = %q, want a", got)
+	}
+	if got, _ := t2.Lookup(ip); got != "b" {
+		t.Errorf("t2.Lookup = %q, want b", got)
+	}
+	if got, _ := t2.Lookup(MustParseIPv4("4.9.9.9")); got != "a" {
+		t.Errorf("t2 /8 value = %q, want a (replacement must not leak back)", got)
+	}
+	if got, _ := t3.Lookup(MustParseIPv4("4.9.9.9")); got != "a2" {
+		t.Errorf("t3 /8 value = %q, want a2", got)
+	}
+}
+
+// TestTrieInsertPersistentSharesSubtrees asserts structural sharing: a
+// persistent insert on one branch must reuse the untouched sibling
+// subtree by pointer, not copy it.
+func TestTrieInsertPersistentSharesSubtrees(t *testing.T) {
+	base := NewPrefixTrie[int]()
+	// 128.0.0.0/1 lives entirely under root.child[1].
+	base = base.InsertPersistent(MustParsePrefix("128.0.0.0/1"), 1)
+	next := base.InsertPersistent(MustParsePrefix("10.0.0.0/8"), 2) // under child[0]
+	if base.root.child[1] != next.root.child[1] {
+		t.Error("untouched subtree was copied instead of shared")
+	}
+	if base.root == next.root {
+		t.Error("root must be copied, not shared")
+	}
+}
+
+// TestTrieInsertPersistentMatchesMutable replays a random insert sequence
+// through both insert paths and requires identical lookup behavior.
+func TestTrieInsertPersistentMatchesMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mut := NewPrefixTrie[int]()
+	per := NewPrefixTrie[int]()
+	for i := 0; i < 200; i++ {
+		p := MustPrefix(IPv4(rng.Uint32()), rng.Intn(25)+8)
+		mut.Insert(p, i)
+		per = per.InsertPersistent(p, i)
+	}
+	if mut.Len() != per.Len() {
+		t.Fatalf("Len: mutable %d, persistent %d", mut.Len(), per.Len())
+	}
+	for i := 0; i < 500; i++ {
+		ip := IPv4(rng.Uint32())
+		gm, okm := mut.Lookup(ip)
+		gp, okp := per.Lookup(ip)
+		if gm != gp || okm != okp {
+			t.Fatalf("Lookup(%v): mutable %d,%v persistent %d,%v", ip, gm, okm, gp, okp)
+		}
+	}
+}
+
 func TestTrieInsertLookupProperty(t *testing.T) {
 	f := func(addr uint32, bitsRaw uint8) bool {
 		bits := int(bitsRaw%32) + 1

@@ -1,7 +1,7 @@
-// Package metrics provides the small statistics and table-rendering
+// Package stats provides the small statistics and table-rendering
 // helpers the experiment harness uses to aggregate runs and print the
 // paper's figures as text.
-package metrics
+package stats
 
 import (
 	"fmt"

@@ -1,26 +1,27 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR2.json.
+# fixed settings and writes machine-readable results to BENCH_PR3.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
-# per-stage costs (EIA check, NetFlow codec, unary encode, BI/EI flow
+# per-stage costs (EIA check serial and parallel — RWMutex baseline vs
+# the lock-free COW snapshot store — NetFlow codec, unary encode, BI/EI flow
 # latency), and the telemetry hot path (counter inc, histogram observe,
 # snapshot merge). The slow paper-validation benchmarks (figures,
 # tables, ablations) are deliberately excluded: they measure replay
 # fidelity, not regressions.
 #
-# CI uploads BENCH_PR2.json as a non-blocking artifact so reviewers can
+# CI uploads BENCH_PR3.json as a non-blocking artifact so reviewers can
 # diff ns/op and allocs/op across PRs without the job gating merges.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR2.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR3.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 COUNT="${COUNT:-1}"
 
-PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkNetFlowCodec|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
+PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkNetFlowCodec|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
 
 echo "==> go test -bench (benchtime=${BENCHTIME} count=${COUNT})"
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem \
