@@ -1,14 +1,15 @@
-// Command dagflow replays traffic as NetFlow v5 datagrams, reimplementing
-// the paper's Dagflow tool (§6.1). It either generates synthetic normal
-// traffic or replays a captured trace file, optionally rewrites source
-// addresses (block re-homing or spoofing), and sends the resulting
-// datagrams to a UDP destination.
+// Command dagflow replays traffic as flow-export datagrams (NetFlow v5,
+// v9 or IPFIX), reimplementing the paper's Dagflow tool (§6.1). It either
+// generates synthetic normal traffic or replays a captured trace file,
+// optionally rewrites source addresses (block re-homing or spoofing), and
+// sends the resulting datagrams to a UDP destination.
 //
 // Examples:
 //
 //	dagflow -generate 1000 -src-blocks 1a-13d -target 127.0.0.1:5001
 //	dagflow -attack slammer -spoof-blocks 13e-25h -target 127.0.0.1:5001
 //	dagflow -trace capture.iftr -target 127.0.0.1:5001
+//	dagflow -generate 1000 -version 9 -template-delay 3 -target 127.0.0.1:5001
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"infilter/internal/blocks"
 	"infilter/internal/dagflow"
 	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
 	"infilter/internal/packet"
 	"infilter/internal/trace"
 )
@@ -44,8 +46,15 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "PRNG seed")
 		name        = flag.String("name", "S1", "instance name")
 		writeFile   = flag.String("write", "", "capture the generated trace to this file instead of replaying")
+		version     = flag.Int("version", 5, "flow-export wire format: 5 (NetFlow v5), 9 (NetFlow v9) or 10 (IPFIX)")
+		tplDelay    = flag.Int("template-delay", 0, "v9/IPFIX: withhold the template until this many data datagrams were sent")
 	)
 	flag.Parse()
+	switch *version {
+	case netflow.VersionV5, netflow.VersionV9, netflow.VersionIPFIX:
+	default:
+		return fmt.Errorf("unsupported -version %d (want 5, 9 or 10)", *version)
+	}
 
 	pkts, err := buildTrace(*generate, *attackFlag, *traceFile, *srcBlocks, *seed)
 	if err != nil {
@@ -75,9 +84,11 @@ func run() error {
 	}
 
 	inst := dagflow.New(dagflow.Config{
-		Name:    *name,
-		Policy:  policy,
-		InputIf: uint16(*inputIf),
+		Name:          *name,
+		Policy:        policy,
+		InputIf:       uint16(*inputIf),
+		Version:       uint16(*version),
+		TemplateDelay: *tplDelay,
 	}, pkts[0].Time.Add(-time.Minute))
 	dgs, err := inst.Replay(pkts)
 	if err != nil {
@@ -88,10 +99,10 @@ func run() error {
 	}
 	total := 0
 	for _, d := range dgs {
-		total += len(d.Records)
+		total += d.Flows
 	}
-	log.Printf("%s: replayed %d packets as %d flows in %d datagrams to %s",
-		*name, len(pkts), total, len(dgs), *target)
+	log.Printf("%s: replayed %d packets as %d v%d flows in %d datagrams to %s",
+		*name, len(pkts), total, inst.Version(), len(dgs), *target)
 	return nil
 }
 

@@ -1,5 +1,6 @@
-// Command infilterd is the InFilter analysis daemon: it receives NetFlow
-// v5 datagrams on one UDP port per emulated border router / peer AS, runs
+// Command infilterd is the InFilter analysis daemon: it receives flow
+// export datagrams (NetFlow v5, NetFlow v9 or IPFIX, auto-detected per
+// datagram) on one UDP port per emulated border router / peer AS, runs
 // the Basic or Enhanced InFilter pipeline over the flows, and reports
 // attacks as IDMEF alerts (to a TCP consumer or stdout).
 //
@@ -25,11 +26,19 @@
 // shutdown drain; on the next start the checkpoints are loaded and the
 // daemon resumes with its learned state instead of retraining.
 //
+// NetFlow v9 and IPFIX streams are template-driven: templates are
+// learned into a bounded per-exporter cache (-template-max, -template-ttl)
+// shared by every listening port, and data sets that arrive before their
+// template are buffered (-orphan-max) and decoded once the template shows
+// up. Template learning, orphan buffering and per-exporter sequence gaps
+// are all reported on /metrics (infilter_netflow_* families).
+//
 // With -admin-addr the daemon also serves an operator HTTP endpoint:
-// /metrics (Prometheus text format covering the collector, the analysis
-// shards, EIA, scan, NNS and the alert sink), /healthz (flips to 503
-// "draining" the moment shutdown starts) and /debug/pprof. The admin
-// server closes last during shutdown so the drain is observable.
+// /metrics (Prometheus text format covering the collector, the flow
+// decoder, the analysis shards, EIA, scan, NNS and the alert sink),
+// /healthz (flips to 503 "draining" the moment shutdown starts) and
+// /debug/pprof. The admin server closes last during shutdown so the
+// drain is observable.
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"infilter/internal/flowtools"
 	"infilter/internal/idmef"
 	"infilter/internal/netaddr"
+	"infilter/internal/netflow"
 	"infilter/internal/nns"
 	"infilter/internal/telemetry"
 	"infilter/internal/trace"
@@ -98,6 +108,9 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		queueDepth  = fs.Int("queue-depth", analysis.DefaultQueueDepth, "bounded per-shard queue depth (backpressure)")
 		stateDir    = fs.String("state-dir", "", "warm-restart directory: EIA and NNS state checkpointed here and loaded on startup (empty: disabled)")
 		ckptPeriod  = fs.Duration("checkpoint-interval", checkpoint.DefaultInterval, "period between background checkpoints (with -state-dir)")
+		tplMax      = fs.Int("template-max", netflow.DefaultMaxTemplates, "max NetFlow v9/IPFIX templates cached across all exporters")
+		tplTTL      = fs.Duration("template-ttl", netflow.DefaultTemplateTTL, "NetFlow v9/IPFIX templates unrefreshed this long expire")
+		orphanMax   = fs.Int("orphan-max", netflow.DefaultMaxOrphans, "max buffered v9/IPFIX data sets awaiting their template")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,6 +185,15 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	reg := telemetry.NewRegistry()
 	senderMetrics := idmef.NewSenderMetrics(reg)
 	nnsMetrics := nns.NewMetrics(reg)
+	// Template-driven decode state shared by every listening port: v9 and
+	// IPFIX exporters are keyed by source address + observation domain, so
+	// one cache serves all peers without cross-talk.
+	templates := netflow.NewTemplateCache(netflow.TemplateCacheConfig{
+		MaxTemplates: *tplMax,
+		TemplateTTL:  *tplTTL,
+		MaxOrphans:   *orphanMax,
+	})
+	templates.SetMetrics(netflow.NewMetrics(reg))
 	if detector != nil {
 		detector.SetMetrics(nnsMetrics)
 	}
@@ -275,9 +297,9 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		peerMu     sync.RWMutex
 		peerOfPort = make(map[int]eia.PeerAS, len(ports))
 	)
-	collector := flowtools.NewCollector(func(port int, recs []flow.Record) {
+	collector := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
 		peerMu.RLock()
-		peer, ok := peerOfPort[port]
+		peer, ok := peerOfPort[src.LocalPort]
 		peerMu.RUnlock()
 		if !ok {
 			return
@@ -294,6 +316,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		}
 	})
 	collector.SetMetrics(flowtools.NewCollectorMetrics(reg))
+	collector.SetTemplateCache(templates)
 
 	bound := make([]int, 0, len(ports))
 	for i, p := range ports {

@@ -23,6 +23,44 @@ import (
 	"infilter/internal/testutil"
 )
 
+// testRec builds one flow record in the shape the e2e tests replay.
+func testRec(src string, packets, bytes uint32, proto uint8, dstPort uint16) flow.Record {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	return flow.Record{
+		Key: flow.Key{
+			Src:   netaddr.MustParseIPv4(src),
+			Dst:   netaddr.MustParseIPv4("192.0.2.1"),
+			Proto: proto, DstPort: dstPort,
+		},
+		Packets: packets, Bytes: bytes,
+		Start: boot.Add(time.Second), End: boot.Add(2 * time.Second),
+	}
+}
+
+// v5Raw encodes recs into a single NetFlow v5 datagram.
+func v5Raw(t *testing.T, recs []flow.Record) []byte {
+	t.Helper()
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	dgs := netflow.NewV5Encoder(boot, 1).Encode(recs, boot.Add(time.Minute))
+	if len(dgs) != 1 {
+		t.Fatalf("encoded %d datagrams, want 1", len(dgs))
+	}
+	return dgs[0].Raw
+}
+
+// sendRaw writes one datagram to a local UDP port.
+func sendRaw(t *testing.T, port int, raw []byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestParsePorts(t *testing.T) {
 	got, err := parsePorts("5001, 5002,5003")
 	if err != nil {
@@ -128,26 +166,11 @@ func TestRunShutdownDrainsAndFlushes(t *testing.T) {
 		}
 
 		for i := 0; i < datagrams; i++ {
-			d := &netflow.Datagram{}
+			var recs []flow.Record
 			for j := 0; j < perDatagram; j++ {
-				d.Records = append(d.Records, netflow.Record{
-					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
-					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
-				})
+				recs = append(recs, testRec(fmt.Sprintf("99.0.%d.%d", i, j+1), 1, 404, flow.ProtoUDP, 1434))
 			}
-			raw, err := d.Marshal()
-			if err != nil {
-				t.Fatal(err)
-			}
-			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", ports[i%len(ports)]))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := conn.Write(raw); err != nil {
-				t.Fatal(err)
-			}
-			conn.Close()
+			sendRaw(t, ports[i%len(ports)], v5Raw(t, recs))
 		}
 
 		deadline := time.Now().Add(10 * time.Second)
@@ -298,48 +321,22 @@ func TestAdminMetricsEndToEnd(t *testing.T) {
 			}
 		}
 
-		send := func(port int, raw []byte) {
-			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", port))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer conn.Close()
-			if _, err := conn.Write(raw); err != nil {
-				t.Fatal(err)
-			}
-		}
 		// One datagram of legal flows for peer 1 (EIA hits, no alerts).
-		d := &netflow.Datagram{}
+		var legalRecs []flow.Record
 		for j := 0; j < perDatagram; j++ {
-			d.Records = append(d.Records, netflow.Record{
-				SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("61.0.7.%d", j+1)),
-				DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-				Packets: 9, Octets: 4040, Proto: flow.ProtoTCP, DstPort: 80,
-			})
+			legalRecs = append(legalRecs, testRec(fmt.Sprintf("61.0.7.%d", j+1), 9, 4040, flow.ProtoTCP, 80))
 		}
-		raw, err := d.Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		send(info.ports[0], raw)
+		sendRaw(t, info.ports[0], v5Raw(t, legalRecs))
 		// Spoofed datagrams (99/8 is in no EIA set: one alert per record).
 		for i := 0; i < spoofDatagrams; i++ {
-			d := &netflow.Datagram{}
+			var recs []flow.Record
 			for j := 0; j < perDatagram; j++ {
-				d.Records = append(d.Records, netflow.Record{
-					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
-					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
-				})
+				recs = append(recs, testRec(fmt.Sprintf("99.0.%d.%d", i, j+1), 1, 404, flow.ProtoUDP, 1434))
 			}
-			raw, err := d.Marshal()
-			if err != nil {
-				t.Fatal(err)
-			}
-			send(info.ports[i%len(info.ports)], raw)
+			sendRaw(t, info.ports[i%len(info.ports)], v5Raw(t, recs))
 		}
 		// One malformed datagram: counted, dropped, no records.
-		send(info.ports[0], []byte("not netflow"))
+		sendRaw(t, info.ports[0], []byte("not netflow"))
 
 		deadline := time.Now().Add(10 * time.Second)
 		for alerts.Load() < spoofed {
@@ -392,6 +389,151 @@ func TestAdminMetricsEndToEnd(t *testing.T) {
 				if _, ok := m[name]; !ok {
 					t.Errorf("missing per-shard series %s", name)
 				}
+			}
+		}
+
+		tr.CloseIdleConnections()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after cancel", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not return after cancel")
+		}
+	})
+}
+
+// TestNetFlowV9IngestEndToEnd is the acceptance test for the template-
+// driven ingest path: a v9 stream is replayed over real UDP with the
+// template datagram deliberately withheld until after the data sets, and
+// one data datagram dropped in flight. The daemon must buffer the orphan
+// sets, resolve and process every delivered flow once the template
+// arrives, and the /metrics scrape must show the template learned, the
+// orphans buffered and resolved, and the sequence gap from the drop.
+func TestNetFlowV9IngestEndToEnd(t *testing.T) {
+	var alerts atomic.Int64
+	consumer := idmef.NewConsumer(func(idmef.Alert) { alerts.Add(1) })
+	alertPort, err := consumer.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	eiaPath := filepath.Join(t.TempDir(), "eia.txt")
+	if err := os.WriteFile(eiaPath, []byte("1 61.0.0.0/11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-ports", "0", "-mode", "BI",
+		"-alert", fmt.Sprintf("127.0.0.1:%d", alertPort),
+		"-admin-addr", "127.0.0.1:0",
+		"-eia-file", eiaPath,
+		"-stats", "1h", "-queue-depth", "64",
+	}
+
+	const batches, perBatch = 4, 10
+	const dropped = 1 // one data datagram lost in flight
+	const delivered = int64((batches - dropped) * perBatch)
+
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		tr := &http.Transport{}
+		defer tr.CloseIdleConnections()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		type readyInfo struct {
+			ports []int
+			admin string
+		}
+		ready := make(chan readyInfo, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- runWith(ctx, args, func(ports []int, admin string) {
+				ready <- readyInfo{ports: ports, admin: admin}
+			})
+		}()
+		var info readyInfo
+		select {
+		case info = <-ready:
+		case err := <-done:
+			t.Fatalf("run exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		base := "http://" + info.admin
+
+		// Encode 4 data datagrams with the template withheld, then flush
+		// the template datagram the encoder owes.
+		boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+		now := boot.Add(time.Minute)
+		enc := netflow.NewV9Encoder(boot, 7)
+		enc.SetTemplateDelay(1000)
+		var data [][]byte
+		for i := 0; i < batches; i++ {
+			var recs []flow.Record
+			for j := 0; j < perBatch; j++ {
+				recs = append(recs, testRec(fmt.Sprintf("99.0.%d.%d", i, j+1), 1, 404, flow.ProtoUDP, 1434))
+			}
+			dgs := enc.Encode(recs, now)
+			if len(dgs) != 1 {
+				t.Fatalf("batch %d encoded into %d datagrams, want 1", i, len(dgs))
+			}
+			data = append(data, dgs[0].Raw)
+		}
+		tpl := enc.Flush(now)
+		if len(tpl) != 1 {
+			t.Fatalf("flush produced %d datagrams, want the withheld template", len(tpl))
+		}
+
+		// Template cache state is keyed by exporter address, so the whole
+		// stream must leave one socket. Drop datagram 2 to force a
+		// sequence gap; send the template last so every data set orphans.
+		conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", info.ports[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, raw := range data {
+			if i == 2 {
+				continue
+			}
+			if _, err := conn.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := conn.Write(tpl[0].Raw); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+
+		// Every delivered flow is spoofed (99/8 in no EIA set): one alert
+		// each, and none of them can fire before the template resolves the
+		// buffered sets.
+		deadline := time.Now().Add(10 * time.Second)
+		for alerts.Load() < delivered {
+			if time.Now().After(deadline) {
+				t.Fatalf("got %d alerts, want %d", alerts.Load(), delivered)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		m := scrapeAdmin(t, tr, base+"/metrics")
+		checks := []struct {
+			name string
+			want float64
+		}{
+			{`infilter_netflow_datagrams_total{version="9"}`, batches - dropped + 1}, // + template datagram
+			{"infilter_netflow_templates_learned_total", 1},
+			{"infilter_netflow_orphans_buffered_total", batches - dropped},
+			{"infilter_netflow_orphans_resolved_total", batches - dropped},
+			{"infilter_netflow_sequence_gaps_total", dropped},
+			{"infilter_collector_records_total", float64(delivered)},
+			{"infilter_collector_decode_errors_total", 0},
+		}
+		for _, c := range checks {
+			if got := sumMetric(m, c.name); got != c.want {
+				t.Errorf("%s = %v, want %v", c.name, got, c.want)
 			}
 		}
 
@@ -478,40 +620,17 @@ func TestWarmRestartReproducesVerdicts(t *testing.T) {
 	// exactly the spoofed alerts.
 	replay := func(ports []int, wantAlerts int64) {
 		t.Helper()
-		send := func(port int, recs []netflow.Record) {
-			d := &netflow.Datagram{Records: recs}
-			raw, err := d.Marshal()
-			if err != nil {
-				t.Fatal(err)
-			}
-			conn, err := net.Dial("udp", fmt.Sprintf("127.0.0.1:%d", port))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer conn.Close()
-			if _, err := conn.Write(raw); err != nil {
-				t.Fatal(err)
-			}
-		}
-		var legalRecs []netflow.Record
+		var legalRecs []flow.Record
 		for j := 0; j < perDatagram; j++ {
-			legalRecs = append(legalRecs, netflow.Record{
-				SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("61.0.7.%d", j+1)),
-				DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-				Packets: 9, Octets: 4040, Proto: flow.ProtoTCP, DstPort: 80,
-			})
+			legalRecs = append(legalRecs, testRec(fmt.Sprintf("61.0.7.%d", j+1), 9, 4040, flow.ProtoTCP, 80))
 		}
-		send(ports[0], legalRecs)
+		sendRaw(t, ports[0], v5Raw(t, legalRecs))
 		for i := 0; i < 2; i++ {
-			var spoofRecs []netflow.Record
+			var spoofRecs []flow.Record
 			for j := 0; j < perDatagram; j++ {
-				spoofRecs = append(spoofRecs, netflow.Record{
-					SrcAddr: netaddr.MustParseIPv4(fmt.Sprintf("99.0.%d.%d", i, j+1)),
-					DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-					Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
-				})
+				spoofRecs = append(spoofRecs, testRec(fmt.Sprintf("99.0.%d.%d", i, j+1), 1, 404, flow.ProtoUDP, 1434))
 			}
-			send(ports[i%len(ports)], spoofRecs)
+			sendRaw(t, ports[i%len(ports)], v5Raw(t, spoofRecs))
 		}
 		deadline := time.Now().Add(10 * time.Second)
 		for alerts.Load() < wantAlerts {

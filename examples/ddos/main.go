@@ -97,10 +97,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	db := netflow.NewDecodeBuffer(nil)
 	attackFlows, flagged := 0, 0
 	for _, d := range dgs {
-		for _, rec := range d.Records {
-			fr := rec.ToFlowRecord(d.Header, rec.InputIf)
+		msg, err := netflow.Decode(d.Raw, db)
+		if err != nil {
+			return err
+		}
+		for _, fr := range msg.Records {
 			attackFlows++
 			if engine.Process(1, fr).Attack {
 				flagged++

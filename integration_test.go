@@ -77,8 +77,8 @@ func TestEndToEndPipeline(t *testing.T) {
 		processed int
 	)
 	peerOfPort := map[int]eia.PeerAS{}
-	collector := flowtools.NewCollector(func(port int, recs []flow.Record) {
-		peer := peerOfPort[port]
+	collector := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
+		peer := peerOfPort[src.LocalPort]
 		engMu.Lock()
 		defer engMu.Unlock()
 		for _, r := range recs {
@@ -111,7 +111,7 @@ func TestEndToEndPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, d := range dgs {
-			wantFlows += len(d.Records)
+			wantFlows += d.Flows
 		}
 		dst := port1
 		if peer == 2 {
@@ -143,7 +143,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range dgs {
-		wantFlows += len(d.Records)
+		wantFlows += d.Flows
 	}
 	if err := dagflow.SendUDP(fmt.Sprintf("127.0.0.1:%d", port1), dgs); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 // Package dagflow reimplements the paper's Dagflow traffic-replay tool
-// (§6.1): it synthesizes NetFlow v5 records from packet traces without any
-// routers, supports controlled rewriting of source IP addresses (both
+// (§6.1): it synthesizes flow-export streams (NetFlow v5, v9 or IPFIX)
+// from packet traces without any routers, supports controlled rewriting
+// of source IP addresses (both
 // benign re-homing onto allocated address blocks and attack spoofing),
 // controls the distribution of source addresses across blocks, and directs
 // each instance's export datagrams at a configurable UDP destination port.
@@ -142,11 +143,20 @@ type Config struct {
 	// ExportInterval batches expirations into datagrams at this period.
 	// Zero defaults to one second.
 	ExportInterval time.Duration
-	// EngineID tags the NetFlow header.
+	// EngineID tags the export stream: the v5 engine id, or the v9 source
+	// id / IPFIX observation domain id.
 	EngineID uint8
+	// Version selects the export wire format: netflow.VersionV5 (the
+	// default when zero), VersionV9 or VersionIPFIX.
+	Version uint16
+	// TemplateDelay (v9/IPFIX only) withholds the template datagram until
+	// this many data datagrams have been sent, to exercise a receiver's
+	// orphan buffering. Zero announces the template first, as real
+	// exporters do.
+	TemplateDelay int
 }
 
-// Instance replays packet traces as NetFlow datagrams.
+// Instance replays packet traces as flow-export datagrams.
 type Instance struct {
 	cfg      Config
 	cache    *netflow.Cache
@@ -161,26 +171,43 @@ func New(cfg Config, boot time.Time) *Instance {
 	if cfg.ExportInterval <= 0 {
 		cfg.ExportInterval = time.Second
 	}
+	var enc netflow.WireEncoder
+	switch cfg.Version {
+	case netflow.VersionV9:
+		v9 := netflow.NewV9Encoder(boot, uint32(cfg.EngineID))
+		v9.SetTemplateDelay(cfg.TemplateDelay)
+		enc = v9
+	case netflow.VersionIPFIX:
+		ix := netflow.NewIPFIXEncoder(uint32(cfg.EngineID))
+		ix.SetTemplateDelay(cfg.TemplateDelay)
+		enc = ix
+	default:
+		enc = netflow.NewV5Encoder(boot, cfg.EngineID)
+	}
 	return &Instance{
 		cfg:      cfg,
 		cache:    netflow.NewCache(cfg.Cache),
-		exporter: netflow.NewExporter(boot, cfg.EngineID),
+		exporter: netflow.NewExporter(enc),
 	}
 }
+
+// Version reports the export wire format the instance emits.
+func (in *Instance) Version() uint16 { return in.exporter.Version() }
 
 // Name returns the instance label.
 func (in *Instance) Name() string { return in.cfg.Name }
 
 // Replay runs a time-ordered packet trace through source rewriting and the
-// flow cache, returning the NetFlow datagrams a router would have exported.
-// The trace's own timestamps drive the clock, so replay is deterministic
-// and much faster than real time (the paper's motivation for Dagflow).
-func (in *Instance) Replay(pkts []packet.Packet) ([]*netflow.Datagram, error) {
+// flow cache, returning the export datagrams a router would have emitted
+// in the instance's configured wire format. The trace's own timestamps
+// drive the clock, so replay is deterministic and much faster than real
+// time (the paper's motivation for Dagflow).
+func (in *Instance) Replay(pkts []packet.Packet) ([]netflow.WireDatagram, error) {
 	if len(pkts) == 0 {
 		return nil, nil
 	}
 	var (
-		out        []*netflow.Datagram
+		out        []netflow.WireDatagram
 		nextExport = pkts[0].Time.Add(in.cfg.ExportInterval)
 	)
 	for i, p := range pkts {
@@ -196,29 +223,27 @@ func (in *Instance) Replay(pkts []packet.Packet) ([]*netflow.Datagram, error) {
 			nextExport = nextExport.Add(in.cfg.ExportInterval)
 		}
 	}
-	// End of trace: flush everything still cached.
+	// End of trace: flush everything still cached, then the encoder (a
+	// template-delayed replay must still end decodable).
 	last := pkts[len(pkts)-1].Time
 	in.cache.FlushAll()
 	in.exporter.Add(in.cache.Drain()...)
 	out = append(out, in.exporter.Export(last.Add(in.cfg.ExportInterval))...)
+	out = append(out, in.exporter.Flush(last.Add(in.cfg.ExportInterval))...)
 	return out, nil
 }
 
 // SendUDP transmits datagrams to a UDP destination ("127.0.0.1:port" in
 // the testbed — each instance targets a distinct port so the analysis side
 // can demultiplex border routers).
-func SendUDP(dst string, dgs []*netflow.Datagram) error {
+func SendUDP(dst string, dgs []netflow.WireDatagram) error {
 	conn, err := net.Dial("udp", dst)
 	if err != nil {
 		return fmt.Errorf("dagflow: dial %s: %w", dst, err)
 	}
 	defer conn.Close()
 	for _, d := range dgs {
-		raw, err := d.Marshal()
-		if err != nil {
-			return fmt.Errorf("dagflow: marshal datagram: %w", err)
-		}
-		if _, err := conn.Write(raw); err != nil {
+		if _, err := conn.Write(d.Raw); err != nil {
 			return fmt.Errorf("dagflow: send to %s: %w", dst, err)
 		}
 	}

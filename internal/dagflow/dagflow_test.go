@@ -125,17 +125,25 @@ func TestReplayProducesFlows(t *testing.T) {
 	if len(dgs) == 0 {
 		t.Fatal("no datagrams exported")
 	}
+	buf := netflow.NewDecodeBuffer(nil)
 	totalFlows := 0
 	var lastSeq uint32
 	for i, d := range dgs {
-		totalFlows += len(d.Records)
-		if i > 0 && d.Header.FlowSequence < lastSeq {
+		totalFlows += d.Flows
+		if d.Flows > netflow.MaxRecords {
+			t.Errorf("datagram %d has %d records", i, d.Flows)
+		}
+		msg, err := netflow.Decode(d.Raw, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg.Records) != d.Flows {
+			t.Errorf("datagram %d: decoded %d records, Flows says %d", i, len(msg.Records), d.Flows)
+		}
+		if i > 0 && msg.Sequence < lastSeq {
 			t.Error("flow sequence not monotone")
 		}
-		lastSeq = d.Header.FlowSequence + uint32(len(d.Records))
-		if len(d.Records) > netflow.MaxRecords {
-			t.Errorf("datagram %d has %d records", i, len(d.Records))
-		}
+		lastSeq = msg.Sequence
 	}
 	// Roughly one flow per generated flow (some may merge on key collision).
 	if totalFlows < 250 || totalFlows > 400 {
@@ -154,15 +162,113 @@ func TestReplayAppliesPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	buf := netflow.NewDecodeBuffer(nil)
 	for _, d := range dgs {
-		for _, r := range d.Records {
-			if !target.Contains(r.SrcAddr) {
-				t.Fatalf("record src %v escaped policy block", r.SrcAddr)
+		msg, err := netflow.Decode(d.Raw, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range msg.Records {
+			if !target.Contains(r.Key.Src) {
+				t.Fatalf("record src %v escaped policy block", r.Key.Src)
 			}
-			if r.InputIf != 2 {
-				t.Fatalf("record ifIndex %d, want 2", r.InputIf)
+			if r.Key.InputIf != 2 {
+				t.Fatalf("record ifIndex %d, want 2", r.Key.InputIf)
 			}
 		}
+	}
+}
+
+// TestReplayV9MatchesV5 replays the same trace as v5 and as v9: the two
+// streams must decode to the same number of flows in the same order.
+func TestReplayV9MatchesV5(t *testing.T) {
+	decodeAll := func(dgs []netflow.WireDatagram) []flow.Record {
+		buf := netflow.NewDecodeBuffer(nil)
+		var out []flow.Record
+		for _, d := range dgs {
+			msg, err := netflow.Decode(d.Raw, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, msg.Records...)
+		}
+		return out
+	}
+	v5, err := New(Config{Name: "S1", InputIf: 1}, boot).Replay(normalTrace(t, 200, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v9, err := New(Config{Name: "S1", InputIf: 1, Version: netflow.VersionV9, EngineID: 4}, boot).Replay(normalTrace(t, 200, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := decodeAll(v5), decodeAll(v9)
+	if len(a) != len(b) {
+		t.Fatalf("v5 decoded %d flows, v9 %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Packets != b[i].Packets || a[i].Bytes != b[i].Bytes {
+			t.Fatalf("flow %d differs across versions:\nv5 %+v\nv9 %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReplayV9DelayedTemplate withholds the template: data datagrams
+// orphan at the receiver until the Flush-emitted template resolves them.
+func TestReplayV9DelayedTemplate(t *testing.T) {
+	in := New(Config{
+		Name: "S1", InputIf: 1,
+		Version: netflow.VersionV9, EngineID: 4, TemplateDelay: 1000,
+	}, boot)
+	dgs, err := in.Replay(normalTrace(t, 120, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for _, d := range dgs {
+		sent += d.Flows
+	}
+	buf := netflow.NewDecodeBuffer(nil)
+	decoded, orphaned, resolved := 0, 0, 0
+	for _, d := range dgs {
+		msg, err := netflow.Decode(d.Raw, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded += len(msg.Records)
+		orphaned += msg.Orphaned
+		resolved += msg.Resolved
+	}
+	if orphaned == 0 {
+		t.Error("no data sets were orphaned despite the delayed template")
+	}
+	if resolved == 0 || decoded != sent {
+		t.Errorf("decoded %d of %d flows (resolved %d)", decoded, sent, resolved)
+	}
+}
+
+// TestReplayIPFIX covers the third wire format end to end.
+func TestReplayIPFIX(t *testing.T) {
+	in := New(Config{Name: "S1", InputIf: 1, Version: netflow.VersionIPFIX, EngineID: 4}, boot)
+	if in.Version() != netflow.VersionIPFIX {
+		t.Fatalf("Version() = %d", in.Version())
+	}
+	dgs, err := in.Replay(normalTrace(t, 120, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := netflow.NewDecodeBuffer(nil)
+	decoded, sent := 0, 0
+	for _, d := range dgs {
+		sent += d.Flows
+		msg, err := netflow.Decode(d.Raw, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded += len(msg.Records)
+	}
+	if sent == 0 || decoded != sent {
+		t.Errorf("decoded %d of %d flows", decoded, sent)
 	}
 }
 
@@ -186,29 +292,23 @@ func TestReplayEmptyTrace(t *testing.T) {
 }
 
 func TestReplayDeterministic(t *testing.T) {
-	mk := func() []*netflow.Datagram {
-		in := New(Config{Name: "S5", InputIf: 1}, boot)
+	mk := func(version uint16) []netflow.WireDatagram {
+		in := New(Config{Name: "S5", InputIf: 1, Version: version}, boot)
 		dgs, err := in.Replay(normalTrace(t, 150, 20))
 		if err != nil {
 			t.Fatal(err)
 		}
 		return dgs
 	}
-	a, b := mk(), mk()
-	if len(a) != len(b) {
-		t.Fatalf("datagram counts differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		ra, err := a[i].Marshal()
-		if err != nil {
-			t.Fatal(err)
+	for _, version := range []uint16{netflow.VersionV5, netflow.VersionV9, netflow.VersionIPFIX} {
+		a, b := mk(version), mk(version)
+		if len(a) != len(b) {
+			t.Fatalf("v%d datagram counts differ: %d vs %d", version, len(a), len(b))
 		}
-		rb, err := b[i].Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(ra) != string(rb) {
-			t.Fatalf("datagram %d differs across identical replays", i)
+		for i := range a {
+			if string(a[i].Raw) != string(b[i].Raw) {
+				t.Fatalf("v%d datagram %d differs across identical replays", version, i)
+			}
 		}
 	}
 }
@@ -272,16 +372,13 @@ func TestReplayEndToEndOverUDPShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	buf := netflow.NewDecodeBuffer(nil)
 	for _, d := range dgs {
-		raw, err := d.Marshal()
+		msg, err := netflow.Decode(d.Raw, buf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := netflow.Unmarshal(raw)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(back.Records) != len(d.Records) {
+		if len(msg.Records) != d.Flows {
 			t.Fatal("wire round trip lost records")
 		}
 	}

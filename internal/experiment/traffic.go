@@ -213,11 +213,14 @@ func replayThroughRouter(name string, pkts []packet.Packet, policy dagflow.Sourc
 	if err != nil {
 		return nil, err
 	}
+	db := netflow.NewDecodeBuffer(nil)
 	var out []flow.Record
 	for _, d := range dgs {
-		for _, r := range d.Records {
-			out = append(out, r.ToFlowRecord(d.Header, r.InputIf))
+		msg, err := netflow.Decode(d.Raw, db)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, msg.Records...)
 	}
 	return out, nil
 }

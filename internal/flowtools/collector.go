@@ -1,7 +1,8 @@
 // Package flowtools reimplements the slice of the flow-tools suite the
 // InFilter prototype depends on (paper §5.1.2): flow-capture (a UDP
-// receiver for NetFlow v5 datagrams), a binary flow store, and flow-report
-// (per-flow and grouped statistics with ASCII import/export).
+// receiver for NetFlow v5/v9/IPFIX export datagrams), a binary flow
+// store, and flow-report (per-flow and grouped statistics with ASCII
+// import/export).
 package flowtools
 
 import (
@@ -17,7 +18,8 @@ import (
 
 // CollectorMetrics are the ingest-side runtime counters: datagrams
 // received off the wire, flow records decoded from them, and datagrams
-// dropped as undecodable.
+// dropped as undecodable. They are the collector's single source of
+// truth — Stats derives from them.
 type CollectorMetrics struct {
 	Datagrams    *telemetry.Counter
 	Records      *telemetry.Counter
@@ -27,47 +29,89 @@ type CollectorMetrics struct {
 // NewCollectorMetrics registers the collector counters on r.
 func NewCollectorMetrics(r *telemetry.Registry) *CollectorMetrics {
 	return &CollectorMetrics{
-		Datagrams:    r.Counter("infilter_collector_datagrams_total", "NetFlow datagrams received on the UDP listeners."),
+		Datagrams:    r.Counter("infilter_collector_datagrams_total", "Flow-export datagrams received on the UDP listeners."),
 		Records:      r.Counter("infilter_collector_records_total", "Flow records decoded and handed to the pipeline."),
-		DecodeErrors: r.Counter("infilter_collector_decode_errors_total", "Datagrams dropped as malformed NetFlow v5."),
+		DecodeErrors: r.Counter("infilter_collector_decode_errors_total", "Datagrams dropped as malformed flow export."),
 	}
 }
 
-// Handler consumes flow records parsed from one datagram. localPort is the
-// UDP port the datagram arrived on — the testbed multiplexes one emulated
-// border router per port (§6.2).
-type Handler func(localPort int, recs []flow.Record)
+// unregisteredCollectorMetrics backs a collector whose metrics were never
+// wired to a registry, so Stats works regardless.
+func unregisteredCollectorMetrics() *CollectorMetrics {
+	return &CollectorMetrics{
+		Datagrams:    telemetry.NewCounter(),
+		Records:      telemetry.NewCounter(),
+		DecodeErrors: telemetry.NewCounter(),
+	}
+}
+
+// Source identifies where one export datagram came from: the local UDP
+// port it arrived on (the testbed multiplexes one emulated border router
+// per port, §6.2), the exporter's remote address, and the flow-export
+// format version that carried the records.
+type Source struct {
+	LocalPort int
+	Exporter  string
+	Version   uint16
+}
+
+// Handler consumes the flow records parsed from one datagram. The records
+// slice is reused by the receive loop and valid only for the duration of
+// the call; handlers keeping records must copy them.
+type Handler func(src Source, recs []flow.Record)
 
 // Collector is the flow-capture equivalent: it listens on one or more UDP
-// ports, decodes NetFlow v5 datagrams and hands flow records to a Handler.
-// Close stops all listeners and waits for their goroutines to exit.
+// ports, decodes NetFlow v5/v9/IPFIX datagrams through a shared template
+// cache and hands flow records to a Handler. Close stops all listeners
+// and waits for their goroutines to exit.
 type Collector struct {
-	handler Handler
-	metrics *CollectorMetrics
+	handler   Handler
+	metrics   *CollectorMetrics
+	templates *netflow.TemplateCache
 
 	mu     sync.Mutex
 	conns  []*net.UDPConn
 	closed bool
 
 	wg sync.WaitGroup
-
-	statsMu  sync.Mutex
-	received int
-	malfed   int
 }
 
 // ErrCollectorClosed is returned when Listen is called after Close.
 var ErrCollectorClosed = errors.New("flowtools: collector closed")
 
-// NewCollector returns a collector delivering records to handler.
+// NewCollector returns a collector delivering records to handler, with a
+// private template cache of default bounds (see SetTemplateCache).
 func NewCollector(handler Handler) *Collector {
-	return &Collector{handler: handler}
+	return &Collector{
+		handler:   handler,
+		metrics:   unregisteredCollectorMetrics(),
+		templates: netflow.NewTemplateCache(netflow.TemplateCacheConfig{}),
+	}
 }
 
-// SetMetrics installs runtime counters (nil disables). It must be called
-// before the first Listen: the receive loops read the pointer without
-// locking.
-func (c *Collector) SetMetrics(m *CollectorMetrics) { c.metrics = m }
+// SetMetrics installs runtime counters (nil reverts to unregistered
+// ones). It must be called before the first Listen: the receive loops
+// read the pointer without locking.
+func (c *Collector) SetMetrics(m *CollectorMetrics) {
+	if m == nil {
+		m = unregisteredCollectorMetrics()
+	}
+	c.metrics = m
+}
+
+// SetTemplateCache installs the v9/IPFIX template cache shared by all
+// listeners (nil reverts to a private default one). Call before the first
+// Listen; the daemon shares one cache so templates learned on any port
+// resolve data from the same exporter everywhere.
+func (c *Collector) SetTemplateCache(tc *netflow.TemplateCache) {
+	if tc == nil {
+		tc = netflow.NewTemplateCache(netflow.TemplateCacheConfig{})
+	}
+	c.templates = tc
+}
+
+// TemplateCache returns the cache the listeners decode through.
+func (c *Collector) TemplateCache() *netflow.TemplateCache { return c.templates }
 
 // Listen opens a UDP listener on the given port (0 picks an ephemeral
 // port) and starts receiving datagrams. It returns the bound port.
@@ -96,46 +140,37 @@ func (c *Collector) Listen(port int) (int, error) {
 func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
 	defer c.wg.Done()
 	buf := make([]byte, 65536)
+	// Each listener owns a DecodeBuffer (not concurrency-safe); template
+	// state lives in the shared cache.
+	db := netflow.NewDecodeBuffer(c.templates)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, remote, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			// Closed socket (or fatal error): stop this listener.
 			return
 		}
 		m := c.metrics
-		if m != nil {
-			m.Datagrams.Inc()
-		}
-		d, err := netflow.Unmarshal(buf[:n])
+		m.Datagrams.Inc()
+		exporter := remote.String()
+		db.SetExporter(exporter)
+		msg, err := netflow.Decode(buf[:n], db)
 		if err != nil {
-			c.statsMu.Lock()
-			c.malfed++
-			c.statsMu.Unlock()
-			if m != nil {
-				m.DecodeErrors.Inc()
-			}
+			m.DecodeErrors.Inc()
 			continue
 		}
-		recs := make([]flow.Record, len(d.Records))
-		for i, r := range d.Records {
-			recs[i] = r.ToFlowRecord(d.Header, r.InputIf)
+		m.Records.Add(int64(len(msg.Records)))
+		if len(msg.Records) == 0 {
+			// Template-only or fully orphaned datagram: nothing to hand on.
+			continue
 		}
-		c.statsMu.Lock()
-		c.received += len(recs)
-		c.statsMu.Unlock()
-		if m != nil {
-			m.Records.Add(int64(len(recs)))
-		}
-		c.handler(port, recs)
+		c.handler(Source{LocalPort: port, Exporter: exporter, Version: msg.Version}, msg.Records)
 	}
 }
 
-// Stats reports how many records were received and how many datagrams were
-// dropped as malformed.
+// Stats reports how many records were received and how many datagrams
+// were dropped as malformed, derived from the telemetry counters.
 func (c *Collector) Stats() (received, malformed int) {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.received, c.malfed
+	return int(c.metrics.Records.Value()), int(c.metrics.DecodeErrors.Value())
 }
 
 // Close shuts down every listener and waits for receive loops to exit.

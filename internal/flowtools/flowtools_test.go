@@ -222,17 +222,23 @@ func TestASCIIParseErrors(t *testing.T) {
 	}
 }
 
-func TestCollectorReceivesDatagrams(t *testing.T) {
+// testCollectorReceives drives 45 records through one listener with the
+// given encoder (split 30+15 across datagrams, template datagrams if the
+// format uses them) and checks delivery, source metadata and stats.
+func testCollectorReceives(t *testing.T, enc netflow.WireEncoder) {
+	t.Helper()
 	var (
 		mu   sync.Mutex
 		got  []flow.Record
+		srcs []Source
 		port int
 	)
-	c := NewCollector(func(p int, recs []flow.Record) {
+	c := NewCollector(func(src Source, recs []flow.Record) {
 		mu.Lock()
 		defer mu.Unlock()
-		if p == port {
+		if src.LocalPort == port {
 			got = append(got, recs...)
+			srcs = append(srcs, src)
 		}
 	})
 	var err error
@@ -243,7 +249,7 @@ func TestCollectorReceivesDatagrams(t *testing.T) {
 	defer c.Close()
 
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
-	e := netflow.NewExporter(boot, 1)
+	e := netflow.NewExporter(enc)
 	for i := 0; i < 45; i++ {
 		e.Add(rec("61.0.0.1", uint16(80+i), flow.ProtoTCP, 2, 120, time.Second))
 	}
@@ -253,11 +259,7 @@ func TestCollectorReceivesDatagrams(t *testing.T) {
 	}
 	defer conn.Close()
 	for _, d := range e.Export(boot.Add(time.Minute)) {
-		raw, err := d.Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := conn.Write(raw); err != nil {
+		if _, err := conn.Write(d.Raw); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -281,9 +283,16 @@ func TestCollectorReceivesDatagrams(t *testing.T) {
 	}
 	mu.Lock()
 	first := got[0]
+	src := srcs[0]
 	mu.Unlock()
 	if first.Key.Src.String() != "61.0.0.1" || first.Packets != 2 {
 		t.Errorf("first record %+v", first)
+	}
+	if src.Version != enc.Version() {
+		t.Errorf("source version %d, want %d", src.Version, enc.Version())
+	}
+	if src.Exporter == "" {
+		t.Error("source exporter empty")
 	}
 
 	// Malformed counter eventually ticks.
@@ -298,10 +307,20 @@ func TestCollectorReceivesDatagrams(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	if recv, _ := c.Stats(); recv != 45 {
+		t.Errorf("stats recv=%d, want 45", recv)
+	}
+}
+
+func TestCollectorReceivesDatagrams(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	t.Run("v5", func(t *testing.T) { testCollectorReceives(t, netflow.NewV5Encoder(boot, 1)) })
+	t.Run("v9", func(t *testing.T) { testCollectorReceives(t, netflow.NewV9Encoder(boot, 1)) })
+	t.Run("ipfix", func(t *testing.T) { testCollectorReceives(t, netflow.NewIPFIXEncoder(1)) })
 }
 
 func TestCollectorCloseIdempotentAndBlocksListen(t *testing.T) {
-	c := NewCollector(func(int, []flow.Record) {})
+	c := NewCollector(func(Source, []flow.Record) {})
 	if _, err := c.Listen(0); err != nil {
 		t.Fatal(err)
 	}

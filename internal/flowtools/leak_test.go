@@ -14,19 +14,20 @@ import (
 // TestCollectorGoroutineLeak cycles Listen/Close with live traffic and
 // fails if any receive-loop goroutine survives Close.
 func TestCollectorGoroutineLeak(t *testing.T) {
-	d := &netflow.Datagram{Records: []netflow.Record{{
-		SrcAddr: netaddr.MustParseIPv4("61.1.1.1"),
-		DstAddr: netaddr.MustParseIPv4("192.0.2.1"),
-		Packets: 1, Octets: 404, Proto: flow.ProtoUDP, DstPort: 1434,
-	}}}
-	raw, err := d.Marshal()
-	if err != nil {
-		t.Fatal(err)
-	}
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	dgs := netflow.NewV5Encoder(boot, 1).Encode([]flow.Record{{
+		Key: flow.Key{
+			Src:   netaddr.MustParseIPv4("61.1.1.1"),
+			Dst:   netaddr.MustParseIPv4("192.0.2.1"),
+			Proto: flow.ProtoUDP, DstPort: 1434,
+		},
+		Packets: 1, Bytes: 404, Start: boot, End: boot,
+	}}, boot.Add(time.Minute))
+	raw := dgs[0].Raw
 	testutil.ExpectNoGoroutineGrowth(t, func() {
 		for i := 0; i < 3; i++ {
 			got := make(chan struct{}, 16)
-			c := NewCollector(func(port int, recs []flow.Record) {
+			c := NewCollector(func(src Source, recs []flow.Record) {
 				got <- struct{}{}
 			})
 			var ports []int

@@ -1,0 +1,532 @@
+package netflow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// goldenV9 is a captured-style NetFlow v9 datagram: one template flowset
+// (template 256: srcIP, dstIP, srcPort, dstPort, proto, packets, bytes)
+// followed by one data flowset carrying two records and two padding bytes.
+var goldenV9 = []byte{
+	0x00, 0x09, // version 9
+	0x00, 0x03, // count: 1 template + 2 data records
+	0x00, 0x01, 0x00, 0x00, // sysUptime 65536 ms
+	0x40, 0x00, 0x00, 0x00, // unixSecs 0x40000000
+	0x00, 0x00, 0x00, 0x07, // sequence 7
+	0x00, 0x00, 0x00, 0x02, // source id 2
+	// template flowset
+	0x00, 0x00, 0x00, 0x24, // setID 0, length 36
+	0x01, 0x00, 0x00, 0x07, // template 256, 7 fields
+	0x00, 0x08, 0x00, 0x04, // sourceIPv4Address(4)
+	0x00, 0x0c, 0x00, 0x04, // destinationIPv4Address(4)
+	0x00, 0x07, 0x00, 0x02, // sourceTransportPort(2)
+	0x00, 0x0b, 0x00, 0x02, // destinationTransportPort(2)
+	0x00, 0x04, 0x00, 0x01, // protocolIdentifier(1)
+	0x00, 0x02, 0x00, 0x04, // packetDeltaCount(4)
+	0x00, 0x01, 0x00, 0x04, // octetDeltaCount(4)
+	// data flowset, template 256
+	0x01, 0x00, 0x00, 0x30, // setID 256, length 48 (4 + 2*21 + 2 pad)
+	0x0a, 0x00, 0x00, 0x01, // 10.0.0.1
+	0xc0, 0x00, 0x02, 0x09, // 192.0.2.9
+	0x04, 0x00, // srcPort 1024
+	0x00, 0x50, // dstPort 80
+	0x06,                   // TCP
+	0x00, 0x00, 0x00, 0x0a, // 10 packets
+	0x00, 0x00, 0x04, 0x00, // 1024 bytes
+	0x0a, 0x00, 0x00, 0x02, // 10.0.0.2
+	0xc0, 0x00, 0x02, 0x09, // 192.0.2.9
+	0x04, 0x01, // srcPort 1025
+	0x00, 0x35, // dstPort 53
+	0x11,                   // UDP
+	0x00, 0x00, 0x00, 0x01, // 1 packet
+	0x00, 0x00, 0x00, 0x64, // 100 bytes
+	0x00, 0x00, // padding
+}
+
+// goldenIPFIX is a captured-style IPFIX message: one template set
+// (template 257 with an enterprise-specific field and a variable-length
+// field) followed by one data set with a single record and one pad byte.
+var goldenIPFIX = []byte{
+	0x00, 0x0a, // version 10
+	0x00, 0x50, // message length 80
+	0x40, 0x00, 0x00, 0x00, // export time
+	0x00, 0x00, 0x00, 0x05, // sequence 5
+	0x00, 0x00, 0x00, 0x03, // observation domain 3
+	// template set
+	0x00, 0x02, 0x00, 0x24, // setID 2, length 36
+	0x01, 0x01, 0x00, 0x06, // template 257, 6 fields
+	0x00, 0x08, 0x00, 0x04, // sourceIPv4Address(4)
+	0x00, 0x0c, 0x00, 0x04, // destinationIPv4Address(4)
+	0x00, 0x04, 0x00, 0x01, // protocolIdentifier(1)
+	0x00, 0x01, 0x00, 0x08, // octetDeltaCount(8)
+	0x80, 0x05, 0x00, 0x02, // enterprise field id 5, length 2
+	0x00, 0x00, 0x72, 0x79, // enterprise number 29305
+	0x00, 0x64, 0xff, 0xff, // element 100, variable length
+	// data set, template 257
+	0x01, 0x01, 0x00, 0x1c, // setID 257, length 28 (4 + 23 + 1 pad)
+	0x0a, 0x00, 0x00, 0x01, // 10.0.0.1
+	0xc0, 0x00, 0x02, 0x09, // 192.0.2.9
+	0x06,                                           // TCP
+	0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00, // 1024 bytes
+	0xbe, 0xef, // enterprise payload (ignored)
+	0x03, 'a', 'b', 'c', // variable-length payload (ignored)
+	0x00, // padding
+}
+
+func TestDecodeGoldenFixtures(t *testing.T) {
+	exportTime := time.Unix(0x40000000, 0).UTC()
+	tests := []struct {
+		name     string
+		raw      []byte
+		version  uint16
+		domain   uint32
+		sequence uint32
+		want     []flow.Record
+	}{
+		{
+			name:     "v9",
+			raw:      goldenV9,
+			version:  VersionV9,
+			domain:   2,
+			sequence: 7,
+			want: []flow.Record{
+				{
+					Key: flow.Key{
+						Src: netaddr.MustParseIPv4("10.0.0.1"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Proto: flow.ProtoTCP, SrcPort: 1024, DstPort: 80,
+					},
+					Packets: 10, Bytes: 1024, Start: exportTime, End: exportTime,
+				},
+				{
+					Key: flow.Key{
+						Src: netaddr.MustParseIPv4("10.0.0.2"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Proto: flow.ProtoUDP, SrcPort: 1025, DstPort: 53,
+					},
+					Packets: 1, Bytes: 100, Start: exportTime, End: exportTime,
+				},
+			},
+		},
+		{
+			name:     "ipfix",
+			raw:      goldenIPFIX,
+			version:  VersionIPFIX,
+			domain:   3,
+			sequence: 5,
+			want: []flow.Record{
+				{
+					Key: flow.Key{
+						Src: netaddr.MustParseIPv4("10.0.0.1"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Proto: flow.ProtoTCP,
+					},
+					Bytes: 1024, Start: exportTime, End: exportTime,
+				},
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := NewDecodeBuffer(NewTemplateCache(TemplateCacheConfig{}))
+			buf.SetExporter("192.0.2.1:2055")
+			msg, err := Decode(tc.raw, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.Version != tc.version || msg.Domain != tc.domain || msg.Sequence != tc.sequence {
+				t.Errorf("header: version=%d domain=%d seq=%d", msg.Version, msg.Domain, msg.Sequence)
+			}
+			if msg.Exporter != "192.0.2.1:2055" {
+				t.Errorf("exporter %q", msg.Exporter)
+			}
+			if !msg.ExportTime.Equal(exportTime) {
+				t.Errorf("export time %v", msg.ExportTime)
+			}
+			if msg.TemplateSets != 1 || msg.Orphaned != 0 || msg.SeqGap != 0 {
+				t.Errorf("templates=%d orphaned=%d gap=%d", msg.TemplateSets, msg.Orphaned, msg.SeqGap)
+			}
+			if len(msg.Records) != len(tc.want) {
+				t.Fatalf("decoded %d records, want %d", len(msg.Records), len(tc.want))
+			}
+			for i, want := range tc.want {
+				got := msg.Records[i]
+				if got.Key != want.Key || got.Packets != want.Packets || got.Bytes != want.Bytes {
+					t.Errorf("record %d: got %+v want %+v", i, got, want)
+				}
+				if !got.Start.Equal(want.Start) || !got.End.Equal(want.End) {
+					t.Errorf("record %d times: %v-%v", i, got.Start, got.End)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeGoldenCorruptions(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"set length past end", func(b []byte) []byte { b[22] = 0xff; return b }},
+		{"set length below minimum", func(b []byte) []byte { b[22], b[23] = 0, 2; return b }},
+		{"template id in reserved range", func(b []byte) []byte { b[24], b[25] = 0, 1; return b }},
+		{"truncated template", func(b []byte) []byte { return append(b[:30:30], b[30]) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.mutate(append([]byte(nil), goldenV9...))
+			if _, err := Decode(raw, NewDecodeBuffer(nil)); err == nil {
+				t.Error("corrupt datagram decoded without error")
+			}
+		})
+	}
+}
+
+// exportSample builds n distinct finished flows.
+func exportSample(n int) []flow.Record {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key: flow.Key{
+				Src: netaddr.IPv4(0x3d000000 + uint32(i)), Dst: 0xc0000201,
+				Proto: flow.ProtoTCP, SrcPort: uint16(1024 + i), DstPort: 80,
+				TOS: 0xe0, InputIf: 2,
+			},
+			Packets: uint32(10 + i), Bytes: uint32(400 * (1 + i)),
+			Start: boot.Add(time.Duration(i) * time.Second),
+			End:   boot.Add(time.Duration(i)*time.Second + 500*time.Millisecond),
+			SrcAS: 65001, DstAS: 65002, SrcMask: 11, DstMask: 24,
+			TCPFlag: 0x12,
+		}
+	}
+	return recs
+}
+
+// TestEncodeDecodeRoundTrip drives every encoder's output through Decode
+// and checks the fields the analysis model consumes survive the wire.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	encoders := map[string]WireEncoder{
+		"v5":    NewV5Encoder(boot, 7),
+		"v9":    NewV9Encoder(boot, 7),
+		"ipfix": NewIPFIXEncoder(7),
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			want := exportSample(45) // forces a 30/15 split
+			buf := NewDecodeBuffer(NewTemplateCache(TemplateCacheConfig{}))
+			buf.SetExporter("test")
+			var got []flow.Record
+			for _, wd := range enc.Encode(want, now) {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if msg.Version != enc.Version() {
+					t.Fatalf("version %d, want %d", msg.Version, enc.Version())
+				}
+				got = append(got, msg.Records...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Errorf("record %d key: got %+v want %+v", i, got[i].Key, want[i].Key)
+				}
+				if got[i].Packets != want[i].Packets || got[i].Bytes != want[i].Bytes ||
+					got[i].SrcAS != want[i].SrcAS || got[i].DstAS != want[i].DstAS ||
+					got[i].SrcMask != want[i].SrcMask || got[i].DstMask != want[i].DstMask ||
+					got[i].TCPFlag != want[i].TCPFlag {
+					t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+				}
+				if !got[i].Start.Equal(want[i].Start) || !got[i].End.Equal(want[i].End) {
+					t.Errorf("record %d times: got %v-%v want %v-%v",
+						i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeOrphanResolution delays the template datagram: early data
+// sets must buffer (no records emitted), then decode in full when the
+// template finally arrives.
+func TestDecodeOrphanResolution(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	for _, tc := range []struct {
+		name string
+		enc  interface {
+			WireEncoder
+			SetTemplateDelay(int)
+		}
+	}{
+		{"v9", NewV9Encoder(boot, 7)},
+		{"ipfix", NewIPFIXEncoder(7)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.enc.SetTemplateDelay(100) // withhold until Flush
+			want := exportSample(35)     // two data datagrams
+			dgs := tc.enc.Encode(want, now)
+			dgs = append(dgs, tc.enc.Flush(now)...)
+
+			cache := NewTemplateCache(TemplateCacheConfig{})
+			buf := NewDecodeBuffer(cache)
+			buf.SetExporter("test")
+
+			var got []flow.Record
+			orphaned, resolved := 0, 0
+			for _, wd := range dgs {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				orphaned += msg.Orphaned
+				resolved += msg.Resolved
+				got = append(got, msg.Records...)
+			}
+			if orphaned != 2 {
+				t.Errorf("orphaned %d sets, want 2", orphaned)
+			}
+			if resolved != len(want) {
+				t.Errorf("resolved %d records, want %d", resolved, len(want))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d records, want %d", len(got), len(want))
+			}
+			// Orphans resolve in arrival order; fields must survive.
+			for i := range want {
+				if got[i].Key != want[i].Key || got[i].Bytes != want[i].Bytes {
+					t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+				}
+				if !got[i].Start.Equal(want[i].Start) {
+					t.Errorf("record %d start %v, want %v", i, got[i].Start, want[i].Start)
+				}
+			}
+			if cache.OrphanCount() != 0 {
+				t.Errorf("%d orphans still buffered", cache.OrphanCount())
+			}
+		})
+	}
+}
+
+func TestTemplateCacheTTLExpiry(t *testing.T) {
+	clock := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	cache := NewTemplateCache(TemplateCacheConfig{
+		TemplateTTL: time.Minute,
+		Now:         func() time.Time { return clock },
+	})
+	key := domainKey{exporter: "a", domain: 1}
+	tpl := &Template{ID: 256, Fields: []TemplateField{{ID: ieProtocolIdentifier, Length: 1}}}
+	cache.learn(key, tpl)
+	if cache.lookup(key, 256) == nil {
+		t.Fatal("fresh template not found")
+	}
+	clock = clock.Add(2 * time.Minute)
+	if cache.lookup(key, 256) != nil {
+		t.Error("expired template still served")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache len %d after expiry", cache.Len())
+	}
+}
+
+func TestTemplateCacheRefreshKeepsTemplate(t *testing.T) {
+	clock := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	cache := NewTemplateCache(TemplateCacheConfig{
+		TemplateTTL: time.Minute,
+		Now:         func() time.Time { return clock },
+	})
+	key := domainKey{exporter: "a", domain: 1}
+	fields := []TemplateField{{ID: ieProtocolIdentifier, Length: 1}}
+	cache.learn(key, &Template{ID: 256, Fields: fields})
+	clock = clock.Add(45 * time.Second)
+	// Re-announcement with identical layout refreshes the TTL.
+	cache.learn(key, &Template{ID: 256, Fields: fields})
+	clock = clock.Add(45 * time.Second)
+	if cache.lookup(key, 256) == nil {
+		t.Error("refreshed template expired on original schedule")
+	}
+}
+
+func TestTemplateCacheEvictionBound(t *testing.T) {
+	cache := NewTemplateCache(TemplateCacheConfig{MaxTemplates: 4})
+	key := domainKey{exporter: "a", domain: 1}
+	for i := 0; i < 10; i++ {
+		cache.learn(key, &Template{
+			ID:     uint16(256 + i),
+			Fields: []TemplateField{{ID: ieProtocolIdentifier, Length: 1}},
+		})
+	}
+	if cache.Len() > 4 {
+		t.Errorf("cache grew to %d templates, bound 4", cache.Len())
+	}
+}
+
+func TestOrphanBufferBound(t *testing.T) {
+	cache := NewTemplateCache(TemplateCacheConfig{MaxOrphans: 2})
+	key := domainKey{exporter: "a", domain: 1}
+	for i := 0; i < 5; i++ {
+		cache.buffer(key, 256, orphan{data: []byte{1, 2, 3}})
+	}
+	if cache.OrphanCount() != 2 {
+		t.Errorf("buffered %d orphans, bound 2", cache.OrphanCount())
+	}
+}
+
+func TestOrphanTTLExpiry(t *testing.T) {
+	clock := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	cache := NewTemplateCache(TemplateCacheConfig{
+		MaxOrphans: 2,
+		OrphanTTL:  time.Second,
+		Now:        func() time.Time { return clock },
+	})
+	key := domainKey{exporter: "a", domain: 1}
+	cache.buffer(key, 256, orphan{data: []byte{1}})
+	cache.buffer(key, 256, orphan{data: []byte{2}})
+	clock = clock.Add(5 * time.Second)
+	// At the bound, stale orphans are expired to make room.
+	if !cache.buffer(key, 257, orphan{data: []byte{3}}) {
+		t.Error("fresh orphan dropped although stale ones were expirable")
+	}
+	if cache.OrphanCount() != 1 {
+		t.Errorf("%d orphans buffered, want 1", cache.OrphanCount())
+	}
+}
+
+func TestSequenceGapTracking(t *testing.T) {
+	cache := NewTemplateCache(TemplateCacheConfig{})
+	key := domainKey{exporter: "a", domain: 1}
+	if gap := cache.seqCheck(key, 100, 1); gap != 0 {
+		t.Errorf("first datagram reported gap %d", gap)
+	}
+	if gap := cache.seqCheck(key, 101, 1); gap != 0 {
+		t.Errorf("contiguous datagram reported gap %d", gap)
+	}
+	if gap := cache.seqCheck(key, 105, 1); gap != 3 {
+		t.Errorf("gap = %d, want 3 (102-104 lost)", gap)
+	}
+	// Backward jump (restart/reorder) resynchronizes silently.
+	if gap := cache.seqCheck(key, 10, 1); gap != 0 {
+		t.Errorf("backward jump reported gap %d", gap)
+	}
+	// Wraparound is still contiguous.
+	cache.seqCheck(key, ^uint32(0), 1)
+	if gap := cache.seqCheck(key, 0, 1); gap != 0 {
+		t.Errorf("wraparound reported gap %d", gap)
+	}
+	// Separate domains track independently.
+	other := domainKey{exporter: "a", domain: 2}
+	if gap := cache.seqCheck(other, 500, 1); gap != 0 {
+		t.Errorf("fresh domain reported gap %d", gap)
+	}
+}
+
+func TestIPFIXTemplateWithdrawal(t *testing.T) {
+	cache := NewTemplateCache(TemplateCacheConfig{})
+	key := domainKey{exporter: "a", domain: 1}
+	cache.learn(key, &Template{ID: 256, Fields: []TemplateField{{ID: ieProtocolIdentifier, Length: 1}}})
+	cache.withdraw(key, 256)
+	if cache.lookup(key, 256) != nil {
+		t.Error("withdrawn template still served")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache len %d after withdrawal", cache.Len())
+	}
+}
+
+func TestDecodeRejectsZeroLengthTemplate(t *testing.T) {
+	// Template whose fields are all zero-length would loop forever on
+	// data; the decoder must reject it.
+	raw := append([]byte(nil), goldenV9[:20+36]...)
+	// Rewrite all 7 field lengths to zero.
+	for i := 0; i < 7; i++ {
+		off := 20 + 8 + 4*i + 2
+		raw[off], raw[off+1] = 0, 0
+	}
+	if _, err := Decode(raw, NewDecodeBuffer(nil)); !errors.Is(err, ErrBadSet) {
+		t.Errorf("zero-length template: %v", err)
+	}
+}
+
+// benchmarkDecode measures steady-state batch decode for one encoder:
+// templates are learned during warmup, then the timed loop decodes the
+// same full data datagram without allocating.
+func benchmarkDecode(b *testing.B, enc WireEncoder) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	dgs := enc.Encode(exportSample(MaxRecords), now)
+	data := dgs[len(dgs)-1].Raw // last datagram is pure data
+
+	cache := NewTemplateCache(TemplateCacheConfig{})
+	buf := NewDecodeBuffer(cache)
+	buf.SetExporter("bench")
+	for _, wd := range dgs { // warmup: learn templates, size the buffer
+		if _, err := Decode(wd.Raw, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := Decode(data, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(msg.Records) != MaxRecords {
+			b.Fatalf("decoded %d records", len(msg.Records))
+		}
+	}
+}
+
+func BenchmarkDecodeV5Batch(b *testing.B) {
+	benchmarkDecode(b, NewV5Encoder(time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC), 7))
+}
+
+func BenchmarkDecodeV9Batch(b *testing.B) {
+	benchmarkDecode(b, NewV9Encoder(time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC), 7))
+}
+
+func BenchmarkDecodeIPFIXBatch(b *testing.B) {
+	benchmarkDecode(b, NewIPFIXEncoder(7))
+}
+
+// TestDecodeSteadyStateZeroAlloc pins the zero-allocation property in the
+// regular test run, not only under -bench.
+func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	encoders := map[string]WireEncoder{
+		"v5":    NewV5Encoder(boot, 7),
+		"v9":    NewV9Encoder(boot, 7),
+		"ipfix": NewIPFIXEncoder(7),
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			dgs := enc.Encode(exportSample(MaxRecords), boot.Add(time.Hour))
+			data := dgs[len(dgs)-1].Raw
+			buf := NewDecodeBuffer(NewTemplateCache(TemplateCacheConfig{}))
+			buf.SetExporter("alloc")
+			for _, wd := range dgs {
+				if _, err := Decode(wd.Raw, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := Decode(data, buf); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state decode allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}

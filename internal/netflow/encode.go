@@ -1,0 +1,372 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"time"
+
+	"infilter/internal/flow"
+)
+
+// WireDatagram is one encoded export datagram ready for the wire, with
+// the number of flow records it carries so consumers can count flows
+// without decoding.
+type WireDatagram struct {
+	Raw   []byte
+	Flows int
+}
+
+// WireEncoder turns batches of flow records into export datagrams of one
+// wire format, maintaining the format's sequence and template state.
+// Implementations are not safe for concurrent use.
+type WireEncoder interface {
+	// Version reports the export format version word the encoder emits.
+	Version() uint16
+	// Encode emits the datagrams carrying recs, chunked at MaxRecords per
+	// datagram. Template-based encoders may emit standalone template
+	// datagrams alongside (or withhold them, see SetTemplateDelay).
+	Encode(recs []flow.Record, now time.Time) []WireDatagram
+	// Flush emits withheld encoder state — a delayed template datagram —
+	// and may return nil.
+	Flush(now time.Time) []WireDatagram
+}
+
+// exportTemplateID is the data set id both template-based encoders
+// announce; the first id outside the reserved range.
+const exportTemplateID = 256
+
+// v9ExportFields is the template this package's v9 encoder announces: the
+// v5 feature set expressed as IANA information elements, with
+// sysUptime-relative timestamps (39 bytes per record).
+var v9ExportFields = []TemplateField{
+	{ID: ieSourceIPv4Address, Length: 4},
+	{ID: ieDestIPv4Address, Length: 4},
+	{ID: ieSourceTransportPort, Length: 2},
+	{ID: ieDestTransportPort, Length: 2},
+	{ID: ieProtocolIdentifier, Length: 1},
+	{ID: ieIPClassOfService, Length: 1},
+	{ID: ieTCPControlBits, Length: 1},
+	{ID: iePacketDeltaCount, Length: 4},
+	{ID: ieOctetDeltaCount, Length: 4},
+	{ID: ieFlowStartSysUpTime, Length: 4},
+	{ID: ieFlowEndSysUpTime, Length: 4},
+	{ID: ieBGPSourceAS, Length: 2},
+	{ID: ieBGPDestinationAS, Length: 2},
+	{ID: ieSourceIPv4PrefixLen, Length: 1},
+	{ID: ieDestIPv4PrefixLen, Length: 1},
+	{ID: ieIngressInterface, Length: 2},
+}
+
+// ipfixExportFields swaps the relative timestamps for the absolute
+// millisecond elements IPFIX exporters prefer (47 bytes per record).
+var ipfixExportFields = []TemplateField{
+	{ID: ieSourceIPv4Address, Length: 4},
+	{ID: ieDestIPv4Address, Length: 4},
+	{ID: ieSourceTransportPort, Length: 2},
+	{ID: ieDestTransportPort, Length: 2},
+	{ID: ieProtocolIdentifier, Length: 1},
+	{ID: ieIPClassOfService, Length: 1},
+	{ID: ieTCPControlBits, Length: 1},
+	{ID: iePacketDeltaCount, Length: 4},
+	{ID: ieOctetDeltaCount, Length: 4},
+	{ID: ieFlowStartMilliseconds, Length: 8},
+	{ID: ieFlowEndMilliseconds, Length: 8},
+	{ID: ieBGPSourceAS, Length: 2},
+	{ID: ieBGPDestinationAS, Length: 2},
+	{ID: ieSourceIPv4PrefixLen, Length: 1},
+	{ID: ieDestIPv4PrefixLen, Length: 1},
+	{ID: ieIngressInterface, Length: 2},
+}
+
+// fieldValue extracts one information element from a flow record for
+// encoding; boot anchors sysUptime-relative elements.
+func fieldValue(id uint16, rec flow.Record, boot time.Time) uint64 {
+	switch id {
+	case ieOctetDeltaCount:
+		return uint64(rec.Bytes)
+	case iePacketDeltaCount:
+		return uint64(rec.Packets)
+	case ieProtocolIdentifier:
+		return uint64(rec.Key.Proto)
+	case ieIPClassOfService:
+		return uint64(rec.Key.TOS)
+	case ieTCPControlBits:
+		return uint64(rec.TCPFlag)
+	case ieSourceTransportPort:
+		return uint64(rec.Key.SrcPort)
+	case ieSourceIPv4Address:
+		return uint64(rec.Key.Src)
+	case ieSourceIPv4PrefixLen:
+		return uint64(rec.SrcMask)
+	case ieIngressInterface:
+		return uint64(rec.Key.InputIf)
+	case ieDestTransportPort:
+		return uint64(rec.Key.DstPort)
+	case ieDestIPv4Address:
+		return uint64(rec.Key.Dst)
+	case ieDestIPv4PrefixLen:
+		return uint64(rec.DstMask)
+	case ieBGPSourceAS:
+		return uint64(rec.SrcAS)
+	case ieBGPDestinationAS:
+		return uint64(rec.DstAS)
+	case ieFlowStartSysUpTime:
+		return uint64(uint32(rec.Start.Sub(boot).Milliseconds()))
+	case ieFlowEndSysUpTime:
+		return uint64(uint32(rec.End.Sub(boot).Milliseconds()))
+	case ieFlowStartMilliseconds:
+		return uint64(rec.Start.UnixMilli())
+	case ieFlowEndMilliseconds:
+		return uint64(rec.End.UnixMilli())
+	}
+	return 0
+}
+
+// putUint writes v big-endian across all of b.
+func putUint(b []byte, v uint64) {
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// encodeTemplateSet builds one template (flow)set announcing fields under
+// tid. setID is v9SetTemplate or ipfixSetTemplate.
+func encodeTemplateSet(setID, tid uint16, fields []TemplateField) []byte {
+	b := make([]byte, 4+4+4*len(fields))
+	binary.BigEndian.PutUint16(b[0:2], setID)
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	binary.BigEndian.PutUint16(b[4:6], tid)
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(fields)))
+	for i, f := range fields {
+		off := 8 + 4*i
+		binary.BigEndian.PutUint16(b[off:off+2], f.ID)
+		binary.BigEndian.PutUint16(b[off+2:off+4], f.Length)
+	}
+	return b
+}
+
+// encodeDataSet builds one data (flow)set of recs laid out per fields,
+// padded to a 32-bit boundary as both specs require.
+func encodeDataSet(tid uint16, fields []TemplateField, recs []flow.Record, boot time.Time) []byte {
+	recLen := 0
+	for _, f := range fields {
+		recLen += int(f.Length)
+	}
+	n := 4 + recLen*len(recs)
+	pad := (4 - n%4) % 4
+	b := make([]byte, n+pad)
+	binary.BigEndian.PutUint16(b[0:2], tid)
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	off := 4
+	for _, rec := range recs {
+		for _, f := range fields {
+			putUint(b[off:off+int(f.Length)], fieldValue(f.ID, rec, boot))
+			off += int(f.Length)
+		}
+	}
+	return b
+}
+
+// V5Encoder emits NetFlow v5 datagrams.
+type V5Encoder struct {
+	boot     time.Time
+	engineID uint8
+	seq      uint32
+}
+
+// NewV5Encoder returns a v5 encoder whose sysUptime is measured from boot.
+func NewV5Encoder(boot time.Time, engineID uint8) *V5Encoder {
+	return &V5Encoder{boot: boot, engineID: engineID}
+}
+
+func (e *V5Encoder) Version() uint16 { return VersionV5 }
+
+func (e *V5Encoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
+	var out []WireDatagram
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > MaxRecords {
+			n = MaxRecords
+		}
+		d := v5Datagram{
+			Header: v5Header{
+				Count:        uint16(n),
+				SysUptimeMS:  uint32(now.Sub(e.boot).Milliseconds()),
+				UnixSecs:     uint32(now.Unix()),
+				UnixNsecs:    uint32(now.Nanosecond()),
+				FlowSequence: e.seq,
+				EngineID:     e.engineID,
+			},
+			Records: make([]v5Record, n),
+		}
+		for i, fr := range recs[:n] {
+			d.Records[i] = v5FromFlowRecord(fr, e.boot)
+		}
+		raw, err := d.Marshal()
+		if err != nil { // unreachable: n is capped at MaxRecords
+			return out
+		}
+		e.seq += uint32(n)
+		out = append(out, WireDatagram{Raw: raw, Flows: n})
+		recs = recs[n:]
+	}
+	return out
+}
+
+func (e *V5Encoder) Flush(time.Time) []WireDatagram { return nil }
+
+// V9Encoder emits NetFlow v9 datagrams: a standalone template datagram
+// announcing v9ExportFields, then data datagrams referencing it.
+type V9Encoder struct {
+	boot   time.Time
+	domain uint32
+	seq    uint32 // v9 sequence counts datagrams
+
+	announced bool
+	delay     int // data datagrams to emit before the template
+}
+
+// NewV9Encoder returns a v9 encoder for one observation domain (source
+// id), with sysUptime measured from boot.
+func NewV9Encoder(boot time.Time, domain uint32) *V9Encoder {
+	return &V9Encoder{boot: boot, domain: domain}
+}
+
+// SetTemplateDelay withholds the template datagram until n data datagrams
+// have been emitted (or Flush is called), forcing receivers to exercise
+// their orphan-buffering path. Zero (the default) announces the template
+// before any data.
+func (e *V9Encoder) SetTemplateDelay(n int) { e.delay = n }
+
+func (e *V9Encoder) Version() uint16 { return VersionV9 }
+
+// datagram wraps flowsets in a v9 header. count is the number of records
+// (template or data) across the flowsets; each datagram consumes one
+// sequence number.
+func (e *V9Encoder) datagram(now time.Time, count int, flowsets ...[]byte) []byte {
+	n := v9HeaderSize
+	for _, fs := range flowsets {
+		n += len(fs)
+	}
+	b := make([]byte, v9HeaderSize, n)
+	binary.BigEndian.PutUint16(b[0:2], VersionV9)
+	binary.BigEndian.PutUint16(b[2:4], uint16(count))
+	binary.BigEndian.PutUint32(b[4:8], uint32(now.Sub(e.boot).Milliseconds()))
+	binary.BigEndian.PutUint32(b[8:12], uint32(now.Unix()))
+	binary.BigEndian.PutUint32(b[12:16], e.seq)
+	binary.BigEndian.PutUint32(b[16:20], e.domain)
+	e.seq++
+	for _, fs := range flowsets {
+		b = append(b, fs...)
+	}
+	return b
+}
+
+func (e *V9Encoder) templateDatagram(now time.Time) WireDatagram {
+	e.announced = true
+	return WireDatagram{Raw: e.datagram(now, 1, encodeTemplateSet(v9SetTemplate, exportTemplateID, v9ExportFields))}
+}
+
+func (e *V9Encoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
+	var out []WireDatagram
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > MaxRecords {
+			n = MaxRecords
+		}
+		if !e.announced {
+			if e.delay > 0 {
+				e.delay--
+			} else {
+				out = append(out, e.templateDatagram(now))
+			}
+		}
+		ds := encodeDataSet(exportTemplateID, v9ExportFields, recs[:n], e.boot)
+		out = append(out, WireDatagram{Raw: e.datagram(now, n, ds), Flows: n})
+		recs = recs[n:]
+	}
+	return out
+}
+
+// Flush emits the template datagram if it is still withheld, so a short
+// replay always lets receivers resolve buffered orphans.
+func (e *V9Encoder) Flush(now time.Time) []WireDatagram {
+	if e.announced {
+		return nil
+	}
+	return []WireDatagram{e.templateDatagram(now)}
+}
+
+// IPFIXEncoder emits IPFIX messages: a standalone template message
+// announcing ipfixExportFields, then data messages referencing it.
+type IPFIXEncoder struct {
+	domain uint32
+	seq    uint32 // IPFIX sequence counts data records
+
+	announced bool
+	delay     int
+}
+
+// NewIPFIXEncoder returns an IPFIX encoder for one observation domain.
+func NewIPFIXEncoder(domain uint32) *IPFIXEncoder {
+	return &IPFIXEncoder{domain: domain}
+}
+
+// SetTemplateDelay withholds the template message until n data messages
+// have been emitted (or Flush is called); see V9Encoder.SetTemplateDelay.
+func (e *IPFIXEncoder) SetTemplateDelay(n int) { e.delay = n }
+
+func (e *IPFIXEncoder) Version() uint16 { return VersionIPFIX }
+
+// message wraps sets in an IPFIX header. The sequence number is the count
+// of data records exported before this message and advances by dataRecs.
+func (e *IPFIXEncoder) message(now time.Time, dataRecs int, sets ...[]byte) []byte {
+	n := ipfixHeaderSize
+	for _, s := range sets {
+		n += len(s)
+	}
+	b := make([]byte, ipfixHeaderSize, n)
+	binary.BigEndian.PutUint16(b[0:2], VersionIPFIX)
+	binary.BigEndian.PutUint16(b[2:4], uint16(n))
+	binary.BigEndian.PutUint32(b[4:8], uint32(now.Unix()))
+	binary.BigEndian.PutUint32(b[8:12], e.seq)
+	binary.BigEndian.PutUint32(b[12:16], e.domain)
+	e.seq += uint32(dataRecs)
+	for _, s := range sets {
+		b = append(b, s...)
+	}
+	return b
+}
+
+func (e *IPFIXEncoder) templateMessage(now time.Time) WireDatagram {
+	e.announced = true
+	return WireDatagram{Raw: e.message(now, 0, encodeTemplateSet(ipfixSetTemplate, exportTemplateID, ipfixExportFields))}
+}
+
+func (e *IPFIXEncoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
+	var out []WireDatagram
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > MaxRecords {
+			n = MaxRecords
+		}
+		if !e.announced {
+			if e.delay > 0 {
+				e.delay--
+			} else {
+				out = append(out, e.templateMessage(now))
+			}
+		}
+		ds := encodeDataSet(exportTemplateID, ipfixExportFields, recs[:n], now)
+		out = append(out, WireDatagram{Raw: e.message(now, n, ds), Flows: n})
+		recs = recs[n:]
+	}
+	return out
+}
+
+func (e *IPFIXEncoder) Flush(now time.Time) []WireDatagram {
+	if e.announced {
+		return nil
+	}
+	return []WireDatagram{e.templateMessage(now)}
+}

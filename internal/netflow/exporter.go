@@ -6,20 +6,21 @@ import (
 	"infilter/internal/flow"
 )
 
-// Exporter packs finished flow records into NetFlow v5 datagrams with
-// monotonically increasing flow sequence numbers, as a border router's
-// export engine would.
+// Exporter batches finished flow records and drains them through a
+// WireEncoder, as a border router's export engine would. The wire format
+// is whatever the encoder speaks; callers never see a per-version type.
 type Exporter struct {
-	boot     time.Time
-	engineID uint8
-	seq      uint32
-	pending  []flow.Record
+	enc     WireEncoder
+	pending []flow.Record
 }
 
-// NewExporter returns an exporter whose sysUptime is measured from boot.
-func NewExporter(boot time.Time, engineID uint8) *Exporter {
-	return &Exporter{boot: boot, engineID: engineID}
+// NewExporter returns an exporter emitting through enc.
+func NewExporter(enc WireEncoder) *Exporter {
+	return &Exporter{enc: enc}
 }
+
+// Version reports the export format version the exporter emits.
+func (e *Exporter) Version() uint16 { return e.enc.Version() }
 
 // Add queues finished flow records for export.
 func (e *Exporter) Add(recs ...flow.Record) {
@@ -29,38 +30,19 @@ func (e *Exporter) Add(recs ...flow.Record) {
 // Pending returns the number of queued records.
 func (e *Exporter) Pending() int { return len(e.pending) }
 
-// Export drains queued records into datagrams stamped at the given export
-// time, at most MaxRecords per datagram.
-func (e *Exporter) Export(now time.Time) []*Datagram {
+// Export drains queued records into wire datagrams stamped at the given
+// export time, at most MaxRecords per datagram.
+func (e *Exporter) Export(now time.Time) []WireDatagram {
 	if len(e.pending) == 0 {
 		return nil
 	}
-	var out []*Datagram
-	for len(e.pending) > 0 {
-		n := len(e.pending)
-		if n > MaxRecords {
-			n = MaxRecords
-		}
-		batch := e.pending[:n]
-		e.pending = e.pending[n:]
-
-		d := &Datagram{
-			Header: Header{
-				Count:        uint16(n),
-				SysUptimeMS:  uint32(now.Sub(e.boot).Milliseconds()),
-				UnixSecs:     uint32(now.Unix()),
-				UnixNsecs:    uint32(now.Nanosecond()),
-				FlowSequence: e.seq,
-				EngineID:     e.engineID,
-			},
-			Records: make([]Record, n),
-		}
-		for i, fr := range batch {
-			d.Records[i] = FromFlowRecord(fr, e.boot)
-		}
-		e.seq += uint32(n)
-		out = append(out, d)
-	}
+	out := e.enc.Encode(e.pending, now)
 	e.pending = nil
 	return out
+}
+
+// Flush emits any state the encoder is still withholding (a delayed
+// template datagram); call it after the last Export of a replay.
+func (e *Exporter) Flush(now time.Time) []WireDatagram {
+	return e.enc.Flush(now)
 }

@@ -3,31 +3,32 @@ package netflow
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"infilter/internal/flow"
 	"infilter/internal/netaddr"
 )
 
 // FuzzDecodeDatagram throws arbitrary bytes at the v5 decoder. Inputs the
-// decoder accepts must survive the full consumer path (ToFlowRecord, as
-// the collector runs it) and re-encode to bytes that decode to the same
-// datagram — the round-trip property the daemon's ingest relies on.
+// decoder accepts must survive the full consumer path and re-encode to
+// bytes that decode to the same datagram — the round-trip property the
+// daemon's ingest relies on.
 func FuzzDecodeDatagram(f *testing.F) {
 	// Seed corpus: the codec test vectors — an empty datagram, a full
 	// 30-record datagram, boundary values, and known-bad wire forms.
-	empty := &Datagram{}
+	empty := &v5Datagram{}
 	raw, err := empty.Marshal()
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(raw)
 
-	full := &Datagram{Header: Header{
+	full := &v5Datagram{Header: v5Header{
 		SysUptimeMS: 3_600_000, UnixSecs: 1_112_313_600, UnixNsecs: 999,
 		FlowSequence: 42, EngineType: 1, EngineID: 7, SamplingInterval: 10,
 	}}
 	for i := 0; i < MaxRecords; i++ {
-		full.Records = append(full.Records, Record{
+		full.Records = append(full.Records, v5Record{
 			SrcAddr: netaddr.IPv4(0x3d000000 + uint32(i)), DstAddr: 0xc0000201,
 			NextHop: 0x0a000001, InputIf: uint16(i), OutputIf: 1,
 			Packets: uint32(i) * 1000, Octets: ^uint32(0), FirstMS: 1, LastMS: 2,
@@ -40,13 +41,13 @@ func FuzzDecodeDatagram(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(raw)
-	f.Add(raw[:HeaderSize])                             // header only, count lies
-	f.Add(raw[:HeaderSize+RecordSize/2])                // truncated mid-record
+	f.Add(raw[:v5HeaderSize])                           // header only, count lies
+	f.Add(raw[:v5HeaderSize+v5RecordSize/2])            // truncated mid-record
 	f.Add([]byte{0, 9, 0, 0})                           // wrong version, short
 	f.Add(append(append([]byte{}, raw...), 0xff, 0xee)) // trailing garbage
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		d, err := Unmarshal(data)
+		d, err := unmarshalV5(data)
 		if err != nil {
 			return // rejected input: only panics are failures here
 		}
@@ -62,7 +63,7 @@ func FuzzDecodeDatagram(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-marshal of accepted datagram: %v", err)
 		}
-		d2, err := Unmarshal(enc)
+		d2, err := unmarshalV5(enc)
 		if err != nil {
 			t.Fatalf("re-unmarshal: %v", err)
 		}
@@ -73,5 +74,92 @@ func FuzzDecodeDatagram(f *testing.F) {
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("round-trip not stable:\n%x\n%x", enc, enc2)
 		}
+	})
+}
+
+// fuzzSeedStream builds seed datagrams for one template-based encoder:
+// a template datagram, data datagrams before and after it (exercising the
+// orphan path), and truncations of each.
+func fuzzSeedStream(f *testing.F, enc WireEncoder) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	var recs []flow.Record
+	for i := 0; i < 3; i++ {
+		recs = append(recs, flow.Record{
+			Key: flow.Key{
+				Src: netaddr.IPv4(0x3d000000 + uint32(i)), Dst: 0xc0000201,
+				Proto: flow.ProtoTCP, SrcPort: uint16(1024 + i), DstPort: 80,
+				InputIf: 2,
+			},
+			Packets: uint32(1 + i), Bytes: uint32(40 * (1 + i)),
+			Start: boot.Add(time.Second), End: boot.Add(2 * time.Second),
+			SrcAS: 65001, DstAS: 65002, SrcMask: 11, DstMask: 24,
+		})
+	}
+	for _, wd := range enc.Encode(recs, boot.Add(time.Minute)) {
+		f.Add(wd.Raw)
+		if len(wd.Raw) > 6 {
+			f.Add(wd.Raw[:len(wd.Raw)-5])
+		}
+	}
+	for _, wd := range enc.Flush(boot.Add(time.Minute)) {
+		f.Add(wd.Raw)
+	}
+}
+
+// fuzzTemplateDecode is the shared property check for the template-based
+// decoders: corrupt bytes must error (never panic), decoded records must
+// be bounded by the datagram size, and the orphan buffer must respect its
+// bound no matter what arrives.
+func fuzzTemplateDecode(t *testing.T, cache *TemplateCache, buf *DecodeBuffer, data []byte) {
+	msg, err := Decode(data, buf)
+	if err != nil {
+		return
+	}
+	if len(msg.Records) > len(data) {
+		t.Fatalf("%d records decoded from %d bytes", len(msg.Records), len(data))
+	}
+	if n := cache.OrphanCount(); n > DefaultMaxOrphans {
+		t.Fatalf("orphan buffer leaked: %d > bound %d", n, DefaultMaxOrphans)
+	}
+	if n := cache.Len(); n > DefaultMaxTemplates {
+		t.Fatalf("template cache leaked: %d > bound %d", n, DefaultMaxTemplates)
+	}
+}
+
+// FuzzDecodeV9 throws arbitrary bytes at the v9 decoder, with template
+// state accumulating across inputs as it would across a fuzzed exporter's
+// stream.
+func FuzzDecodeV9(f *testing.F) {
+	withTemplate := NewV9Encoder(time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC), 7)
+	fuzzSeedStream(f, withTemplate)
+	delayed := NewV9Encoder(time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC), 7)
+	delayed.SetTemplateDelay(10)
+	fuzzSeedStream(f, delayed)
+	f.Add([]byte{0, 9, 0, 0})
+
+	cache := NewTemplateCache(TemplateCacheConfig{})
+	buf := NewDecodeBuffer(cache)
+	buf.SetExporter("fuzz")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzTemplateDecode(t, cache, buf, data)
+	})
+}
+
+// FuzzDecodeIPFIX is the IPFIX twin of FuzzDecodeV9, additionally
+// covering enterprise fields, withdrawals and variable-length records via
+// mutation of the seeded stream.
+func FuzzDecodeIPFIX(f *testing.F) {
+	withTemplate := NewIPFIXEncoder(7)
+	fuzzSeedStream(f, withTemplate)
+	delayed := NewIPFIXEncoder(7)
+	delayed.SetTemplateDelay(10)
+	fuzzSeedStream(f, delayed)
+	f.Add([]byte{0, 10, 0, 16})
+
+	cache := NewTemplateCache(TemplateCacheConfig{})
+	buf := NewDecodeBuffer(cache)
+	buf.SetExporter("fuzz")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzTemplateDecode(t, cache, buf, data)
 	})
 }

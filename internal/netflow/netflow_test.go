@@ -11,8 +11,8 @@ import (
 	"infilter/internal/packet"
 )
 
-func sampleRecord(i int) Record {
-	return Record{
+func sampleRecord(i int) v5Record {
+	return v5Record{
 		SrcAddr:  netaddr.IPv4(0x0a000000 + uint32(i)),
 		DstAddr:  netaddr.IPv4(0xc0000201),
 		NextHop:  netaddr.IPv4(0xc0000101),
@@ -35,8 +35,8 @@ func sampleRecord(i int) Record {
 }
 
 func TestDatagramRoundTrip(t *testing.T) {
-	d := &Datagram{
-		Header: Header{
+	d := &v5Datagram{
+		Header: v5Header{
 			SysUptimeMS:  123456,
 			UnixSecs:     1112345678,
 			UnixNsecs:    987654,
@@ -52,10 +52,10 @@ func TestDatagramRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raw) != HeaderSize+17*RecordSize {
+	if len(raw) != v5HeaderSize+17*v5RecordSize {
 		t.Fatalf("marshaled %d bytes", len(raw))
 	}
-	got, err := Unmarshal(raw)
+	got, err := unmarshalV5(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,29 +71,35 @@ func TestDatagramRoundTrip(t *testing.T) {
 }
 
 func TestMarshalRejectsTooManyRecords(t *testing.T) {
-	d := &Datagram{Records: make([]Record, MaxRecords+1)}
+	d := &v5Datagram{Records: make([]v5Record, MaxRecords+1)}
 	if _, err := d.Marshal(); err == nil {
 		t.Error("Marshal with 31 records: want error")
 	}
 }
 
 func TestUnmarshalErrors(t *testing.T) {
-	if _, err := Unmarshal(make([]byte, 10)); !errors.Is(err, ErrShortDatagram) {
+	if _, err := unmarshalV5(make([]byte, 10)); !errors.Is(err, ErrShortDatagram) {
 		t.Errorf("short datagram: %v", err)
 	}
-	d := &Datagram{Records: []Record{sampleRecord(0)}}
+	d := &v5Datagram{Records: []v5Record{sampleRecord(0)}}
 	raw, err := d.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
 	bad := append([]byte(nil), raw...)
-	bad[1] = 9 // version 9
-	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+	bad[1] = 99 // unknown version
+	if _, err := unmarshalV5(bad); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("bad version: %v", err)
 	}
+	if _, err := Decode(bad, NewDecodeBuffer(nil)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("Decode bad version: %v", err)
+	}
 	trunc := raw[:len(raw)-1]
-	if _, err := Unmarshal(trunc); !errors.Is(err, ErrBadCount) {
+	if _, err := unmarshalV5(trunc); !errors.Is(err, ErrBadCount) {
 		t.Errorf("truncated records: %v", err)
+	}
+	if _, err := Decode(trunc, NewDecodeBuffer(nil)); !errors.Is(err, ErrBadCount) {
+		t.Errorf("Decode truncated records: %v", err)
 	}
 }
 
@@ -116,8 +122,8 @@ func TestFlowRecordConversionRoundTrip(t *testing.T) {
 		DstAS:   1,
 		SrcMask: 11,
 	}
-	wire := FromFlowRecord(fr, boot)
-	hdr := Header{
+	wire := v5FromFlowRecord(fr, boot)
+	hdr := v5Header{
 		SysUptimeMS: uint32(200 * 1000),
 		UnixSecs:    uint32(boot.Add(200 * time.Second).Unix()),
 	}
@@ -276,7 +282,10 @@ func TestCacheDistinctKeysDistinctFlows(t *testing.T) {
 
 func TestExporterSequencesAndSplits(t *testing.T) {
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
-	e := NewExporter(boot, 3)
+	e := NewExporter(NewV5Encoder(boot, 3))
+	if e.Version() != VersionV5 {
+		t.Errorf("Version = %d", e.Version())
+	}
 	var recs []flow.Record
 	for i := 0; i < 65; i++ {
 		recs = append(recs, flow.Record{
@@ -293,14 +302,23 @@ func TestExporterSequencesAndSplits(t *testing.T) {
 	if len(dgs) != 3 {
 		t.Fatalf("%d datagrams, want 3 (30+30+5)", len(dgs))
 	}
-	if len(dgs[0].Records) != 30 || len(dgs[2].Records) != 5 {
-		t.Errorf("split %d/%d/%d", len(dgs[0].Records), len(dgs[1].Records), len(dgs[2].Records))
+	if dgs[0].Flows != 30 || dgs[1].Flows != 30 || dgs[2].Flows != 5 {
+		t.Errorf("split %d/%d/%d", dgs[0].Flows, dgs[1].Flows, dgs[2].Flows)
 	}
-	if dgs[0].Header.FlowSequence != 0 || dgs[1].Header.FlowSequence != 30 || dgs[2].Header.FlowSequence != 60 {
-		t.Errorf("sequences %d/%d/%d", dgs[0].Header.FlowSequence, dgs[1].Header.FlowSequence, dgs[2].Header.FlowSequence)
+	var seqs, uptime []uint32
+	for _, dg := range dgs {
+		d, err := unmarshalV5(dg.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, d.Header.FlowSequence)
+		uptime = append(uptime, d.Header.SysUptimeMS)
 	}
-	if dgs[0].Header.SysUptimeMS != 60000 {
-		t.Errorf("sysUptime %d", dgs[0].Header.SysUptimeMS)
+	if seqs[0] != 0 || seqs[1] != 30 || seqs[2] != 60 {
+		t.Errorf("sequences %v", seqs)
+	}
+	if uptime[0] != 60000 {
+		t.Errorf("sysUptime %d", uptime[0])
 	}
 	if e.Export(boot) != nil {
 		t.Error("second Export should return nil with empty queue")
@@ -308,15 +326,19 @@ func TestExporterSequencesAndSplits(t *testing.T) {
 	// Next batch continues the sequence.
 	e.Add(recs[0])
 	dgs = e.Export(boot.Add(2 * time.Minute))
-	if dgs[0].Header.FlowSequence != 65 {
-		t.Errorf("continued sequence %d, want 65", dgs[0].Header.FlowSequence)
+	d, err := unmarshalV5(dgs[0].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Header.FlowSequence != 65 {
+		t.Errorf("continued sequence %d, want 65", d.Header.FlowSequence)
 	}
 }
 
 func TestEndToEndPacketsToDatagramToFlow(t *testing.T) {
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	c := NewCache(CacheConfig{ExpireOnFINRST: true})
-	e := NewExporter(boot, 1)
+	e := NewExporter(NewV5Encoder(boot, 1))
 
 	t0 := boot.Add(10 * time.Second)
 	c.Observe(pkt(t0, "61.5.6.7", 80, flow.ProtoTCP, 400, packet.FlagSYN), 4)
@@ -327,15 +349,14 @@ func TestEndToEndPacketsToDatagramToFlow(t *testing.T) {
 	if len(dgs) != 1 {
 		t.Fatalf("%d datagrams", len(dgs))
 	}
-	raw, err := dgs[0].Marshal()
+	msg, err := Decode(dgs[0].Raw, NewDecodeBuffer(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := Unmarshal(raw)
-	if err != nil {
-		t.Fatal(err)
+	if msg.Version != VersionV5 || len(msg.Records) != 1 {
+		t.Fatalf("version %d, %d records", msg.Version, len(msg.Records))
 	}
-	fr := back.Records[0].ToFlowRecord(back.Header, back.Records[0].InputIf)
+	fr := msg.Records[0]
 	if fr.Key.Src.String() != "61.5.6.7" || fr.Key.DstPort != 80 || fr.Key.InputIf != 4 {
 		t.Errorf("key %+v", fr.Key)
 	}
@@ -351,8 +372,8 @@ func TestDatagramRandomRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
 		n := rng.Intn(MaxRecords) + 1
-		d := &Datagram{
-			Header: Header{
+		d := &v5Datagram{
+			Header: v5Header{
 				SysUptimeMS:  rng.Uint32(),
 				UnixSecs:     rng.Uint32(),
 				UnixNsecs:    rng.Uint32(),
@@ -362,7 +383,7 @@ func TestDatagramRandomRoundTrip(t *testing.T) {
 			},
 		}
 		for i := 0; i < n; i++ {
-			d.Records = append(d.Records, Record{
+			d.Records = append(d.Records, v5Record{
 				SrcAddr: netaddr.IPv4(rng.Uint32()), DstAddr: netaddr.IPv4(rng.Uint32()),
 				NextHop: netaddr.IPv4(rng.Uint32()),
 				InputIf: uint16(rng.Intn(65536)), OutputIf: uint16(rng.Intn(65536)),
@@ -378,7 +399,7 @@ func TestDatagramRandomRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Unmarshal(raw)
+		got, err := unmarshalV5(raw)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,7 +1,11 @@
-// Package netflow implements the NetFlow version 5 export format (paper
-// §5.1.1) — the wire codec for datagrams a border router emits — and an
-// emulation of the router-side flow cache with the paper's four expiration
-// rules: idle timeout, active timeout, cache pressure, and TCP FIN/RST.
+// Package netflow implements the flow-export wire formats a border router
+// emits and the router-side flow cache emulation the testbed replays
+// through (paper §5.1.1). The original prototype spoke only NetFlow v5;
+// this package now decodes v5, template-based NetFlow v9 and IPFIX behind
+// one version-agnostic entry point, netflow.Decode, so no consumer depends
+// on a per-version wire type. Encoding is likewise version-agnostic via
+// WireEncoder (NewV5Encoder / NewV9Encoder / NewIPFIXEncoder) feeding the
+// batching Exporter.
 package netflow
 
 import (
@@ -14,24 +18,35 @@ import (
 	"infilter/internal/netaddr"
 )
 
-// Wire-format sizes for NetFlow v5.
+// Export format version words, as they appear in the first two bytes of
+// every export datagram.
 const (
-	Version        = 5
-	HeaderSize     = 24
-	RecordSize     = 48
-	MaxRecords     = 30 // records per datagram, per the v5 spec
-	MaxDatagramLen = HeaderSize + MaxRecords*RecordSize
+	VersionV5    = 5
+	VersionV9    = 9
+	VersionIPFIX = 10
 )
 
-// Errors returned by the codec.
+// Wire-format sizes for NetFlow v5.
+const (
+	v5HeaderSize = 24
+	v5RecordSize = 48
+
+	// MaxRecords is the flow-record capacity of one v5 export datagram,
+	// per the v5 spec. The v9/IPFIX encoders keep the same batch size so
+	// replayed streams stay comparable across versions.
+	MaxRecords = 30
+)
+
+// Errors returned by the decoders.
 var (
 	ErrShortDatagram = errors.New("netflow: datagram too short")
 	ErrBadVersion    = errors.New("netflow: unsupported version")
 	ErrBadCount      = errors.New("netflow: record count disagrees with length")
+	ErrBadSet        = errors.New("netflow: malformed flowset")
 )
 
-// Header is the 24-byte NetFlow v5 datagram header.
-type Header struct {
+// v5Header is the 24-byte NetFlow v5 datagram header.
+type v5Header struct {
 	Count            uint16
 	SysUptimeMS      uint32
 	UnixSecs         uint32
@@ -42,8 +57,8 @@ type Header struct {
 	SamplingInterval uint16
 }
 
-// Record is one 48-byte NetFlow v5 flow record.
-type Record struct {
+// v5Record is one 48-byte NetFlow v5 flow record.
+type v5Record struct {
 	SrcAddr  netaddr.IPv4
 	DstAddr  netaddr.IPv4
 	NextHop  netaddr.IPv4
@@ -64,19 +79,19 @@ type Record struct {
 	DstMask  uint8
 }
 
-// Datagram is a decoded NetFlow v5 export datagram.
-type Datagram struct {
-	Header  Header
-	Records []Record
+// v5Datagram is a decoded NetFlow v5 export datagram.
+type v5Datagram struct {
+	Header  v5Header
+	Records []v5Record
 }
 
 // Marshal encodes d into the v5 wire format.
-func (d *Datagram) Marshal() ([]byte, error) {
+func (d *v5Datagram) Marshal() ([]byte, error) {
 	if len(d.Records) > MaxRecords {
 		return nil, fmt.Errorf("netflow: %d records exceeds max %d", len(d.Records), MaxRecords)
 	}
-	buf := make([]byte, HeaderSize+len(d.Records)*RecordSize)
-	binary.BigEndian.PutUint16(buf[0:2], Version)
+	buf := make([]byte, v5HeaderSize+len(d.Records)*v5RecordSize)
+	binary.BigEndian.PutUint16(buf[0:2], VersionV5)
 	binary.BigEndian.PutUint16(buf[2:4], uint16(len(d.Records)))
 	binary.BigEndian.PutUint32(buf[4:8], d.Header.SysUptimeMS)
 	binary.BigEndian.PutUint32(buf[8:12], d.Header.UnixSecs)
@@ -86,8 +101,8 @@ func (d *Datagram) Marshal() ([]byte, error) {
 	buf[21] = d.Header.EngineID
 	binary.BigEndian.PutUint16(buf[22:24], d.Header.SamplingInterval)
 	for i, r := range d.Records {
-		off := HeaderSize + i*RecordSize
-		b := buf[off : off+RecordSize]
+		off := v5HeaderSize + i*v5RecordSize
+		b := buf[off : off+v5RecordSize]
 		binary.BigEndian.PutUint32(b[0:4], uint32(r.SrcAddr))
 		binary.BigEndian.PutUint32(b[4:8], uint32(r.DstAddr))
 		binary.BigEndian.PutUint32(b[8:12], uint32(r.NextHop))
@@ -112,60 +127,69 @@ func (d *Datagram) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal decodes a v5 datagram from raw bytes.
-func Unmarshal(raw []byte) (*Datagram, error) {
-	if len(raw) < HeaderSize {
+// unmarshalV5 decodes a v5 datagram from raw bytes into a freshly
+// allocated structure. The live ingest path uses decodeV5 (which fills a
+// reusable DecodeBuffer) instead; this form remains for in-package tests.
+func unmarshalV5(raw []byte) (*v5Datagram, error) {
+	if len(raw) < v5HeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrShortDatagram, len(raw))
 	}
-	if v := binary.BigEndian.Uint16(raw[0:2]); v != Version {
+	if v := binary.BigEndian.Uint16(raw[0:2]); v != VersionV5 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	count := int(binary.BigEndian.Uint16(raw[2:4]))
-	if count > MaxRecords || len(raw) < HeaderSize+count*RecordSize {
+	if count > MaxRecords || len(raw) < v5HeaderSize+count*v5RecordSize {
 		return nil, fmt.Errorf("%w: count=%d len=%d", ErrBadCount, count, len(raw))
 	}
-	d := &Datagram{
-		Header: Header{
-			Count:            uint16(count),
-			SysUptimeMS:      binary.BigEndian.Uint32(raw[4:8]),
-			UnixSecs:         binary.BigEndian.Uint32(raw[8:12]),
-			UnixNsecs:        binary.BigEndian.Uint32(raw[12:16]),
-			FlowSequence:     binary.BigEndian.Uint32(raw[16:20]),
-			EngineType:       raw[20],
-			EngineID:         raw[21],
-			SamplingInterval: binary.BigEndian.Uint16(raw[22:24]),
-		},
-		Records: make([]Record, count),
+	d := &v5Datagram{
+		Header:  decodeV5Header(raw),
+		Records: make([]v5Record, count),
 	}
 	for i := 0; i < count; i++ {
-		b := raw[HeaderSize+i*RecordSize : HeaderSize+(i+1)*RecordSize]
-		d.Records[i] = Record{
-			SrcAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])),
-			DstAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])),
-			NextHop:  netaddr.IPv4(binary.BigEndian.Uint32(b[8:12])),
-			InputIf:  binary.BigEndian.Uint16(b[12:14]),
-			OutputIf: binary.BigEndian.Uint16(b[14:16]),
-			Packets:  binary.BigEndian.Uint32(b[16:20]),
-			Octets:   binary.BigEndian.Uint32(b[20:24]),
-			FirstMS:  binary.BigEndian.Uint32(b[24:28]),
-			LastMS:   binary.BigEndian.Uint32(b[28:32]),
-			SrcPort:  binary.BigEndian.Uint16(b[32:34]),
-			DstPort:  binary.BigEndian.Uint16(b[34:36]),
-			TCPFlags: b[37],
-			Proto:    b[38],
-			TOS:      b[39],
-			SrcAS:    binary.BigEndian.Uint16(b[40:42]),
-			DstAS:    binary.BigEndian.Uint16(b[42:44]),
-			SrcMask:  b[44],
-			DstMask:  b[45],
-		}
+		d.Records[i] = decodeV5Record(raw[v5HeaderSize+i*v5RecordSize : v5HeaderSize+(i+1)*v5RecordSize])
 	}
 	return d, nil
 }
 
+func decodeV5Header(raw []byte) v5Header {
+	return v5Header{
+		Count:            binary.BigEndian.Uint16(raw[2:4]),
+		SysUptimeMS:      binary.BigEndian.Uint32(raw[4:8]),
+		UnixSecs:         binary.BigEndian.Uint32(raw[8:12]),
+		UnixNsecs:        binary.BigEndian.Uint32(raw[12:16]),
+		FlowSequence:     binary.BigEndian.Uint32(raw[16:20]),
+		EngineType:       raw[20],
+		EngineID:         raw[21],
+		SamplingInterval: binary.BigEndian.Uint16(raw[22:24]),
+	}
+}
+
+func decodeV5Record(b []byte) v5Record {
+	return v5Record{
+		SrcAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])),
+		DstAddr:  netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])),
+		NextHop:  netaddr.IPv4(binary.BigEndian.Uint32(b[8:12])),
+		InputIf:  binary.BigEndian.Uint16(b[12:14]),
+		OutputIf: binary.BigEndian.Uint16(b[14:16]),
+		Packets:  binary.BigEndian.Uint32(b[16:20]),
+		Octets:   binary.BigEndian.Uint32(b[20:24]),
+		FirstMS:  binary.BigEndian.Uint32(b[24:28]),
+		LastMS:   binary.BigEndian.Uint32(b[28:32]),
+		SrcPort:  binary.BigEndian.Uint16(b[32:34]),
+		DstPort:  binary.BigEndian.Uint16(b[34:36]),
+		TCPFlags: b[37],
+		Proto:    b[38],
+		TOS:      b[39],
+		SrcAS:    binary.BigEndian.Uint16(b[40:42]),
+		DstAS:    binary.BigEndian.Uint16(b[42:44]),
+		SrcMask:  b[44],
+		DstMask:  b[45],
+	}
+}
+
 // ToFlowRecord converts a wire record to the analysis flow model, resolving
 // sysUptime-relative timestamps against the export header and boot time.
-func (r Record) ToFlowRecord(hdr Header, inputIf uint16) flow.Record {
+func (r v5Record) ToFlowRecord(hdr v5Header, inputIf uint16) flow.Record {
 	export := time.Unix(int64(hdr.UnixSecs), int64(hdr.UnixNsecs)).UTC()
 	boot := export.Add(-time.Duration(hdr.SysUptimeMS) * time.Millisecond)
 	return flow.Record{
@@ -190,10 +214,10 @@ func (r Record) ToFlowRecord(hdr Header, inputIf uint16) flow.Record {
 	}
 }
 
-// FromFlowRecord converts an analysis flow record to a wire record, given
+// v5FromFlowRecord converts an analysis flow record to a wire record, given
 // the exporter's boot time for sysUptime-relative stamps.
-func FromFlowRecord(fr flow.Record, boot time.Time) Record {
-	return Record{
+func v5FromFlowRecord(fr flow.Record, boot time.Time) v5Record {
+	return v5Record{
 		SrcAddr:  fr.Key.Src,
 		DstAddr:  fr.Key.Dst,
 		InputIf:  fr.Key.InputIf,

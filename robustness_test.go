@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"infilter/internal/bgp"
+	"infilter/internal/flow"
 	"infilter/internal/flowtools"
 	"infilter/internal/netaddr"
 	"infilter/internal/netflow"
@@ -18,36 +20,43 @@ import (
 // both a value and corruption on adversarial bytes — the daemon's sockets
 // face the open network.
 
-func TestNetFlowUnmarshalNeverPanics(t *testing.T) {
+func TestNetFlowDecodeNeverPanics(t *testing.T) {
+	db := netflow.NewDecodeBuffer(nil)
 	f := func(raw []byte) bool {
-		d, err := netflow.Unmarshal(raw)
+		msg, err := netflow.Decode(raw, db)
 		if err != nil {
-			return d == nil
+			return true // rejected cleanly
 		}
-		return int(d.Header.Count) == len(d.Records)
+		return len(msg.Records) <= len(raw)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestNetFlowUnmarshalFlippedBits(t *testing.T) {
-	// Start from a valid datagram and flip random bytes: must never panic,
-	// and version/count checks must stay coherent.
-	d := &netflow.Datagram{Records: make([]netflow.Record, 7)}
-	raw, err := d.Marshal()
-	if err != nil {
-		t.Fatal(err)
+func TestNetFlowDecodeFlippedBits(t *testing.T) {
+	// Start from a valid v5 datagram and flip random bytes: must never
+	// panic, and a decode that succeeds must stay bounded by the input.
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]flow.Record, 7)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key:     flow.Key{Src: netaddr.IPv4(uint32(i + 1)), Dst: 0xc0000201, Proto: flow.ProtoTCP, DstPort: 80},
+			Packets: 1, Bytes: 40, Start: boot, End: boot,
+		}
 	}
+	dgs := netflow.NewV5Encoder(boot, 1).Encode(recs, boot.Add(time.Minute))
+	raw := dgs[0].Raw
+	db := netflow.NewDecodeBuffer(nil)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 5000; i++ {
 		mut := append([]byte(nil), raw...)
 		for j := 0; j < 1+rng.Intn(4); j++ {
 			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
 		}
-		if got, err := netflow.Unmarshal(mut); err == nil {
-			if int(got.Header.Count) != len(got.Records) {
-				t.Fatal("count/records mismatch on mutated input")
+		if got, err := netflow.Decode(mut, db); err == nil {
+			if len(got.Records) > len(mut) {
+				t.Fatal("decoded more records than input bytes on mutated input")
 			}
 		}
 	}

@@ -1,32 +1,53 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR3.json.
+# fixed settings and writes machine-readable results to BENCH_PR4.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
 # per-stage costs (EIA check serial and parallel — RWMutex baseline vs
 # the lock-free COW snapshot store — NetFlow codec, unary encode, BI/EI flow
-# latency), and the telemetry hot path (counter inc, histogram observe,
-# snapshot merge). The slow paper-validation benchmarks (figures,
-# tables, ablations) are deliberately excluded: they measure replay
-# fidelity, not regressions.
+# latency), the per-version flow-export decoders (v5, v9, IPFIX batch
+# decode through the reusable DecodeBuffer), and the telemetry hot path
+# (counter inc, histogram observe, snapshot merge). The slow
+# paper-validation benchmarks (figures, tables, ablations) are
+# deliberately excluded: they measure replay fidelity, not regressions.
 #
-# CI uploads BENCH_PR3.json as a non-blocking artifact so reviewers can
+# Steady-state template-driven decode is required to be allocation-free:
+# the script fails if BenchmarkDecodeV5Batch or BenchmarkDecodeV9Batch
+# report nonzero allocs/op.
+#
+# CI uploads BENCH_PR4.json as a non-blocking artifact so reviewers can
 # diff ns/op and allocs/op across PRs without the job gating merges.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR4.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 COUNT="${COUNT:-1}"
 
-PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkNetFlowCodec|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
+PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkNetFlowCodec|BenchmarkDecodeV5Batch|BenchmarkDecodeV9Batch|BenchmarkDecodeIPFIXBatch|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
 
 echo "==> go test -bench (benchtime=${BENCHTIME} count=${COUNT})"
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem \
-	-benchtime="$BENCHTIME" -count="$COUNT" . ./internal/telemetry)
+	-benchtime="$BENCHTIME" -count="$COUNT" . ./internal/netflow ./internal/telemetry)
 echo "$RAW"
+
+echo "$RAW" | awk '
+/^BenchmarkDecode(V5|V9)Batch/ {
+	for (i = 2; i <= NF; i++) {
+		if ($i == "allocs/op" && $(i - 1) != "0") {
+			printf "error: %s allocates (%s allocs/op); steady-state decode must be allocation-free\n",
+				$1, $(i - 1) > "/dev/stderr"
+			bad = 1
+		}
+		if ($i == "allocs/op") seen++
+	}
+}
+END {
+	if (seen < 2) { print "error: zero-alloc decode benchmarks missing from output" > "/dev/stderr"; exit 1 }
+	if (bad) exit 1
+}'
 
 echo "$RAW" | awk -v goversion="$(go env GOVERSION)" \
 	-v benchtime="$BENCHTIME" -v count="$COUNT" '
