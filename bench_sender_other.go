@@ -1,0 +1,25 @@
+//go:build !(linux && amd64)
+
+package bench
+
+import "net"
+
+// burstSender is the portable replay sender: one write per datagram.
+type burstSender struct {
+	conn *net.UDPConn
+}
+
+const burstDatagrams = 8
+
+func newBurstSender(conn *net.UDPConn) (*burstSender, error) {
+	return &burstSender{conn: conn}, nil
+}
+
+func (s *burstSender) send(raws [][]byte, start, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if _, err := s.conn.Write(raws[(start+i)%len(raws)]); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}

@@ -13,12 +13,20 @@
 // first -eia-training flows observed per port unless -eia-file provides
 // them explicitly (lines: "<peerAS> <cidr>").
 //
+// Ingest is batched by default: each port runs -readers reader sockets
+// (SO_REUSEPORT kernel load balancing on Linux, with recvmmsg-style
+// multi-datagram reads), and decoded records are handed to the pipeline
+// in batches of up to -batch-size records. A partially filled batch is
+// flushed after -batch-timeout, so trickle traffic keeps per-record
+// detection latency. -batch-size 0 selects the classic per-record path.
+//
 // Flows are analyzed by a sharded analysis.ParallelEngine: each peer AS
 // maps to one worker shard (-workers, default one per port), fed through a
 // bounded queue (-queue-depth) that applies backpressure to the UDP
 // receive loops when analysis falls behind. On SIGINT/SIGTERM the daemon
-// stops ingest, drains every queued flow through the pipeline, then
-// flushes the capture archive and the alert connection before exiting.
+// stops ingest, drains every queued flow — including partially filled
+// ingest batches — through the pipeline, then flushes the capture
+// archive and the alert connection before exiting.
 //
 // With -state-dir the daemon warm-restarts: EIA state (including runtime
 // promotions) and the trained NNS detector are checkpointed into the
@@ -74,6 +82,14 @@ const (
 	nnsCheckpointName = "nns.ckpt"
 )
 
+// ingester is the daemon's view of either ingest path: the classic
+// per-record flowtools.Collector or the batched flowtools.BatchCollector.
+type ingester interface {
+	Listen(port int) (int, error)
+	Stats() (received, malformed int)
+	Close() error
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -106,6 +122,9 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		statsPeriod = fs.Duration("stats", 30*time.Second, "period for stats logging")
 		workers     = fs.Int("workers", 0, "analysis shards; flows route by peer AS (0: one per port)")
 		queueDepth  = fs.Int("queue-depth", analysis.DefaultQueueDepth, "bounded per-shard queue depth (backpressure)")
+		readers     = fs.Int("readers", 1, "UDP reader sockets per port (>1 uses SO_REUSEPORT; Linux only)")
+		batchSize   = fs.Int("batch-size", flowtools.DefaultBatchRecords, "flow records per ingest batch handed to the pipeline (0: per-record path)")
+		batchWait   = fs.Duration("batch-timeout", flowtools.DefaultFlushTimeout, "max wait before a partial ingest batch is flushed")
 		stateDir    = fs.String("state-dir", "", "warm-restart directory: EIA and NNS state checkpointed here and loaded on startup (empty: disabled)")
 		ckptPeriod  = fs.Duration("checkpoint-interval", checkpoint.DefaultInterval, "period between background checkpoints (with -state-dir)")
 		tplMax      = fs.Int("template-max", netflow.DefaultMaxTemplates, "max NetFlow v9/IPFIX templates cached across all exporters")
@@ -128,6 +147,12 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	ports, err := parsePorts(*portsFlag)
 	if err != nil {
 		return err
+	}
+	if *batchSize < 0 || *batchWait <= 0 {
+		return fmt.Errorf("bad batch settings: -batch-size %d -batch-timeout %s", *batchSize, *batchWait)
+	}
+	if *readers > 1 && *batchSize == 0 {
+		return fmt.Errorf("-readers %d needs the batched ingest path (-batch-size > 0)", *readers)
 	}
 	shards := *workers
 	if shards <= 0 {
@@ -292,31 +317,70 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 
 	// The receive loops start inside Listen, before the bound port (and so
 	// the peer AS) of an ephemeral listener is known, so the port→peer map
-	// is filled under a lock the handler shares.
+	// is filled under a lock the handlers share.
 	var (
 		peerMu     sync.RWMutex
 		peerOfPort = make(map[int]eia.PeerAS, len(ports))
 	)
-	collector := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
+	lookupPeer := func(port int) (eia.PeerAS, bool) {
 		peerMu.RLock()
-		peer, ok := peerOfPort[src.LocalPort]
+		peer, ok := peerOfPort[port]
 		peerMu.RUnlock()
-		if !ok {
+		return peer, ok
+	}
+	archive := func(recs []flow.Record) {
+		if capture == nil {
 			return
 		}
 		for _, r := range recs {
-			if capture != nil {
-				if err := capture.Write(r); err != nil {
-					log.Printf("archive flow: %v", err)
-				}
-			}
-			if err := engine.Submit(peer, r); err != nil {
-				return // engine closed: shutdown in progress
+			if err := capture.Write(r); err != nil {
+				log.Printf("archive flow: %v", err)
 			}
 		}
-	})
-	collector.SetMetrics(flowtools.NewCollectorMetrics(reg))
-	collector.SetTemplateCache(templates)
+	}
+	// Ingest path: batched by default (one SubmitBatch per delivered
+	// batch, classified against one EIA snapshot), per-record when
+	// -batch-size is 0.
+	var collector ingester
+	if *batchSize > 0 {
+		bc := flowtools.NewBatchCollector(flowtools.BatchConfig{
+			Readers:      *readers,
+			MaxRecords:   *batchSize,
+			FlushTimeout: *batchWait,
+			ReadBuffer:   4 << 20,
+		}, func(b flowtools.Batch) {
+			peer, ok := lookupPeer(b.Port)
+			if !ok {
+				return
+			}
+			archive(b.Records)
+			if err := engine.SubmitBatch(peer, b.Records); err != nil {
+				return // engine closed: shutdown in progress
+			}
+		})
+		bc.SetMetrics(flowtools.NewIngestMetrics(reg))
+		bc.SetTemplateCache(templates)
+		log.Printf("batched ingest: %d reader(s)/port, batch-size %d, batch-timeout %s",
+			bc.Readers(), *batchSize, *batchWait)
+		collector = bc
+	} else {
+		c := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
+			peer, ok := lookupPeer(src.LocalPort)
+			if !ok {
+				return
+			}
+			archive(recs)
+			for _, r := range recs {
+				if err := engine.Submit(peer, r); err != nil {
+					return // engine closed: shutdown in progress
+				}
+			}
+		})
+		c.SetMetrics(flowtools.NewCollectorMetrics(reg))
+		c.SetTemplateCache(templates)
+		log.Printf("per-record ingest (-batch-size 0)")
+		collector = c
+	}
 
 	bound := make([]int, 0, len(ports))
 	for i, p := range ports {
@@ -374,7 +438,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 // connection, and finally stop the admin server — last, so /metrics
 // stays scrapable through the drain. The first error is reported; later
 // stages still run.
-func shutdown(collector *flowtools.Collector, engine *analysis.ParallelEngine, ckpt *checkpoint.Manager, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
+func shutdown(collector ingester, engine *analysis.ParallelEngine, ckpt *checkpoint.Manager, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {

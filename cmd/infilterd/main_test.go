@@ -695,6 +695,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-ports", "abc"},
 		{"-no-such-flag"},
 		{"-eia-file", filepath.Join(t.TempDir(), "missing")},
+		{"-batch-size", "-1"},
+		{"-batch-timeout", "0s"},
+		{"-readers", "2", "-batch-size", "0"},
 	} {
 		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v): want error", args)

@@ -108,10 +108,23 @@ func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFla
 		m.flows.Inc()
 		t = time.Now()
 	}
-	d = Decision{Verdict: p.eia.Check(peer, rec.Key.Src)}
+	v := p.eia.Check(peer, rec.Key.Src)
 	if m != nil {
 		m.observeStage(stageEIA, time.Since(t))
 	}
+	return p.decideVerdict(peer, &rec, v)
+}
+
+// decideVerdict is the post-EIA tail of the pipeline: everything decide
+// does after the EIA-set classification. The batched path computes
+// verdicts for a whole batch up front (eia.Store.CheckBatch) and feeds
+// them here one record at a time; the caller owns the flow counter, EIA
+// stage timing and hit/miss accounting for that phase. The record is
+// passed by pointer (it is large) and not retained or mutated.
+func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdict) (d Decision, scanFlagged bool) {
+	m := p.metrics
+	var t time.Time
+	d = Decision{Verdict: v}
 	if d.Verdict == eia.Match {
 		// Case (b): expected ingress — legal flow, no alarms.
 		return d, false
@@ -126,7 +139,7 @@ func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFla
 	if m != nil {
 		t = time.Now()
 	}
-	res := p.scanner.Add(rec)
+	res := p.scanner.Add(*rec)
 	if m != nil {
 		m.observeStage(stageScan, time.Since(t))
 	}
@@ -139,7 +152,7 @@ func (p *pipeline) decide(peer eia.PeerAS, rec flow.Record) (d Decision, scanFla
 	if m != nil {
 		t = time.Now()
 	}
-	d.Assessment = p.detector.Assess(rec)
+	d.Assessment = p.detector.Assess(*rec)
 	if m != nil {
 		m.observeStage(stageNNS, time.Since(t))
 	}
@@ -244,4 +257,21 @@ func (e *Engine) Stats() Stats { return e.c.mergedStats() }
 // 12) and returns the decision.
 func (e *Engine) Process(peer eia.PeerAS, rec flow.Record) Decision {
 	return e.c.process(e.c.shards[0], peer, rec)
+}
+
+// ProcessBatch runs a labeled batch through the single shard: the whole
+// batch is classified against one EIA snapshot (refreshed after any
+// mid-batch promotion), then each record continues through the same
+// post-EIA stages Process runs. Observationally identical to calling
+// Process per record, in order.
+func (e *Engine) ProcessBatch(batch []LabeledRecord) {
+	s := e.c.shards[0]
+	if cap(s.items) < len(batch) {
+		s.items = make([]shardItem, len(batch))
+	}
+	items := s.items[:len(batch)]
+	for i, lr := range batch {
+		items[i] = shardItem{peer: lr.Peer, rec: lr.Record}
+	}
+	e.c.processBatch(s, items)
 }

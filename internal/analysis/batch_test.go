@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
+	"infilter/internal/nns"
+	"infilter/internal/testutil"
+)
+
+// batchSizes are the batch widths the ISSUE pins for the equivalence
+// gate: degenerate single-record batches, a typical datagram's worth,
+// and batches wide enough to span EIA promotions mid-batch (the suspect
+// streams are 60 records at PromoteThreshold 4, so a 256-wide batch
+// forces the tail re-check path).
+var batchSizes = []int{1, 16, 256}
+
+// interleaveRoundRobin flattens the per-peer streams into the one global
+// order the serial reference replays: round-robin over peers, each peer's
+// own order preserved.
+func interleaveRoundRobin(w parallelWorkload) []LabeledRecord {
+	var out []LabeledRecord
+	for i := 0; ; i++ {
+		any := false
+		for p := 1; p <= workloadPeers; p++ {
+			stream := w.streams[eia.PeerAS(p)]
+			if i < len(stream) {
+				out = append(out, LabeledRecord{Peer: eia.PeerAS(p), Record: stream[i]})
+				any = true
+			}
+		}
+		if !any {
+			return out
+		}
+	}
+}
+
+// runSerialReference replays the interleave per record and returns the
+// reference outcome every batched variant must reproduce.
+func runSerialReference(t *testing.T, w parallelWorkload, interleave []LabeledRecord) (Stats, int, []byte) {
+	t.Helper()
+	serial, err := Train(w.cfg, w.labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := 0
+	serial.SetAlertSink(func(a idmef.Alert) { alerts++ })
+	for _, lr := range interleave {
+		serial.Process(lr.Peer, lr.Record)
+	}
+	var eiaState bytes.Buffer
+	if _, err := serial.EIASet().WriteTo(&eiaState); err != nil {
+		t.Fatal(err)
+	}
+	st := serial.Stats()
+	if st.Attacks == 0 || st.Promotions == 0 || st.Suspects == 0 {
+		t.Fatalf("degenerate workload: %+v", st)
+	}
+	return st, alerts, eiaState.Bytes()
+}
+
+// TestSerialBatchMatchesPerRecord replays the same interleave through
+// Engine.ProcessBatch at every pinned batch size: verdict counters,
+// alert counts and the EIA end-state must be identical to per-record
+// processing. Batch size 256 spans promotions, so a pass proves the
+// mid-batch snapshot refresh (tail re-check) works.
+func TestSerialBatchMatchesPerRecord(t *testing.T) {
+	w := buildParallelWorkload(t)
+	interleave := interleaveRoundRobin(w)
+	want, wantAlerts, wantEIA := runSerialReference(t, w, interleave)
+	detector := mustDetector(t, w)
+
+	for _, size := range batchSizes {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			eng, err := NewEngine(w.cfg, freshTrainedSet(w.cfg, w.labeled), detector)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alerts := 0
+			eng.SetAlertSink(func(a idmef.Alert) { alerts++ })
+			for off := 0; off < len(interleave); off += size {
+				end := off + size
+				if end > len(interleave) {
+					end = len(interleave)
+				}
+				eng.ProcessBatch(interleave[off:end])
+			}
+			if got := eng.Stats(); !reflect.DeepEqual(got, want) {
+				t.Errorf("batched stats = %+v, per-record = %+v", got, want)
+			}
+			if alerts != wantAlerts {
+				t.Errorf("batched alerts = %d, per-record = %d", alerts, wantAlerts)
+			}
+			var eiaState bytes.Buffer
+			if _, err := eng.EIASet().WriteTo(&eiaState); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(eiaState.Bytes(), wantEIA) {
+				t.Error("batched EIA end-state differs from per-record end-state")
+			}
+		})
+	}
+}
+
+// TestParallelBatchMatchesSerial is the batched arm of the concurrency
+// stress test: one goroutine per peer replays its stream through
+// SubmitBatch in size-bounded chunks, across shard counts. The merged
+// counters, alert counts and EIA end-state must match the per-record
+// serial reference, as TestParallelEngineMatchesSerial demands of
+// per-record Submit.
+func TestParallelBatchMatchesSerial(t *testing.T) {
+	w := buildParallelWorkload(t)
+	interleave := interleaveRoundRobin(w)
+	want, wantAlerts, wantEIA := runSerialReference(t, w, interleave)
+	detector := mustDetector(t, w)
+
+	for _, shards := range []int{1, 3, workloadPeers} {
+		for _, size := range batchSizes {
+			t.Run(fmt.Sprintf("shards=%d/batch=%d", shards, size), func(t *testing.T) {
+				pe, err := NewParallelEngine(
+					ParallelConfig{Config: w.cfg, Shards: shards, QueueDepth: 16},
+					freshTrainedSet(w.cfg, w.labeled), detector)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var alerts atomic.Int64
+				pe.SetAlertSink(func(a idmef.Alert) { alerts.Add(1) })
+
+				var wg sync.WaitGroup
+				for p := 1; p <= workloadPeers; p++ {
+					wg.Add(1)
+					go func(peer eia.PeerAS) {
+						defer wg.Done()
+						stream := w.streams[peer]
+						for off := 0; off < len(stream); off += size {
+							end := off + size
+							if end > len(stream) {
+								end = len(stream)
+							}
+							if err := pe.SubmitBatch(peer, stream[off:end]); err != nil {
+								t.Errorf("SubmitBatch: %v", err)
+								return
+							}
+						}
+					}(eia.PeerAS(p))
+				}
+				wg.Wait()
+				pe.Flush()
+				got := pe.Stats()
+				var eiaState bytes.Buffer
+				if _, err := pe.EIASet().WriteTo(&eiaState); err != nil {
+					t.Fatal(err)
+				}
+				if err := pe.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("batched stats = %+v, serial = %+v", got, want)
+				}
+				if int(alerts.Load()) != wantAlerts {
+					t.Errorf("batched alerts = %d, serial = %d", alerts.Load(), wantAlerts)
+				}
+				if !bytes.Equal(eiaState.Bytes(), wantEIA) {
+					t.Error("batched EIA end-state differs from serial end-state")
+				}
+			})
+		}
+	}
+}
+
+// TestSubmitLabeledBatchMatchesSerial drives the mixed-peer entry point:
+// the global interleave is chunked and fanned out by the engine itself.
+func TestSubmitLabeledBatchMatchesSerial(t *testing.T) {
+	w := buildParallelWorkload(t)
+	interleave := interleaveRoundRobin(w)
+	want, wantAlerts, _ := runSerialReference(t, w, interleave)
+	detector := mustDetector(t, w)
+
+	for _, size := range batchSizes {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			pe, err := NewParallelEngine(
+				ParallelConfig{Config: w.cfg, Shards: 3, QueueDepth: 16},
+				freshTrainedSet(w.cfg, w.labeled), detector)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var alerts atomic.Int64
+			pe.SetAlertSink(func(a idmef.Alert) { alerts.Add(1) })
+			for off := 0; off < len(interleave); off += size {
+				end := off + size
+				if end > len(interleave) {
+					end = len(interleave)
+				}
+				if err := pe.SubmitLabeledBatch(interleave[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pe.Flush()
+			got := pe.Stats()
+			if err := pe.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("labeled-batch stats = %+v, serial = %+v", got, want)
+			}
+			if int(alerts.Load()) != wantAlerts {
+				t.Errorf("labeled-batch alerts = %d, serial = %d", alerts.Load(), wantAlerts)
+			}
+		})
+	}
+}
+
+// mustDetector trains the shared read-only NNS detector once per test
+// (it is safe to share across engines; only the EIA set mutates).
+func mustDetector(t *testing.T, w parallelWorkload) *nns.Detector {
+	t.Helper()
+	_, detector, err := trainComponents(w.cfg, w.labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detector
+}
+
+// TestBatchFanOutPartition is the property test for batch fan-out: for
+// random batches, the per-shard sub-batches are a partition of the input
+// preserving per-peer order — no record duplicated, dropped, or
+// reordered within a peer.
+func TestBatchFanOutPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		shards := 1 + rng.Intn(8)
+		n := rng.Intn(400)
+		batch := make([]LabeledRecord, n)
+		for i := range batch {
+			// SrcPort carries the input index so every record is unique
+			// and its original position recoverable.
+			batch[i] = LabeledRecord{
+				Peer: eia.PeerAS(rng.Intn(12)),
+				Record: flow.Record{Key: flow.Key{
+					Src:     netaddr.IPv4(rng.Uint32()),
+					SrcPort: uint16(i),
+				}},
+			}
+		}
+		sub := fanOut(batch, make([][]shardItem, shards))
+
+		var flat []shardItem
+		for si, items := range sub {
+			for _, it := range items {
+				if int(it.peer)%shards != si {
+					t.Fatalf("trial %d: peer %d routed to shard %d of %d", trial, it.peer, si, shards)
+				}
+				flat = append(flat, it)
+			}
+		}
+		if len(flat) != n {
+			t.Fatalf("trial %d: %d records out, %d in", trial, len(flat), n)
+		}
+		seen := make(map[uint16]bool, n)
+		lastIdx := make(map[eia.PeerAS]int)
+		for _, it := range flat {
+			idx := it.rec.Key.SrcPort
+			if seen[idx] {
+				t.Fatalf("trial %d: record %d duplicated", trial, idx)
+			}
+			seen[idx] = true
+			orig := batch[idx]
+			if it.peer != orig.Peer || it.rec != orig.Record {
+				t.Fatalf("trial %d: record %d mutated in fan-out", trial, idx)
+			}
+			if last, ok := lastIdx[it.peer]; ok && int(idx) < last {
+				t.Fatalf("trial %d: peer %d reordered (%d after %d)", trial, it.peer, idx, last)
+			}
+			lastIdx[it.peer] = int(idx)
+		}
+	}
+}
+
+// TestParallelEngineBatchWorkerLeak cycles engines through the batched
+// entry points — including Close with batches still queued — and fails
+// on any worker goroutine left behind.
+func TestParallelEngineBatchWorkerLeak(t *testing.T) {
+	set := eia.NewSet(eia.Config{})
+	set.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	recs := make([]flow.Record, 32)
+	for i := range recs {
+		recs[i] = flow.Record{Key: flow.Key{Src: netaddr.MustParseIPv4("99.1.1.1")}}
+	}
+	labeled := make([]LabeledRecord, 32)
+	for i := range labeled {
+		labeled[i] = LabeledRecord{Peer: eia.PeerAS(i % 5), Record: recs[i%len(recs)]}
+	}
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		for i := 0; i < 5; i++ {
+			pe, err := NewParallelEngine(
+				ParallelConfig{Config: Config{Mode: ModeBasic}, Shards: 6, QueueDepth: 4}, set, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 8; j++ {
+				if err := pe.SubmitBatch(eia.PeerAS(j%4+1), recs); err != nil {
+					t.Fatal(err)
+				}
+				if err := pe.SubmitLabeledBatch(labeled); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// No Flush: Close must drain queued batches and stop cleanly.
+			if err := pe.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pe.SubmitBatch(1, recs); err != ErrEngineClosed {
+				t.Fatalf("SubmitBatch after Close = %v, want ErrEngineClosed", err)
+			}
+			if err := pe.SubmitLabeledBatch(labeled); err != ErrEngineClosed {
+				t.Fatalf("SubmitLabeledBatch after Close = %v, want ErrEngineClosed", err)
+			}
+		}
+	})
+}

@@ -37,6 +37,29 @@ type ParallelConfig struct {
 // DefaultQueueDepth is the per-shard queue bound when none is configured.
 const DefaultQueueDepth = 256
 
+// shardBatch is one queue message, in one of three shapes: a single flow
+// (payload in single), a mixed-peer item batch (items), or a single-peer
+// record batch (recs + peer — the dominant ingest shape, kept as plain
+// records so SubmitBatch stages it with one bulk copy instead of a
+// per-record struct fill). A non-nil pooled/pooledRecs returns the
+// batch's backing slice to its pool once the worker has consumed it.
+type shardBatch struct {
+	single     shardItem
+	items      []shardItem
+	pooled     *[]shardItem
+	recs       []flow.Record
+	peer       eia.PeerAS
+	pooledRecs *[]flow.Record
+}
+
+// itemSlicePool and recSlicePool recycle batch staging slices between
+// Submit*Batch calls and the workers that drain them, keeping the
+// steady-state batch path allocation-free.
+var (
+	itemSlicePool = sync.Pool{New: func() any { return new([]shardItem) }}
+	recSlicePool  = sync.Pool{New: func() any { return new([]flow.Record) }}
+)
+
 // ErrEngineClosed is returned by Submit after Close.
 var ErrEngineClosed = errors.New("analysis: parallel engine closed")
 
@@ -80,7 +103,7 @@ func NewParallelEngine(cfg ParallelConfig, set *eia.Set, detector *nns.Detector)
 	}
 	e := &ParallelEngine{c: c}
 	for i, s := range c.shards {
-		s.queue = make(chan shardItem, cfg.QueueDepth)
+		s.queue = make(chan shardBatch, cfg.QueueDepth)
 		if cfg.Metrics != nil {
 			q := s.queue
 			cfg.Metrics.registerQueueGauge(i, func() int64 { return int64(len(q)) })
@@ -138,23 +161,107 @@ func (e *ParallelEngine) Submit(peer eia.PeerAS, rec flow.Record) error {
 		return ErrEngineClosed
 	}
 	e.submitted.Add(1)
-	s := e.shardFor(peer)
-	it := shardItem{peer: peer, rec: rec}
-	select {
-	case s.queue <- it:
-	default:
-		// Full queue: count the backpressure event, then block as before.
-		s.blocks.Inc() // nil-safe
-		s.queue <- it
+	e.enqueue(e.shardFor(peer), shardBatch{single: shardItem{peer: peer, rec: rec}})
+	return nil
+}
+
+// SubmitBatch enqueues a batch of flows that all entered through peer —
+// the shape one ingest reader hands over, since a local port maps to one
+// peering link. The whole batch lands on peer's shard as one queue
+// message and is classified against one EIA snapshot; per-peer flow order
+// is the batch order. Blocks under backpressure like Submit.
+func (e *ParallelEngine) SubmitBatch(peer eia.PeerAS, recs []flow.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.submitted.Add(int64(len(recs)))
+	p := recSlicePool.Get().(*[]flow.Record)
+	staged := append((*p)[:0], recs...) // one bulk copy; caller keeps recs
+	*p = staged
+	e.enqueue(e.shardFor(peer), shardBatch{recs: staged, peer: peer, pooledRecs: p})
+	return nil
+}
+
+// SubmitLabeledBatch fans a mixed-peer batch out to the shards in one
+// pass: each shard receives the sub-batch of records routed to it,
+// preserving the input order within every peer (fanOut). Sub-batches are
+// enqueued in shard order; flows for different peers in one call carry no
+// cross-peer ordering guarantee, exactly as with concurrent Submits.
+func (e *ParallelEngine) SubmitLabeledBatch(batch []LabeledRecord) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.submitted.Add(int64(len(batch)))
+	sub := fanOut(batch, make([][]shardItem, len(e.c.shards)))
+	for i, items := range sub {
+		if len(items) == 0 {
+			continue
+		}
+		e.enqueue(e.c.shards[i], shardBatch{items: items})
 	}
 	return nil
 }
 
+// fanOut partitions a labeled batch into per-shard sub-batches, appending
+// each record to sub[peer mod len(sub)] in input order. The result is a
+// partition of the input — no record duplicated, dropped, or reordered
+// relative to other records of the same peer. sub's existing contents are
+// preserved (callers pass emptied scratch slices to reuse capacity).
+func fanOut(batch []LabeledRecord, sub [][]shardItem) [][]shardItem {
+	n := len(sub)
+	for _, lr := range batch {
+		i := int(lr.Peer) % n
+		sub[i] = append(sub[i], shardItem{peer: lr.Peer, rec: lr.Record})
+	}
+	return sub
+}
+
+// enqueue places one message on s's queue, counting (then waiting out)
+// backpressure when the queue is full.
+func (e *ParallelEngine) enqueue(s *shard, sb shardBatch) {
+	select {
+	case s.queue <- sb:
+	default:
+		// Full queue: count the backpressure event, then block as before.
+		s.blocks.Inc() // nil-safe
+		s.queue <- sb
+	}
+}
+
 func (e *ParallelEngine) worker(s *shard) {
 	defer e.wg.Done()
-	for it := range s.queue {
-		e.c.process(s, it.peer, it.rec)
-		e.processed.Add(1)
+	for sb := range s.queue {
+		switch {
+		case sb.recs != nil:
+			n := int64(len(sb.recs))
+			e.c.processPeerBatch(s, sb.peer, sb.recs)
+			if sb.pooledRecs != nil {
+				*sb.pooledRecs = (*sb.pooledRecs)[:0]
+				recSlicePool.Put(sb.pooledRecs)
+			}
+			e.processed.Add(n)
+		case sb.items != nil:
+			n := int64(len(sb.items))
+			e.c.processBatch(s, sb.items)
+			if sb.pooled != nil {
+				*sb.pooled = (*sb.pooled)[:0]
+				itemSlicePool.Put(sb.pooled)
+			}
+			e.processed.Add(n)
+		default:
+			e.c.process(s, sb.single.peer, sb.single.rec)
+			e.processed.Add(1)
+		}
 	}
 }
 

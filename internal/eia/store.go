@@ -120,6 +120,82 @@ func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 	return v
 }
 
+// CheckBatch classifies a batch of (peer, source) observations against a
+// single published snapshot: one atomic load amortized over the whole
+// batch, then one longest-prefix walk per entry over the same immutable
+// trie. The three slices must have equal length; out[i] receives the
+// verdict for (peers[i], srcs[i]).
+//
+// Unlike Check, CheckBatch does NOT fold outcomes into the hit/miss
+// counters: a batched pipeline may refresh the still-unconsumed tail of a
+// batch after a mid-batch promotion swaps in a new snapshot, and counting
+// at check time would then count those entries twice. Consumers count
+// each verdict exactly once, at consumption time, via CountVerdict.
+func (c *Store) CheckBatch(peers []PeerAS, srcs []netaddr.IPv4, out []Verdict) {
+	if len(peers) != len(srcs) || len(srcs) != len(out) {
+		panic("eia: CheckBatch slice lengths differ")
+	}
+	index := c.snap.Load().index
+	for i, src := range srcs {
+		expected, ok := index.Lookup(src)
+		switch {
+		case !ok:
+			out[i] = Unknown
+		case expected == peers[i]:
+			out[i] = Match
+		default:
+			out[i] = WrongPeer
+		}
+	}
+}
+
+// CheckBatchPeer is CheckBatch for the common ingest shape: a whole
+// batch observed at one peer (a local export port maps to one peering
+// link). One atomic snapshot load covers the batch; out[i] receives the
+// verdict for (peer, srcs[i]). Like CheckBatch it does not touch the
+// hit/miss counters — consumers count at consumption time.
+func (c *Store) CheckBatchPeer(peer PeerAS, srcs []netaddr.IPv4, out []Verdict) {
+	if len(srcs) != len(out) {
+		panic("eia: CheckBatchPeer slice lengths differ")
+	}
+	index := c.snap.Load().index
+	for i, src := range srcs {
+		expected, ok := index.Lookup(src)
+		switch {
+		case !ok:
+			out[i] = Unknown
+		case expected == peer:
+			out[i] = Match
+		default:
+			out[i] = WrongPeer
+		}
+	}
+}
+
+// CountVerdict folds one consumed verdict into the hit/miss counters,
+// exactly as Check does internally. It pairs with CheckBatch: call it
+// once per verdict the batch actually acted on.
+func (c *Store) CountVerdict(v Verdict) {
+	if m := c.metrics; m != nil {
+		if v == Match {
+			m.Hits.Inc()
+		} else {
+			m.Misses.Inc()
+		}
+	}
+}
+
+// AddVerdictCounts folds a batch's consumed verdicts into the hit/miss
+// counters in two atomic adds: batched pipelines tally hits (Match) and
+// misses (everything else) locally while consuming and settle once per
+// batch instead of once per record.
+func (c *Store) AddVerdictCounts(hits, misses int64) {
+	if m := c.metrics; m != nil {
+		m.Hits.Add(hits)
+		m.Misses.Add(misses)
+	}
+}
+
 // ExpectedPeer returns the peer AS whose EIA set contains src, by
 // longest-prefix match against the current snapshot (lock-free).
 func (c *Store) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {

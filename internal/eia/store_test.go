@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
 )
 
 func TestStoreSemantics(t *testing.T) {
@@ -120,6 +121,148 @@ func TestStoreAdoptsSetState(t *testing.T) {
 	}
 	if !bytes.Contains(b.Bytes(), a.Bytes()) {
 		t.Error("checkpoint body does not contain WriteTo rows")
+	}
+}
+
+// TestStoreCheckBatchMatchesCheck replays a mixed batch through both the
+// per-record and the batched entry points: the verdicts must be
+// identical, since CheckBatch only amortizes the snapshot load.
+func TestStoreCheckBatchMatchesCheck(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+
+	peers := []PeerAS{1, 1, 1, 2, 2, 9}
+	srcs := []netaddr.IPv4{
+		netaddr.MustParseIPv4("61.1.1.1"),  // Match
+		netaddr.MustParseIPv4("70.1.1.1"),  // WrongPeer
+		netaddr.MustParseIPv4("99.1.1.1"),  // Unknown
+		netaddr.MustParseIPv4("70.31.0.9"), // Match
+		netaddr.MustParseIPv4("61.0.0.1"),  // WrongPeer
+		netaddr.MustParseIPv4("61.2.3.4"),  // WrongPeer (unknown peer)
+	}
+	out := make([]Verdict, len(peers))
+	cs.CheckBatch(peers, srcs, out)
+	for i := range peers {
+		if want := cs.Check(peers[i], srcs[i]); out[i] != want {
+			t.Errorf("entry %d: CheckBatch = %v, Check = %v", i, out[i], want)
+		}
+	}
+
+	// A promotion published between batches shows up in the next batch,
+	// exactly as it would for per-record Check.
+	for i := 0; i < DefaultPromoteThreshold; i++ {
+		cs.RecordLegal(9, srcs[5])
+	}
+	cs.CheckBatch(peers, srcs, out)
+	if out[5] != Match {
+		t.Errorf("post-promotion batch verdict = %v, want Match", out[5])
+	}
+}
+
+// TestStoreCheckBatchPeerMatchesCheck pins the single-peer batch lane to
+// per-record Check: verdicts must be identical for every source, and a
+// promotion published between batches is visible to the next one.
+func TestStoreCheckBatchPeerMatchesCheck(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
+
+	srcs := []netaddr.IPv4{
+		netaddr.MustParseIPv4("61.1.1.1"),  // Match
+		netaddr.MustParseIPv4("70.1.1.1"),  // WrongPeer
+		netaddr.MustParseIPv4("99.1.1.1"),  // Unknown
+		netaddr.MustParseIPv4("61.31.0.9"), // Match
+	}
+	out := make([]Verdict, len(srcs))
+	cs.CheckBatchPeer(1, srcs, out)
+	for i := range srcs {
+		if want := cs.Check(1, srcs[i]); out[i] != want {
+			t.Errorf("src %d: CheckBatchPeer = %v, Check = %v", i, out[i], want)
+		}
+	}
+
+	for i := 0; i < DefaultPromoteThreshold; i++ {
+		cs.RecordLegal(1, srcs[2])
+	}
+	cs.CheckBatchPeer(1, srcs, out)
+	if out[2] != Match {
+		t.Errorf("post-promotion batch verdict = %v, want Match", out[2])
+	}
+}
+
+func TestStoreCheckBatchPeerLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckBatchPeer with mismatched slice lengths did not panic")
+		}
+	}()
+	cs := NewStore(nil)
+	cs.CheckBatchPeer(1, make([]netaddr.IPv4, 2), make([]Verdict, 1))
+}
+
+// TestStoreAddVerdictCounts pins the bulk counting entry point the batch
+// consumers use in place of per-verdict CountVerdict calls.
+func TestStoreAddVerdictCounts(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddVerdictCounts(1, 2) // no metrics installed: must not panic
+	m := &Metrics{
+		Hits:       telemetry.NewCounter(),
+		Misses:     telemetry.NewCounter(),
+		Promotions: telemetry.NewCounter(),
+	}
+	cs.SetMetrics(m)
+	cs.AddVerdictCounts(3, 5)
+	if m.Hits.Value() != 3 || m.Misses.Value() != 5 {
+		t.Errorf("after AddVerdictCounts: hits=%d misses=%d, want 3/5", m.Hits.Value(), m.Misses.Value())
+	}
+}
+
+func TestStoreCheckBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CheckBatch with mismatched slice lengths did not panic")
+		}
+	}()
+	cs := NewStore(nil)
+	cs.CheckBatch(make([]PeerAS, 2), make([]netaddr.IPv4, 2), make([]Verdict, 1))
+}
+
+// TestStoreCheckBatchMetrics pins the counting contract: CheckBatch
+// leaves the hit/miss counters alone (a batched pipeline may re-check a
+// batch tail after a mid-batch promotion), and CountVerdict folds in
+// exactly one outcome per call — matching what Check does internally.
+func TestStoreCheckBatchMetrics(t *testing.T) {
+	cs := NewStore(nil)
+	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
+	m := &Metrics{
+		Hits:       telemetry.NewCounter(),
+		Misses:     telemetry.NewCounter(),
+		Promotions: telemetry.NewCounter(),
+	}
+	cs.SetMetrics(m)
+
+	peers := []PeerAS{1, 1, 1}
+	srcs := []netaddr.IPv4{
+		netaddr.MustParseIPv4("61.1.1.1"), // Match
+		netaddr.MustParseIPv4("99.1.1.1"), // Unknown
+		netaddr.MustParseIPv4("99.2.2.2"), // Unknown
+	}
+	out := make([]Verdict, len(peers))
+	cs.CheckBatch(peers, srcs, out)
+	if m.Hits.Value() != 0 || m.Misses.Value() != 0 {
+		t.Errorf("CheckBatch counted: hits=%d misses=%d, want 0/0", m.Hits.Value(), m.Misses.Value())
+	}
+	for _, v := range out {
+		cs.CountVerdict(v)
+	}
+	if m.Hits.Value() != 1 || m.Misses.Value() != 2 {
+		t.Errorf("after CountVerdict: hits=%d misses=%d, want 1/2", m.Hits.Value(), m.Misses.Value())
+	}
+	// Per-record Check still counts inline.
+	cs.Check(1, srcs[0])
+	if m.Hits.Value() != 2 {
+		t.Errorf("Check did not count: hits=%d, want 2", m.Hits.Value())
 	}
 }
 

@@ -1,0 +1,289 @@
+package flowtools
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netflow"
+	"infilter/internal/telemetry"
+	"infilter/internal/testutil"
+)
+
+// indexedRecords builds n records whose DstPort carries the index, so a
+// received sequence identifies exactly which records arrived and in what
+// order.
+func indexedRecords(n int) []flow.Record {
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = rec("61.0.0.1", uint16(i), flow.ProtoTCP, 2, 120, time.Second)
+	}
+	return recs
+}
+
+// encodeV5 packs records into v5 export datagrams.
+func encodeV5(recs []flow.Record) [][]byte {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	dgs := netflow.NewV5Encoder(boot, 1).Encode(recs, boot.Add(time.Minute))
+	raws := make([][]byte, len(dgs))
+	for i, d := range dgs {
+		raws[i] = d.Raw
+	}
+	return raws
+}
+
+// sendAll writes every datagram to the port from one sender socket.
+func sendAll(t *testing.T, port int, raws [][]byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", net.JoinHostPort("127.0.0.1", itoa(port)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, raw := range raws {
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// awaitRecords polls until fn() reports want records or the deadline
+// passes.
+func awaitRecords(t *testing.T, want int, fn func() int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := fn(); got >= want {
+			if got > want {
+				t.Fatalf("received %d records, want %d", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d records, want %d", fn(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBatchCollectorMatchesClassic replays the same datagram stream
+// through the classic per-datagram Collector and the BatchCollector
+// across the pinned batch sizes and two flush timeouts: the concatenated
+// record sequences must be identical — batching changes delivery
+// granularity, never content or order.
+func TestBatchCollectorMatchesClassic(t *testing.T) {
+	const n = 300
+	raws := encodeV5(indexedRecords(n))
+
+	// Classic reference sequence.
+	var mu sync.Mutex
+	var want []flow.Record
+	classic := NewCollector(func(src Source, recs []flow.Record) {
+		mu.Lock()
+		want = append(want, recs...)
+		mu.Unlock()
+	})
+	port, err := classic.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendAll(t, port, raws)
+	awaitRecords(t, n, func() int { mu.Lock(); defer mu.Unlock(); return len(want) })
+	if err := classic.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, size := range []int{1, 16, 256} {
+		for _, timeout := range []time.Duration{2 * time.Millisecond, 50 * time.Millisecond} {
+			t.Run(fmt.Sprintf("batch=%d/timeout=%s", size, timeout), func(t *testing.T) {
+				var bmu sync.Mutex
+				var got []flow.Record
+				var batches int
+				bc := NewBatchCollector(BatchConfig{MaxRecords: size, FlushTimeout: timeout},
+					func(b Batch) {
+						bmu.Lock()
+						got = append(got, b.Records...)
+						batches++
+						bmu.Unlock()
+					})
+				bport, err := bc.Listen(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sendAll(t, bport, raws)
+				awaitRecords(t, n, func() int { bmu.Lock(); defer bmu.Unlock(); return len(got) })
+				if err := bc.Close(); err != nil {
+					t.Fatal(err)
+				}
+				bmu.Lock()
+				defer bmu.Unlock()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("record %d differs: batched %+v, classic %+v", i, got[i], want[i])
+					}
+				}
+				if batches == 0 {
+					t.Error("no batches delivered")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchCollectorTrickleFlush is the regression test for the
+// trickle-traffic fix: one datagram far below MaxRecords must still be
+// delivered within FlushTimeout (plus scheduling slack), not held until
+// a full batch accumulates.
+func TestBatchCollectorTrickleFlush(t *testing.T) {
+	raws := encodeV5(indexedRecords(5)) // one datagram, 5 records
+	if len(raws) != 1 {
+		t.Fatalf("trickle input spans %d datagrams, want 1", len(raws))
+	}
+	delivered := make(chan Batch, 1)
+	m := NewIngestMetrics(telemetry.NewRegistry())
+	bc := NewBatchCollector(BatchConfig{MaxRecords: 4096, FlushTimeout: 25 * time.Millisecond},
+		func(b Batch) {
+			recs := append([]flow.Record(nil), b.Records...)
+			delivered <- Batch{Port: b.Port, Records: recs}
+		})
+	bc.SetMetrics(m)
+	defer bc.Close()
+	port, err := bc.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sendAll(t, port, raws)
+	select {
+	case b := <-delivered:
+		if len(b.Records) != 5 {
+			t.Errorf("trickle batch has %d records, want 5", len(b.Records))
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Errorf("trickle batch took %s", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("partial batch never flushed: trickle traffic is stranded")
+	}
+	if m.FlushTimeout.Value() != 1 {
+		t.Errorf("flushes{reason=timeout} = %d, want 1", m.FlushTimeout.Value())
+	}
+	if m.BatchRecords.Snapshot().Count() != 1 {
+		t.Errorf("batch-size histogram count = %d, want 1", m.BatchRecords.Snapshot().Count())
+	}
+}
+
+// TestBatchCollectorCloseDeliversPartialBatch pins the shutdown drain: a
+// batch still short of MaxRecords with a long FlushTimeout must be
+// handed over when the collector closes, not dropped with the sockets.
+func TestBatchCollectorCloseDeliversPartialBatch(t *testing.T) {
+	raws := encodeV5(indexedRecords(5))
+	var mu sync.Mutex
+	var got int
+	m := NewIngestMetrics(telemetry.NewRegistry())
+	bc := NewBatchCollector(BatchConfig{MaxRecords: 4096, FlushTimeout: time.Hour},
+		func(b Batch) {
+			mu.Lock()
+			got += len(b.Records)
+			mu.Unlock()
+		})
+	bc.SetMetrics(m)
+	port, err := bc.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendAll(t, port, raws)
+	// Wait until the reader has decoded the records (they now sit in its
+	// partial batch), then close underneath it.
+	awaitRecords(t, 5, func() int { r, _ := bc.Stats(); return r })
+	if err := bc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 5 {
+		t.Errorf("close delivered %d records, want 5", got)
+	}
+	if m.FlushClose.Value() != 1 {
+		t.Errorf("flushes{reason=close} = %d, want 1", m.FlushClose.Value())
+	}
+}
+
+// TestBatchCollectorReaderPoolLeak cycles a multi-reader pool with live
+// traffic and fails if any reader goroutine survives Close.
+func TestBatchCollectorReaderPoolLeak(t *testing.T) {
+	raws := encodeV5(indexedRecords(30))
+	testutil.ExpectNoGoroutineGrowth(t, func() {
+		for i := 0; i < 3; i++ {
+			var mu sync.Mutex
+			var got int
+			bc := NewBatchCollector(BatchConfig{Readers: 4, MaxRecords: 8, FlushTimeout: 5 * time.Millisecond},
+				func(b Batch) {
+					mu.Lock()
+					got += len(b.Records)
+					mu.Unlock()
+				})
+			port, err := bc.Listen(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sendAll(t, port, raws)
+			awaitRecords(t, 30, func() int { mu.Lock(); defer mu.Unlock(); return got })
+			if err := bc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bc.Listen(0); err != ErrCollectorClosed {
+				t.Errorf("Listen after Close = %v, want ErrCollectorClosed", err)
+			}
+		}
+	})
+}
+
+// TestBatchCollectorMultiReader exercises the SO_REUSEPORT pool from
+// several sender sockets: every record must arrive exactly once across
+// the readers' batches (kernel hashing decides which reader, so only
+// the multiset is deterministic).
+func TestBatchCollectorMultiReader(t *testing.T) {
+	const n = 600
+	raws := encodeV5(indexedRecords(n))
+	var mu sync.Mutex
+	seen := make(map[uint16]int, n)
+	var total int
+	bc := NewBatchCollector(BatchConfig{Readers: 4, MaxRecords: 64, FlushTimeout: 5 * time.Millisecond},
+		func(b Batch) {
+			mu.Lock()
+			for _, r := range b.Records {
+				seen[r.Key.DstPort]++
+			}
+			total += len(b.Records)
+			mu.Unlock()
+		})
+	defer bc.Close()
+	if reusePortSupported && bc.Readers() != 4 {
+		t.Fatalf("Readers() = %d, want 4", bc.Readers())
+	}
+	port, err := bc.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread the datagrams over several sender sockets so reuseport
+	// hashing can involve more than one reader.
+	for i := 0; i < len(raws); i += 4 {
+		end := i + 4
+		if end > len(raws) {
+			end = len(raws)
+		}
+		sendAll(t, port, raws[i:end])
+	}
+	awaitRecords(t, n, func() int { mu.Lock(); defer mu.Unlock(); return total })
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if seen[uint16(i)] != 1 {
+			t.Fatalf("record %d seen %d times, want 1", i, seen[uint16(i)])
+		}
+	}
+}

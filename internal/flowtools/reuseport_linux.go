@@ -1,0 +1,153 @@
+//go:build linux
+
+package flowtools
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"syscall"
+	"unsafe"
+)
+
+// reusePortSupported gates multi-reader listen: Linux load-balances
+// datagrams across SO_REUSEPORT sockets bound to the same port.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT, absent from the syscall package's Linux
+// constants (it postdates the package freeze).
+const soReusePort = 0xf
+
+// listenUDPPort binds one reader socket to the loopback UDP port,
+// optionally marked SO_REUSEPORT before bind so several readers can
+// share the port.
+func listenUDPPort(port, readBuf int, reuse bool) (*net.UDPConn, error) {
+	var lc net.ListenConfig
+	if reuse {
+		lc.Control = func(network, address string, rc syscall.RawConn) error {
+			var serr error
+			if err := rc.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		}
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp4", "127.0.0.1:"+strconv.Itoa(port))
+	if err != nil {
+		return nil, err
+	}
+	conn := pc.(*net.UDPConn)
+	if readBuf > 0 {
+		conn.SetReadBuffer(readBuf)
+	}
+	return conn, nil
+}
+
+// newDatagramReader prefers the recvmmsg reader; if the raw descriptor
+// is unavailable it degrades to single-datagram reads.
+func newDatagramReader(conn *net.UDPConn) datagramReader {
+	if r, err := newMmsgReader(conn); err == nil {
+		return r
+	}
+	return newSingleReader(conn)
+}
+
+// Multi-datagram read sizing: up to mmsgBatch datagrams per syscall,
+// each up to the UDP maximum so no export datagram truncates.
+const (
+	mmsgBatch   = 32
+	mmsgBufSize = 65536
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr on linux/amd64: a msghdr
+// plus the received length, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// mmsgReader drains multiple datagrams per wakeup with recvmmsg(2): it
+// parks in RawConn.Read (which honors the connection's read deadline)
+// until the socket is readable, then pulls up to mmsgBatch datagrams in
+// one non-blocking syscall. All receive state — payload buffers, iovecs,
+// sockaddr storage, header array — is allocated once at construction;
+// the steady-state read path allocates only when the exporter address
+// changes between datagrams (the formatted address string is cached).
+type mmsgReader struct {
+	rc    syscall.RawConn
+	bufs  [mmsgBatch][]byte
+	names [mmsgBatch][syscall.SizeofSockaddrInet4]byte
+	iovs  [mmsgBatch]syscall.Iovec
+	hdrs  [mmsgBatch]mmsghdr
+	views [mmsgBatch]datagramView
+
+	lastName     [syscall.SizeofSockaddrInet4]byte
+	lastExporter string
+}
+
+func newMmsgReader(conn *net.UDPConn) (*mmsgReader, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	r := &mmsgReader{rc: rc}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, mmsgBufSize)
+		r.iovs[i] = syscall.Iovec{Base: &r.bufs[i][0], Len: mmsgBufSize}
+		r.hdrs[i].hdr.Name = &r.names[i][0]
+		r.hdrs[i].hdr.Namelen = uint32(len(r.names[i]))
+		r.hdrs[i].hdr.Iov = &r.iovs[i]
+		r.hdrs[i].hdr.Iovlen = 1
+	}
+	return r, nil
+}
+
+func (r *mmsgReader) read() ([]datagramView, error) {
+	var n int
+	var errno syscall.Errno
+	err := r.rc.Read(func(fd uintptr) bool {
+		n0, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&r.hdrs[0])), uintptr(len(r.hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // not readable after all: park again
+		}
+		n, errno = int(n0), e
+		return true
+	})
+	if err != nil {
+		return nil, err // deadline expiry or closed socket
+	}
+	if errno != 0 {
+		if errno == syscall.EINTR {
+			return r.views[:0], nil
+		}
+		return nil, errno
+	}
+	for i := 0; i < n; i++ {
+		r.views[i] = datagramView{
+			raw:      r.bufs[i][:r.hdrs[i].len],
+			exporter: r.exporterFor(i),
+		}
+		r.hdrs[i].hdr.Namelen = uint32(len(r.names[i]))
+	}
+	return r.views[:n], nil
+}
+
+// exporterFor formats datagram i's sockaddr_in as "ip:port" (matching
+// (*net.UDPAddr).String()), caching the last formatted address — export
+// streams repeat the same few sources, so this is nearly always a hit.
+func (r *mmsgReader) exporterFor(i int) string {
+	name := r.names[i]
+	if name == r.lastName && r.lastExporter != "" {
+		return r.lastExporter
+	}
+	ip := net.IPv4(name[4], name[5], name[6], name[7])
+	port := int(name[2])<<8 | int(name[3])
+	r.lastName = name
+	r.lastExporter = net.JoinHostPort(ip.String(), strconv.Itoa(port))
+	return r.lastExporter
+}

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package flowtools
+
+import "net"
+
+// reusePortSupported: without SO_REUSEPORT load balancing the batch
+// collector clamps to one reader per port.
+const reusePortSupported = false
+
+// listenUDPPort binds one reader socket to the loopback UDP port. The
+// reuse flag is never set here (Readers is clamped to 1).
+func listenUDPPort(port, readBuf int, reuse bool) (*net.UDPConn, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		return nil, err
+	}
+	if readBuf > 0 {
+		conn.SetReadBuffer(readBuf)
+	}
+	return conn, nil
+}
+
+// newDatagramReader: portable single-datagram reads.
+func newDatagramReader(conn *net.UDPConn) datagramReader { return newSingleReader(conn) }

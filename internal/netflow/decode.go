@@ -102,10 +102,13 @@ func decodeV5(raw []byte, buf *DecodeBuffer) (Message, error) {
 	hdr := decodeV5Header(raw)
 	buf.cache.metrics.DatagramsV5.Inc()
 
-	buf.recs = buf.recs[:0]
+	if cap(buf.recs) < count {
+		buf.recs = make([]flow.Record, count)
+	}
+	buf.recs = buf.recs[:count]
+	boot := hdr.bootTime() // once per datagram, not per record
 	for i := 0; i < count; i++ {
-		r := decodeV5Record(raw[v5HeaderSize+i*v5RecordSize : v5HeaderSize+(i+1)*v5RecordSize])
-		buf.recs = append(buf.recs, r.ToFlowRecord(hdr, r.InputIf))
+		decodeV5FlowRecord(&buf.recs[i], raw[v5HeaderSize+i*v5RecordSize:v5HeaderSize+(i+1)*v5RecordSize], boot)
 	}
 
 	key := domainKey{exporter: buf.exporter, domain: uint32(hdr.EngineID)}

@@ -70,6 +70,54 @@ func TestDatagramRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeV5MatchesUnmarshal pins the fused hot-loop decoder
+// (decodeV5FlowRecord) to the field-by-field reference path
+// (unmarshalV5 + ToFlowRecord): both must produce identical flow
+// records for every wire field.
+func TestDecodeV5MatchesUnmarshal(t *testing.T) {
+	d := &v5Datagram{
+		Header: v5Header{
+			SysUptimeMS:  777777,
+			UnixSecs:     1112345678,
+			UnixNsecs:    987654,
+			FlowSequence: 42,
+			EngineID:     3,
+		},
+	}
+	for i := 0; i < MaxRecords; i++ {
+		r := sampleRecord(i)
+		if i%2 == 1 { // vary every byte-sized field too
+			r.Proto = flow.ProtoUDP
+			r.TOS = uint8(i)
+			r.TCPFlags = 0
+			r.SrcMask = uint8(8 + i%24)
+			r.DstMask = uint8(i)
+		}
+		d.Records = append(d.Records, r)
+	}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(raw, NewDecodeBuffer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := unmarshalV5(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Records) != len(ref.Records) {
+		t.Fatalf("decoded %d records, reference %d", len(msg.Records), len(ref.Records))
+	}
+	for i, r := range ref.Records {
+		want := r.ToFlowRecord(ref.Header, r.InputIf)
+		if msg.Records[i] != want {
+			t.Errorf("record %d: fused decode %+v, reference %+v", i, msg.Records[i], want)
+		}
+	}
+}
+
 func TestMarshalRejectsTooManyRecords(t *testing.T) {
 	d := &v5Datagram{Records: make([]v5Record, MaxRecords+1)}
 	if _, err := d.Marshal(); err == nil {

@@ -190,9 +190,30 @@ func decodeV5Record(b []byte) v5Record {
 // ToFlowRecord converts a wire record to the analysis flow model, resolving
 // sysUptime-relative timestamps against the export header and boot time.
 func (r v5Record) ToFlowRecord(hdr v5Header, inputIf uint16) flow.Record {
+	return r.toFlowRecordAt(hdr.bootTime(), inputIf)
+}
+
+// bootTime resolves the exporter's boot time from the header clock pair.
+// Hot decode loops compute it once per datagram; every record of the
+// datagram then resolves its uptime-relative stamps against it.
+func (hdr v5Header) bootTime() time.Time {
 	export := time.Unix(int64(hdr.UnixSecs), int64(hdr.UnixNsecs)).UTC()
-	boot := export.Add(-time.Duration(hdr.SysUptimeMS) * time.Millisecond)
-	return flow.Record{
+	return export.Add(-time.Duration(hdr.SysUptimeMS) * time.Millisecond)
+}
+
+// toFlowRecordAt is ToFlowRecord with the per-datagram boot time already
+// resolved.
+func (r v5Record) toFlowRecordAt(boot time.Time, inputIf uint16) flow.Record {
+	var out flow.Record
+	r.fillFlowRecord(&out, boot, inputIf)
+	return out
+}
+
+// fillFlowRecord writes the converted record into *dst, overwriting every
+// field — the decode loop converts straight into the reused record slice
+// without staging a temporary.
+func (r v5Record) fillFlowRecord(dst *flow.Record, boot time.Time, inputIf uint16) {
+	*dst = flow.Record{
 		Key: flow.Key{
 			Src:     r.SrcAddr,
 			Dst:     r.DstAddr,
@@ -211,6 +232,33 @@ func (r v5Record) ToFlowRecord(hdr v5Header, inputIf uint16) flow.Record {
 		SrcMask: r.SrcMask,
 		DstMask: r.DstMask,
 		TCPFlag: r.TCPFlags,
+	}
+}
+
+// decodeV5FlowRecord decodes one 48-byte wire record straight into *dst,
+// fusing decodeV5Record and fillFlowRecord for the hot ingest loop so no
+// intermediate v5Record is staged. Field offsets must stay in lockstep
+// with decodeV5Record; TestDecodeV5MatchesUnmarshal pins the equivalence.
+func decodeV5FlowRecord(dst *flow.Record, b []byte, boot time.Time) {
+	*dst = flow.Record{
+		Key: flow.Key{
+			Src:     netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])),
+			Dst:     netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])),
+			Proto:   b[38],
+			SrcPort: binary.BigEndian.Uint16(b[32:34]),
+			DstPort: binary.BigEndian.Uint16(b[34:36]),
+			TOS:     b[39],
+			InputIf: binary.BigEndian.Uint16(b[12:14]),
+		},
+		Packets: binary.BigEndian.Uint32(b[16:20]),
+		Bytes:   binary.BigEndian.Uint32(b[20:24]),
+		Start:   boot.Add(time.Duration(binary.BigEndian.Uint32(b[24:28])) * time.Millisecond),
+		End:     boot.Add(time.Duration(binary.BigEndian.Uint32(b[28:32])) * time.Millisecond),
+		SrcAS:   binary.BigEndian.Uint16(b[40:42]),
+		DstAS:   binary.BigEndian.Uint16(b[42:44]),
+		SrcMask: b[44],
+		DstMask: b[45],
+		TCPFlag: b[37],
 	}
 }
 

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Rate derives a per-second rate from a monotonically increasing source
+// (typically Counter.Value), measured between consecutive reads. It is
+// built for GaugeFunc registration: each scrape observes the average rate
+// over the interval since the previous scrape, so the exported gauge is
+// exact over scrape windows without any background sampling goroutine.
+//
+// The first read establishes the baseline and reports zero; a read
+// arriving within the same clock instant as the previous one repeats the
+// last computed rate rather than dividing by zero. PerSecond is safe for
+// concurrent use.
+type Rate struct {
+	src func() int64
+	now func() time.Time
+
+	mu    sync.Mutex
+	lastV int64
+	lastT time.Time
+	rate  int64
+}
+
+// NewRate returns a rate over src. src must be monotonically
+// non-decreasing and safe for concurrent use (Counter.Value is both).
+func NewRate(src func() int64) *Rate {
+	return &Rate{src: src, now: time.Now}
+}
+
+// PerSecond returns the average per-second increase of the source since
+// the previous call (0 on the first call, which only sets the baseline).
+func (r *Rate) PerSecond() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, v := r.now(), r.src()
+	if r.lastT.IsZero() {
+		r.lastT, r.lastV = t, v
+		return 0
+	}
+	dt := t.Sub(r.lastT)
+	if dt <= 0 {
+		return r.rate
+	}
+	r.rate = int64(float64(v-r.lastV) / dt.Seconds())
+	r.lastT, r.lastV = t, v
+	return r.rate
+}
+
+// BatchSizeBuckets returns power-of-two bounds for batch-size histograms
+// (1 to 1024, +Inf implicit). Encode these with UnitNone.
+func BatchSizeBuckets() []int64 {
+	return []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRatePerSecond(t *testing.T) {
+	var count int64
+	clock := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	r := NewRate(func() int64 { return count })
+	r.now = func() time.Time { return clock }
+
+	// First read only establishes the baseline.
+	count = 100
+	if got := r.PerSecond(); got != 0 {
+		t.Errorf("first read = %d, want 0", got)
+	}
+	// 900 increments over 3 seconds: 300/s.
+	count = 1000
+	clock = clock.Add(3 * time.Second)
+	if got := r.PerSecond(); got != 300 {
+		t.Errorf("rate = %d, want 300", got)
+	}
+	// A zero-interval re-read repeats the last rate instead of dividing
+	// by zero.
+	if got := r.PerSecond(); got != 300 {
+		t.Errorf("zero-interval rate = %d, want 300", got)
+	}
+	// An idle interval reads zero.
+	clock = clock.Add(5 * time.Second)
+	if got := r.PerSecond(); got != 0 {
+		t.Errorf("idle rate = %d, want 0", got)
+	}
+	// Sub-second intervals scale up.
+	count += 50
+	clock = clock.Add(100 * time.Millisecond)
+	if got := r.PerSecond(); got != 500 {
+		t.Errorf("sub-second rate = %d, want 500", got)
+	}
+}
+
+func TestRateGaugeFuncRegistration(t *testing.T) {
+	c := NewCounter()
+	reg := NewRegistry()
+	reg.GaugeFunc("test_rate_per_second", "test", NewRate(c.Value).PerSecond)
+	c.Add(10)
+	// The scrape must not panic and the series must exist; the value is
+	// clock-dependent (0 on the baseline-setting first scrape).
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test_rate_per_second") {
+		t.Error("rate gauge series missing from scrape")
+	}
+}
+
+func TestBatchSizeBucketsAreValidBounds(t *testing.T) {
+	h := NewHistogram(BatchSizeBuckets()) // panics on invalid bounds
+	h.Observe(1)
+	h.Observe(256)
+	h.Observe(4096) // +Inf bucket
+	if got := h.Snapshot().Count(); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}

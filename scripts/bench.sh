@@ -1,37 +1,56 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR4.json.
+# fixed settings and writes machine-readable results to BENCH_PR6.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
-# per-stage costs (EIA check serial and parallel — RWMutex baseline vs
-# the lock-free COW snapshot store — NetFlow codec, unary encode, BI/EI flow
-# latency), the per-version flow-export decoders (v5, v9, IPFIX batch
-# decode through the reusable DecodeBuffer), and the telemetry hot path
-# (counter inc, histogram observe, snapshot merge). The slow
-# paper-validation benchmarks (figures, tables, ablations) are
-# deliberately excluded: they measure replay fidelity, not regressions.
+# per-stage costs (EIA check serial, parallel and batched — RWMutex
+# baseline vs the lock-free COW snapshot store — NetFlow codec, unary
+# encode, BI/EI flow latency), the per-version flow-export decoders
+# (v5, v9, IPFIX batch decode through the reusable DecodeBuffer), and
+# the telemetry hot path (counter inc, histogram observe, snapshot
+# merge). The slow paper-validation benchmarks (figures, tables,
+# ablations) are deliberately excluded: they measure replay fidelity,
+# not regressions.
 #
-# Steady-state template-driven decode is required to be allocation-free:
-# the script fails if BenchmarkDecodeV5Batch or BenchmarkDecodeV9Batch
-# report nonzero allocs/op.
+# BenchmarkIngestE2E replays pre-encoded NetFlow v5 datagrams over UDP
+# through the full collector -> decode -> pipeline path and reports
+# records/sec for the per-record baseline (classic collector + Submit)
+# and the batched path (recvmmsg reader pool + SubmitBatch). It runs
+# with its own, longer benchtime (E2E_BENCHTIME) because each sample
+# carries socket and pacing overhead.
 #
-# CI uploads BENCH_PR4.json as a non-blocking artifact so reviewers can
-# diff ns/op and allocs/op across PRs without the job gating merges.
+# Two gates fail the script:
+#   - steady-state template-driven decode must be allocation-free
+#     (BenchmarkDecodeV5Batch / BenchmarkDecodeV9Batch: 0 allocs/op);
+#   - the batched ingest path must not regress below the per-record
+#     baseline (BenchmarkIngestE2E/batched records/sec must exceed
+#     BenchmarkIngestE2E/per-record). The speedup ratio is printed and
+#     recorded in the JSON; the PR-6 acceptance bar on the bench box
+#     is >= 3x.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR4.json)
+# CI uploads BENCH_PR6.json as a non-blocking artifact so reviewers can
+# diff ns/op, allocs/op and records/sec across PRs without the job
+# gating merges.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR6.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
+E2E_BENCHTIME="${E2E_BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 
-PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkNetFlowCodec|BenchmarkDecodeV5Batch|BenchmarkDecodeV9Batch|BenchmarkDecodeIPFIXBatch|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
+PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkEIACheckBatch.*|BenchmarkNetFlowCodec|BenchmarkDecodeV5Batch|BenchmarkDecodeV9Batch|BenchmarkDecodeIPFIXBatch|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
 
 echo "==> go test -bench (benchtime=${BENCHTIME} count=${COUNT})"
 RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem \
 	-benchtime="$BENCHTIME" -count="$COUNT" . ./internal/netflow ./internal/telemetry)
 echo "$RAW"
+
+echo "==> go test -bench BenchmarkIngestE2E (benchtime=${E2E_BENCHTIME})"
+E2ERAW=$(go test -run='^$' -bench='^BenchmarkIngestE2E$' -benchtime="$E2E_BENCHTIME" .)
+echo "$E2ERAW"
 
 echo "$RAW" | awk '
 /^BenchmarkDecode(V5|V9)Batch/ {
@@ -49,26 +68,48 @@ END {
 	if (bad) exit 1
 }'
 
-echo "$RAW" | awk -v goversion="$(go env GOVERSION)" \
+echo "$E2ERAW" | awk '
+/^BenchmarkIngestE2E\// {
+	rps = 0
+	for (i = 2; i <= NF; i++) if ($i == "records/sec") rps = $(i - 1)
+	if (index($1, "/per-record") > 0) base = rps
+	if (index($1, "/batched") > 0)    batched = rps
+}
+END {
+	if (base == 0 || batched == 0) {
+		print "error: BenchmarkIngestE2E per-record/batched results missing" > "/dev/stderr"
+		exit 1
+	}
+	ratio = batched / base
+	printf "==> ingest e2e: per-record %.0f rec/s, batched %.0f rec/s (%.2fx)\n", base, batched, ratio
+	if (batched <= base) {
+		printf "error: batched ingest (%.0f rec/s) regressed below the per-record baseline (%.0f rec/s)\n",
+			batched, base > "/dev/stderr"
+		exit 1
+	}
+}'
+
+{ echo "$RAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
 	-v benchtime="$BENCHTIME" -v count="$COUNT" '
 BEGIN {
-	printf "{\n  \"schema\": \"infilter-bench/1\",\n"
+	printf "{\n  \"schema\": \"infilter-bench/2\",\n"
 	printf "  \"go\": \"%s\",\n", goversion
 	printf "  \"benchtime\": \"%s\",\n  \"count\": %s,\n", benchtime, count
 	printf "  \"results\": ["
 	n = 0
 }
 /^Benchmark/ {
-	name = $1; ns = ""; bytes = "0"; allocs = "0"
+	name = $1; ns = ""; bytes = "0"; allocs = "0"; rps = "0"
 	for (i = 2; i <= NF; i++) {
-		if ($i == "ns/op")    ns = $(i - 1)
-		if ($i == "B/op")     bytes = $(i - 1)
-		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "ns/op")       ns = $(i - 1)
+		if ($i == "B/op")        bytes = $(i - 1)
+		if ($i == "allocs/op")   allocs = $(i - 1)
+		if ($i == "records/sec") rps = $(i - 1)
 	}
 	if (ns == "") next
 	if (n++) printf ","
-	printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-		name, ns, bytes, allocs
+	printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"records_per_sec\": %s}",
+		name, ns, bytes, allocs, rps
 }
 END {
 	if (n == 0) { print "error: no benchmark results parsed" > "/dev/stderr"; exit 1 }

@@ -2,9 +2,13 @@
 # Expanded tier-1 gate: vet + build + race-enabled tests + fuzz smoke.
 #
 # The race run includes the serial/parallel equivalence stress test
-# (internal/analysis/parallel_test.go) and every goroutine-leak test, so a
-# pass means the sharded pipeline is race-clean under concurrent load and
-# no background worker outlives its Close. The fuzz smoke discovers every
+# (internal/analysis/parallel_test.go), the batch/serial equivalence
+# tests at batch sizes 1, 16 and 256 (internal/analysis/batch_test.go —
+# batched submission must be observationally identical to per-record
+# submission, including across mid-batch promotions) and every
+# goroutine-leak test, so a pass means the sharded pipeline is
+# race-clean under concurrent load, batching changes no verdict, and no
+# background worker outlives its Close. The fuzz smoke discovers every
 # native fuzz target in the module and runs each briefly against fresh
 # random inputs on top of the checked-in seed corpus, so new targets are
 # picked up without editing this script.
