@@ -610,8 +610,10 @@ func BenchmarkParallelPipeline(b *testing.B) {
 // datagrams of legal traffic: replay sources equal training sources, so
 // every record takes the cheapest (Match) path and the measurement
 // isolates per-record ingest overhead — syscalls, decode, handoff — not
-// analysis cost.
-func ingestBenchWorkload(b *testing.B) (*analysis.ParallelEngine, [][]byte) {
+// analysis cost. eiaCfg selects the EIA configuration (the bloom-tier
+// sub-benchmark enables the probabilistic fast tier; everything else
+// runs exact-only).
+func ingestBenchWorkload(b *testing.B, eiaCfg eia.Config) (*analysis.ParallelEngine, [][]byte) {
 	b.Helper()
 	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	recs := make([]flow.Record, 600)
@@ -630,7 +632,7 @@ func ingestBenchWorkload(b *testing.B) (*analysis.ParallelEngine, [][]byte) {
 		labeled[i] = analysis.LabeledRecord{Peer: 1, Record: recs[i]}
 	}
 	engine, err := analysis.TrainParallel(analysis.ParallelConfig{
-		Config: analysis.Config{Mode: analysis.ModeBasic},
+		Config: analysis.Config{Mode: analysis.ModeBasic, EIA: eiaCfg},
 		Shards: 1,
 	}, labeled)
 	if err != nil {
@@ -656,8 +658,8 @@ func ingestBenchWorkload(b *testing.B) (*analysis.ParallelEngine, [][]byte) {
 // socket buffer never overflows (no drops, so the drain barrier below
 // terminates); the pacing window stays under the ~200 KiB default
 // SO_RCVBUF the classic collector runs with.
-func benchIngestE2E(b *testing.B, newIngest func(*analysis.ParallelEngine) ingestPath) {
-	engine, raws := ingestBenchWorkload(b)
+func benchIngestE2E(b *testing.B, eiaCfg eia.Config, newIngest func(*analysis.ParallelEngine) ingestPath) {
+	engine, raws := ingestBenchWorkload(b, eiaCfg)
 	defer engine.Close()
 	path := newIngest(engine)
 	defer path.close()
@@ -726,11 +728,27 @@ type ingestPath struct {
 // BenchmarkIngestE2E contrasts the classic per-record online path (one
 // blocking read per datagram, one engine.Submit per record) with the
 // batched path (recvmmsg reader, one SubmitBatch per accumulated batch,
-// one EIA snapshot per batch). The records/sec ratio is the headline
-// number of the batched-ingest redesign; scripts/bench.sh gates on it.
+// one EIA snapshot per batch), plus the batched path with the EIA Bloom
+// fast tier enabled — the all-Match workload is the tier's worst case
+// (every check probes the filters and still walks the trie), so
+// batched-bloom ≈ batched proves enabling the tier costs the expected
+// path nothing material. The records/sec ratios are gated by
+// scripts/bench.sh.
 func BenchmarkIngestE2E(b *testing.B) {
+	batchedIngest := func(engine *analysis.ParallelEngine) ingestPath {
+		c := flowtools.NewBatchCollector(flowtools.BatchConfig{
+			ReadBuffer: 4 << 20,
+		}, func(batch flowtools.Batch) {
+			engine.SubmitBatch(1, batch.Records)
+		})
+		return ingestPath{
+			listen:   func() (int, error) { return c.Listen(0) },
+			received: func() int { r, _ := c.Stats(); return r },
+			close:    c.Close,
+		}
+	}
 	b.Run("per-record", func(b *testing.B) {
-		benchIngestE2E(b, func(engine *analysis.ParallelEngine) ingestPath {
+		benchIngestE2E(b, eia.Config{}, func(engine *analysis.ParallelEngine) ingestPath {
 			c := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
 				for _, r := range recs {
 					engine.Submit(1, r)
@@ -744,18 +762,10 @@ func BenchmarkIngestE2E(b *testing.B) {
 		})
 	})
 	b.Run("batched", func(b *testing.B) {
-		benchIngestE2E(b, func(engine *analysis.ParallelEngine) ingestPath {
-			c := flowtools.NewBatchCollector(flowtools.BatchConfig{
-				ReadBuffer: 4 << 20,
-			}, func(batch flowtools.Batch) {
-				engine.SubmitBatch(1, batch.Records)
-			})
-			return ingestPath{
-				listen:   func() (int, error) { return c.Listen(0) },
-				received: func() int { r, _ := c.Stats(); return r },
-				close:    c.Close,
-			}
-		})
+		benchIngestE2E(b, eia.Config{}, batchedIngest)
+	})
+	b.Run("batched-bloom", func(b *testing.B) {
+		benchIngestE2E(b, eia.Config{BloomBitsPerEntry: 10}, batchedIngest)
 	})
 }
 
@@ -878,6 +888,59 @@ func BenchmarkEIACheckBatch(b *testing.B) {
 			store.CheckBatch(peers, srcs, verdicts)
 		}
 	})
+}
+
+// benchBloomWorkload builds a Store over roughly n pseudo-random /24
+// prefixes spread across 16 peers, plus probe sources that are provably
+// absent: every trained subnet is an even /24, every probe lands in an
+// odd sibling /24, so each probe shares 23 bits with a real entry. That
+// forces the exact path through a full-depth trie walk (the expensive
+// miss, not an early divergence) while the Bloom fast tier answers the
+// same probe from one filter block per length class.
+func benchBloomWorkload(b *testing.B, n int, cfg eia.Config) (*eia.Store, []netaddr.IPv4) {
+	b.Helper()
+	const probeCount = 4096
+	set := eia.NewSet(cfg)
+	srcs := make([]netaddr.IPv4, 0, probeCount)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		subnet := uint32(rng>>42) << 1 // even /24 subnet under 0.0.0.0/1
+		set.AddPrefix(eia.PeerAS(i%16+1), netaddr.MustPrefix(netaddr.IPv4(subnet)<<8, 24))
+		if len(srcs) < cap(srcs) {
+			srcs = append(srcs, netaddr.IPv4(subnet|1)<<8|netaddr.IPv4(i)&0xff)
+		}
+	}
+	return eia.NewStore(set), srcs
+}
+
+// BenchmarkEIACheckBloomTier measures the spoofed-flood hot case — every
+// probed source absent from the EIA trie — at 10x and 1000x set scale,
+// exact-only (trie) versus the Bloom fast tier (bloom). The trie walk
+// chases ~24 dependent pointers through a structure whose footprint
+// grows with the set; the blocked Bloom probe touches one cache line per
+// filter per length class regardless of scale. scripts/bench.sh gates
+// bloom-1000x <= 1.2x bloom-10x while the trie baseline is left to
+// degrade.
+func BenchmarkEIACheckBloomTier(b *testing.B) {
+	const base = 1000 // prefixes at 1x
+	for _, scale := range []int{10, 1000} {
+		for _, tier := range []struct {
+			name string
+			cfg  eia.Config
+		}{
+			{"trie", eia.Config{}},
+			{"bloom", eia.Config{BloomBitsPerEntry: 10}},
+		} {
+			b.Run(tier.name+"-"+itoa(scale)+"x", func(b *testing.B) {
+				store, srcs := benchBloomWorkload(b, base*scale, tier.cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					store.Check(eia.PeerAS(i%16+1), srcs[i%len(srcs)])
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkNetFlowCodec round-trips a full 30-record v5 datagram through

@@ -72,6 +72,7 @@ import (
 	"infilter/internal/netaddr"
 	"infilter/internal/netflow"
 	"infilter/internal/nns"
+	"infilter/internal/scan"
 	"infilter/internal/telemetry"
 	"infilter/internal/trace"
 )
@@ -130,6 +131,12 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		tplMax      = fs.Int("template-max", netflow.DefaultMaxTemplates, "max NetFlow v9/IPFIX templates cached across all exporters")
 		tplTTL      = fs.Duration("template-ttl", netflow.DefaultTemplateTTL, "NetFlow v9/IPFIX templates unrefreshed this long expire")
 		orphanMax   = fs.Int("orphan-max", netflow.DefaultMaxOrphans, "max buffered v9/IPFIX data sets awaiting their template")
+		bloomBits   = fs.Int("eia-bloom-bits-per-entry", 10, "EIA Bloom fast-tier bits per prefix (0 disables the tier; verdicts are identical either way)")
+		bloomHashes = fs.Int("eia-bloom-hashes", 0, "EIA Bloom probes per query (0: derived from bits-per-entry)")
+		hhThreshold = fs.Int("heavy-hitter-threshold", 0, "suspect flows per source within the decay window to flag a flood source (0 disables the stage)")
+		hhCounters  = fs.Int("heavy-hitter-counters", scan.DefaultHeavyHitterCounters, "heavy-hitter sketch counters per stage (rounded up to a power of two)")
+		hhStages    = fs.Int("heavy-hitter-stages", scan.DefaultHeavyHitterStages, "heavy-hitter sketch stages")
+		hhDecay     = fs.Int("heavy-hitter-decay-every", scan.DefaultHeavyHitterDecayEvery, "suspect flows between heavy-hitter counter-halving passes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,7 +166,16 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		shards = len(ports)
 	}
 
-	set := eia.NewSet(eia.Config{})
+	if *bloomBits < 0 || *bloomHashes < 0 {
+		return fmt.Errorf("bad bloom settings: -eia-bloom-bits-per-entry %d -eia-bloom-hashes %d", *bloomBits, *bloomHashes)
+	}
+	// The Bloom config rides on the Set: the engine's snapshot store adopts
+	// the Set's Config, and rebuilds the filters from whatever the trie
+	// holds — file preload, checkpoint, training — when it is constructed.
+	set := eia.NewSet(eia.Config{
+		BloomBitsPerEntry: *bloomBits,
+		BloomHashes:       *bloomHashes,
+	})
 	if *eiaFile != "" {
 		if err := loadEIAFile(set, *eiaFile); err != nil {
 			return err
@@ -237,7 +253,15 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	}
 
 	engine, err := analysis.NewParallelEngine(analysis.ParallelConfig{
-		Config:     analysis.Config{Mode: mode},
+		Config: analysis.Config{
+			Mode: mode,
+			HeavyHitter: scan.HeavyHitterConfig{
+				Threshold:  *hhThreshold,
+				Stages:     *hhStages,
+				Counters:   *hhCounters,
+				DecayEvery: *hhDecay,
+			},
+		},
 		Shards:     shards,
 		QueueDepth: *queueDepth,
 		Metrics:    analysis.NewPipelineMetrics(reg, shards),

@@ -52,6 +52,13 @@ type Config struct {
 	Scan scan.Config
 	// NNS tunes the anomaly detector (EI only).
 	NNS nns.DetectorConfig
+	// HeavyHitter tunes the bounded-memory flood-source identifier that
+	// runs in front of Scan Analysis (EI only). Disabled unless
+	// HeavyHitter.Threshold is positive — note that enabling it changes
+	// detection behavior (suspect flows from flood sources are flagged at
+	// the heavy-hitter stage instead of continuing to scan/NNS), unlike
+	// the EIA Bloom tier, which never alters verdicts.
+	HeavyHitter scan.HeavyHitterConfig
 }
 
 // Decision is the outcome of processing one flow.
@@ -90,6 +97,7 @@ type Stats struct {
 type pipeline struct {
 	mode     Mode
 	eia      *eia.Store
+	hh       *scan.HeavyHitter // nil unless Config.HeavyHitter enables it
 	scanner  *scan.Analyzer
 	detector *nns.Detector
 	// metrics is the owning shard's instrumentation (nil on
@@ -135,7 +143,24 @@ func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdic
 		d.Stage = idmef.StageEIA
 		return d, false
 	}
-	// Enhanced: Scan Analysis first.
+	// Enhanced: heavy-hitter triage first (when enabled) — a source
+	// flooding suspect flows is flagged on volume alone, in O(1) memory,
+	// before it can churn the scan buffer.
+	if p.hh != nil {
+		if m != nil {
+			t = time.Now()
+		}
+		heavy := p.hh.Observe(rec.Key.Src)
+		if m != nil {
+			m.observeStage(stageHH, time.Since(t))
+		}
+		if heavy {
+			d.Attack = true
+			d.Stage = idmef.StageHeavyHitter
+			return d, false
+		}
+	}
+	// Then Scan Analysis.
 	if m != nil {
 		t = time.Now()
 	}

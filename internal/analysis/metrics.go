@@ -12,12 +12,13 @@ import (
 // Pipeline stages with their own latency histogram.
 const (
 	stageEIA = iota
+	stageHH
 	stageScan
 	stageNNS
 	numStages
 )
 
-var stageNames = [numStages]string{stageEIA: "eia", stageScan: "scan", stageNNS: "nns"}
+var stageNames = [numStages]string{stageEIA: "eia", stageHH: "heavy-hitter", stageScan: "scan", stageNNS: "nns"}
 
 // shardMetrics is one shard's private instrumentation. The counters are
 // exported per shard (labeled shard="i"); the stage histograms are
@@ -43,6 +44,7 @@ type PipelineMetrics struct {
 	reg    *telemetry.Registry
 	shards []shardMetrics
 	scan   *scan.Metrics
+	hh     *scan.HeavyHitterMetrics
 	eia    *eia.Metrics
 }
 
@@ -57,6 +59,7 @@ func NewPipelineMetrics(r *telemetry.Registry, shards int) *PipelineMetrics {
 		reg:    r,
 		shards: make([]shardMetrics, shards),
 		scan:   scan.NewMetrics(r),
+		hh:     scan.NewHeavyHitterMetrics(r),
 		eia:    eia.NewMetrics(r),
 	}
 	for i := range m.shards {

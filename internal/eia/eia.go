@@ -57,6 +57,20 @@ type Config struct {
 	// PromoteMaskBits is the prefix length learned on promotion. Zero
 	// defaults to 24 (the subnet granularity used throughout §3.1).
 	PromoteMaskBits int
+	// BloomBitsPerEntry, when positive, enables the probabilistic fast
+	// tier on Store: per-peer blocked Bloom filters (plus one global
+	// filter) published inside each snapshot, sized at this many bits per
+	// trie prefix. The tier short-circuits only provably-Unknown checks —
+	// Bloom positives always confirm against the exact trie — so verdicts
+	// are identical with the tier on or off; the knob trades memory for
+	// fewer fallback walks (10 bits/entry ≈ 1% false-positive rate).
+	// Zero (the default) disables the tier. Set-level checks (Set.Check)
+	// never use it.
+	BloomBitsPerEntry int
+	// BloomHashes fixes the probe count per Bloom query. Zero (the
+	// default) derives the information-optimal count from
+	// BloomBitsPerEntry.
+	BloomHashes int
 }
 
 // Defaults for Config.

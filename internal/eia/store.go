@@ -13,10 +13,29 @@ import (
 // (expected ingress) and misses (wrong peer or unknown source), plus
 // completed promotions. All counters are shared across every shard that
 // uses the store — increments are single atomics, so sharing adds no lock.
+//
+// The Bloom* series observes the probabilistic fast tier (when enabled):
+// fastpath counts checks the filters resolved without a trie walk,
+// fallbacks counts checks that had to confirm exactly, and false
+// positives counts fallback walks that ended Unknown anyway — i.e. walks
+// a perfect filter would have skipped, so fp/fallbacks is the observed
+// false-positive rate. Bypassed counts batch checks that skipped the
+// probe entirely after a run of consecutive fallbacks told the batch it
+// was carrying expected traffic the tier cannot help with. The gauges
+// are refreshed by the writer at each snapshot publication: fill
+// permille of the global filter and total bits across every filter in
+// the tier.
 type Metrics struct {
 	Hits       *telemetry.Counter
 	Misses     *telemetry.Counter
 	Promotions *telemetry.Counter
+
+	BloomFastpath       *telemetry.Counter
+	BloomFallbacks      *telemetry.Counter
+	BloomFalsePositives *telemetry.Counter
+	BloomBypassed       *telemetry.Counter
+	BloomFillPermille   *telemetry.Gauge
+	BloomBits           *telemetry.Gauge
 }
 
 // NewMetrics registers the EIA counters on r.
@@ -25,16 +44,26 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		Hits:       r.Counter("infilter_eia_hits_total", "EIA checks whose source matched the observed peer's set."),
 		Misses:     r.Counter("infilter_eia_misses_total", "EIA checks flagged suspect (wrong peer or unknown source)."),
 		Promotions: r.Counter("infilter_eia_promotions_total", "Vouched sources promoted into a peer's EIA set."),
+
+		BloomFastpath:       r.Counter("infilter_eia_bloom_fastpath_total", "EIA checks resolved by the Bloom tier without a trie walk (provably unknown sources)."),
+		BloomFallbacks:      r.Counter("infilter_eia_bloom_fallbacks_total", "EIA checks the Bloom tier deferred to an exact trie walk."),
+		BloomFalsePositives: r.Counter("infilter_eia_bloom_false_positives_total", "Bloom-tier fallback walks that ended Unknown (filter false positives)."),
+		BloomBypassed:       r.Counter("infilter_eia_bloom_bypassed_total", "Batch checks that skipped the Bloom probe after consecutive in-batch fallbacks."),
+		BloomFillPermille:   r.Gauge("infilter_eia_bloom_fill_permille", "Set-bit permille of the global Bloom filter, refreshed at snapshot publication."),
+		BloomBits:           r.Gauge("infilter_eia_bloom_bits", "Total bits across all Bloom-tier filters, refreshed at snapshot publication."),
 	}
 }
 
 // snapshot is one immutable published version of the EIA state. Its trie
-// is extended exclusively through persistent inserts and its perPeer map
-// is never written after publication, so readers may traverse it freely
+// is extended exclusively through persistent inserts, its perPeer map is
+// never written after publication, and its Bloom tier (nil unless
+// Config.BloomBitsPerEntry enables it) is derived from the trie before
+// the snapshot is stored — so readers may traverse all of it freely
 // while the writer assembles a successor.
 type snapshot struct {
 	index   *netaddr.PrefixTrie[PeerAS]
 	perPeer map[PeerAS]int
+	tier    *bloomTier
 }
 
 // Store is the shared EIA state for concurrent analysis shards, built as
@@ -87,20 +116,50 @@ func NewStore(set *Set) *Store {
 	for k, v := range set.pending {
 		st.pending[k] = v
 	}
-	st.snap.Store(&snapshot{index: set.index, perPeer: per})
+	// The tier is always rebuilt from the adopted trie, never carried
+	// over: a Set restored from a checkpoint (which serializes only
+	// prefixes) gets correct filters here for free on warm restart.
+	st.snap.Store(&snapshot{
+		index:   set.index,
+		perPeer: per,
+		tier:    buildBloomTier(set.index, per, st.cfg),
+	})
 	return st
 }
 
 // SetMetrics installs runtime counters (nil disables). Like the alert
 // sink of the engines, it must be called before the store is shared with
 // concurrent checkers.
-func (c *Store) SetMetrics(m *Metrics) { c.metrics = m }
+func (c *Store) SetMetrics(m *Metrics) {
+	c.metrics = m
+	if t := c.snap.Load().tier; t != nil && m != nil {
+		m.BloomFillPermille.Set(int64(t.global.FillRatio() * 1000))
+		m.BloomBits.Set(t.totalBits())
+	}
+}
 
 // Check classifies a flow's source address observed at peer. It is the
 // per-flow hot path and performs no locking: one atomic snapshot load,
-// one longest-prefix walk over an immutable trie.
+// then — when the Bloom tier is enabled — a handful of cache-line probes
+// that either prove the source unknown outright or defer to the exact
+// longest-prefix walk over the immutable trie. Verdicts are identical
+// with the tier on or off; only the cost profile changes.
 func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
-	expected, ok := c.snap.Load().index.Lookup(src)
+	snap := c.snap.Load()
+	m := c.metrics
+	if t := snap.tier; t != nil {
+		if v, ok := t.probe(t.peerFilter(peer), src); ok {
+			if m != nil {
+				m.BloomFastpath.Inc()
+				m.Misses.Inc() // fast path only ever yields Unknown
+			}
+			return v
+		}
+		if m != nil {
+			m.BloomFallbacks.Inc()
+		}
+	}
+	expected, ok := snap.index.Lookup(src)
 	var v Verdict
 	switch {
 	case !ok:
@@ -110,11 +169,14 @@ func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 	default:
 		v = WrongPeer
 	}
-	if m := c.metrics; m != nil {
+	if m != nil {
 		if v == Match {
 			m.Hits.Inc()
 		} else {
 			m.Misses.Inc()
+		}
+		if v == Unknown && snap.tier != nil {
+			m.BloomFalsePositives.Inc()
 		}
 	}
 	return v
@@ -131,11 +193,48 @@ func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 // batch after a mid-batch promotion swaps in a new snapshot, and counting
 // at check time would then count those entries twice. Consumers count
 // each verdict exactly once, at consumption time, via CountVerdict.
+//
+// When the Bloom tier is enabled, batch checks adapt to the batch's
+// traffic mix: after bloomBypassAfter consecutive probes deferred to the
+// exact walk, the rest of the batch skips the probe (see the constant's
+// doc). Verdicts are identical with or without the bypass.
 func (c *Store) CheckBatch(peers []PeerAS, srcs []netaddr.IPv4, out []Verdict) {
 	if len(peers) != len(srcs) || len(srcs) != len(out) {
 		panic("eia: CheckBatch slice lengths differ")
 	}
-	index := c.snap.Load().index
+	snap := c.snap.Load()
+	index := snap.index
+	if t := snap.tier; t != nil {
+		var fast, fall, fp int64
+		i, miss := 0, 0
+		for ; i < len(srcs) && miss < bloomBypassAfter; i++ {
+			src := srcs[i]
+			if v, ok := t.probe(t.peerFilter(peers[i]), src); ok {
+				out[i] = v
+				fast++
+				miss = 0
+				continue
+			}
+			fall++
+			miss++
+			expected, ok := index.Lookup(src)
+			switch {
+			case !ok:
+				out[i] = Unknown
+				fp++
+			case expected == peers[i]:
+				out[i] = Match
+			default:
+				out[i] = WrongPeer
+			}
+		}
+		// Bypass: the remainder runs the same lean walk-only loop as the
+		// tier-free path — segmenting (rather than branching per record)
+		// keeps the inlined trie walk's code tight for the common all-
+		// expected batch.
+		c.addBloomCounts(fast, fall, fp, int64(len(srcs)-i))
+		srcs, peers, out = srcs[i:], peers[i:], out[i:]
+	}
 	for i, src := range srcs {
 		expected, ok := index.Lookup(src)
 		switch {
@@ -158,7 +257,38 @@ func (c *Store) CheckBatchPeer(peer PeerAS, srcs []netaddr.IPv4, out []Verdict) 
 	if len(srcs) != len(out) {
 		panic("eia: CheckBatchPeer slice lengths differ")
 	}
-	index := c.snap.Load().index
+	snap := c.snap.Load()
+	index := snap.index
+	if t := snap.tier; t != nil {
+		hoisted := t.peerFilter(peer) // one lookup covers the batch
+		var fast, fall, fp int64
+		i, miss := 0, 0
+		for ; i < len(srcs) && miss < bloomBypassAfter; i++ {
+			src := srcs[i]
+			if v, ok := t.probe(hoisted, src); ok {
+				out[i] = v
+				fast++
+				miss = 0
+				continue
+			}
+			fall++
+			miss++
+			expected, ok := index.Lookup(src)
+			switch {
+			case !ok:
+				out[i] = Unknown
+				fp++
+			case expected == peer:
+				out[i] = Match
+			default:
+				out[i] = WrongPeer
+			}
+		}
+		// Bypass: fall through to the lean walk-only loop below for the
+		// remainder (see CheckBatch).
+		c.addBloomCounts(fast, fall, fp, int64(len(srcs)-i))
+		srcs, out = srcs[i:], out[i:]
+	}
 	for i, src := range srcs {
 		expected, ok := index.Lookup(src)
 		switch {
@@ -169,6 +299,28 @@ func (c *Store) CheckBatchPeer(peer PeerAS, srcs []netaddr.IPv4, out []Verdict) 
 		default:
 			out[i] = WrongPeer
 		}
+	}
+}
+
+// bloomBypassAfter is the adaptive-bypass threshold for batch checks:
+// after this many consecutive probes deferred to the exact walk, the
+// rest of the batch skips the probe and goes straight to the trie. A
+// fallback streak means the batch is carrying expected traffic — the one
+// case the tier cannot shortcut, where probing is pure tax — while a
+// spoofed-flood batch resolves on the fast path and resets the streak
+// immediately. The bypass affects cost only, never verdicts: the walk it
+// falls through to is the same exact walk a fallback performs. State is
+// per-call, so every batch starts probing again.
+const bloomBypassAfter = 8
+
+// addBloomCounts settles a batch's Bloom-tier diagnostics in at most
+// four atomic adds (telemetry.Counter.Add ignores non-positive n).
+func (c *Store) addBloomCounts(fast, fall, fp, bypassed int64) {
+	if m := c.metrics; m != nil {
+		m.BloomFastpath.Add(fast)
+		m.BloomFallbacks.Add(fall)
+		m.BloomFalsePositives.Add(fp)
+		m.BloomBypassed.Add(bypassed)
 	}
 }
 
@@ -212,11 +364,20 @@ type Assignment struct {
 // publishLocked swaps in a snapshot with the given prefixes added on top
 // of the current one, preserving the re-homing semantics of Set.AddPrefix.
 // Callers hold c.mu. The whole batch lands in one pointer swap.
+//
+// When the Bloom tier is enabled, the successor tier is derived here as
+// well — normally by cloning only the filters the applied assignments
+// touch, or by a full rebuild from the new trie when a filter outgrows
+// its sized capacity — and the tier gauges are refreshed. A re-homed
+// prefix leaves its key in the old peer's filter; that stale key can
+// only cause a false positive (an extra exact walk), never a wrong
+// verdict, and the next overflow-triggered rebuild sheds it.
 func (c *Store) publishLocked(assign []Assignment) {
 	cur := c.snap.Load()
 	index := cur.index
 	per := cur.perPeer
 	copied := false
+	applied := assign[:0:0]
 	for _, a := range assign {
 		if prev, ok := index.Get(a.Prefix); ok {
 			if prev == a.Peer {
@@ -234,11 +395,20 @@ func (c *Store) publishLocked(assign []Assignment) {
 			per[a.Peer]++
 		}
 		index = index.InsertPersistent(a.Prefix, a.Peer)
+		applied = append(applied, a)
 	}
 	if !copied {
 		return // every assignment was already in place
 	}
-	c.snap.Store(&snapshot{index: index, perPeer: per})
+	tier := cur.tier
+	if tier != nil {
+		tier = tier.withAssignments(applied, index, per, c.cfg)
+	}
+	c.snap.Store(&snapshot{index: index, perPeer: per, tier: tier})
+	if m := c.metrics; m != nil && tier != nil {
+		m.BloomFillPermille.Set(int64(tier.global.FillRatio() * 1000))
+		m.BloomBits.Set(tier.totalBits())
+	}
 }
 
 func clonePeerCounts(per map[PeerAS]int) map[PeerAS]int {

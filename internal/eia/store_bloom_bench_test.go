@@ -1,0 +1,39 @@
+package eia
+
+import (
+	"math/rand"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+// BenchmarkCheckBatchPeerMatch measures the Bloom tier's worst case: a
+// 256-record single-peer batch of expected traffic, where every probe
+// that runs is wasted work and the adaptive bypass is what keeps the
+// tier's tax near zero. Contrast the exact sub-benchmark against bloom
+// to read the residual per-record cost of having the tier enabled.
+func BenchmarkCheckBatchPeerMatch(b *testing.B) {
+	const n = 256
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"exact", Config{}},
+		{"bloom", Config{BloomBitsPerEntry: 10}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			set, inserted := trainRandom(rng, tc.cfg, 600, 1)
+			st := NewStore(set)
+			srcs := make([]netaddr.IPv4, n)
+			out := make([]Verdict, n)
+			for i := range srcs {
+				srcs[i] = inserted[i%len(inserted)].Prefix.Addr() | 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.CheckBatchPeer(0, srcs, out)
+			}
+		})
+	}
+}

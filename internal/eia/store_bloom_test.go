@@ -1,0 +1,330 @@
+package eia
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
+)
+
+// bloomCfg is the tier-enabled config the tests in this file exercise.
+var bloomCfg = Config{BloomBitsPerEntry: 10}
+
+// trainRandom loads n random /24 prefixes spread over nPeers into a
+// fresh Set built with cfg and returns it with the prefixes used.
+func trainRandom(rng *rand.Rand, cfg Config, n, nPeers int) (*Set, []Assignment) {
+	set := NewSet(cfg)
+	assigns := make([]Assignment, 0, n)
+	for i := 0; i < n; i++ {
+		pfx := netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24)
+		peer := PeerAS(rng.Intn(nPeers))
+		set.AddPrefix(peer, pfx)
+		assigns = append(assigns, Assignment{Peer: peer, Prefix: pfx})
+	}
+	return set, assigns
+}
+
+// TestBloomDisabledByDefault: the zero-value Config publishes snapshots
+// with no tier, so library users opt in explicitly.
+func TestBloomDisabledByDefault(t *testing.T) {
+	st := NewStore(NewSet(Config{}))
+	if st.snap.Load().tier != nil {
+		t.Fatal("zero-value Config produced a Bloom tier")
+	}
+	st = NewStore(NewSet(bloomCfg))
+	if st.snap.Load().tier == nil {
+		t.Fatal("BloomBitsPerEntry > 0 did not produce a Bloom tier")
+	}
+}
+
+// TestBloomVerdictEquivalence is the tier's contract: for a shared
+// randomized mutation-and-check schedule — training, re-homes,
+// promotions via RecordLegal, probes mixing known sources, near-misses
+// and random addresses — a tier-enabled store must emit exactly the
+// verdicts of a tier-free one, across Check, CheckBatch and
+// CheckBatchPeer. Run at a deliberately undersized 2 bits/entry too, so
+// heavy false-positive pressure exercises the fallback path hard.
+func TestBloomVerdictEquivalence(t *testing.T) {
+	for _, bits := range []int{2, 10} {
+		rng := rand.New(rand.NewSource(int64(31 + bits)))
+		base := Config{PromoteThreshold: 3, BloomBitsPerEntry: bits}
+		exactCfg := base
+		exactCfg.BloomBitsPerEntry = 0
+
+		setA, assigns := trainRandom(rng, base, 400, 6)
+		setB := NewSet(exactCfg)
+		for _, a := range assigns {
+			setB.AddPrefix(a.Peer, a.Prefix)
+		}
+		probed, exact := NewStore(setA), NewStore(setB)
+
+		const nPeers = 6
+		srcOf := func() netaddr.IPv4 {
+			switch rng.Intn(3) {
+			case 0: // inside a trained prefix
+				a := assigns[rng.Intn(len(assigns))]
+				return a.Prefix.Addr() | netaddr.IPv4(rng.Intn(256))
+			case 1: // adjacent /24 (near-miss)
+				a := assigns[rng.Intn(len(assigns))]
+				return a.Prefix.Addr() ^ (1 << 8) | netaddr.IPv4(rng.Intn(256))
+			default: // anywhere
+				return netaddr.IPv4(rng.Uint32())
+			}
+		}
+
+		for round := 0; round < 200; round++ {
+			switch rng.Intn(4) {
+			case 0: // re-home an existing prefix
+				a := assigns[rng.Intn(len(assigns))]
+				np := PeerAS(rng.Intn(nPeers))
+				probed.AddPrefix(np, a.Prefix)
+				exact.AddPrefix(np, a.Prefix)
+			case 1: // drive a source toward promotion on both stores
+				peer, src := PeerAS(rng.Intn(nPeers)), srcOf()
+				for i := 0; i < 3; i++ {
+					if probed.RecordLegal(peer, src) != exact.RecordLegal(peer, src) {
+						t.Fatalf("bits=%d round %d: promotion outcomes diverged", bits, round)
+					}
+				}
+			case 2: // fresh prefix batch
+				batch := []Assignment{
+					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 16)},
+					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 28)},
+				}
+				probed.AddPrefixes(batch)
+				exact.AddPrefixes(batch)
+				assigns = append(assigns, batch...)
+			}
+
+			peers := make([]PeerAS, 32)
+			srcs := make([]netaddr.IPv4, 32)
+			gotB := make([]Verdict, 32)
+			wantB := make([]Verdict, 32)
+			for i := range srcs {
+				peers[i], srcs[i] = PeerAS(rng.Intn(nPeers)), srcOf()
+				if got, want := probed.Check(peers[i], srcs[i]), exact.Check(peers[i], srcs[i]); got != want {
+					t.Fatalf("bits=%d round %d: Check(%d, %v) = %v, exact store says %v",
+						bits, round, peers[i], srcs[i], got, want)
+				}
+			}
+			probed.CheckBatch(peers, srcs, gotB)
+			exact.CheckBatch(peers, srcs, wantB)
+			for i := range gotB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("bits=%d round %d: CheckBatch[%d] = %v, want %v", bits, round, i, gotB[i], wantB[i])
+				}
+			}
+			probed.CheckBatchPeer(peers[0], srcs, gotB)
+			exact.CheckBatchPeer(peers[0], srcs, wantB)
+			for i := range gotB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("bits=%d round %d: CheckBatchPeer[%d] = %v, want %v", bits, round, i, gotB[i], wantB[i])
+				}
+			}
+		}
+
+		// The two stores must have converged to identical serialized state.
+		var a, b bytes.Buffer
+		if _, err := probed.WriteTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exact.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("bits=%d: serialized state diverged", bits)
+		}
+	}
+}
+
+// TestBloomRebuildOnOverflow: publishing far more prefixes than the
+// initial tier was sized for must trigger the full rebuild from the
+// trie, restoring capacity headroom — and stay correct throughout.
+func TestBloomRebuildOnOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set, _ := trainRandom(rng, bloomCfg, 50, 3)
+	st := NewStore(set)
+	t0 := st.snap.Load().tier
+	if t0 == nil {
+		t.Fatal("no tier")
+	}
+	cap0 := t0.global.Capacity()
+
+	// Push well past the initial 2x-headroom sizing, one small batch at a
+	// time so the incremental clone-and-insert path runs until it can't.
+	var added []Assignment
+	for i := 0; i < 40; i++ {
+		batch := make([]Assignment, 8)
+		for j := range batch {
+			batch[j] = Assignment{
+				Peer:   PeerAS(rng.Intn(3)),
+				Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24),
+			}
+		}
+		st.AddPrefixes(batch)
+		added = append(added, batch...)
+	}
+	t1 := st.snap.Load().tier
+	if t1.global.Capacity() <= cap0 {
+		t.Fatalf("global filter capacity never grew: %d -> %d after %d inserts",
+			cap0, t1.global.Capacity(), len(added))
+	}
+	if t1.global.Overflowed() {
+		t.Fatalf("published tier left overflowed: %d entries, capacity %d",
+			t1.global.Entries(), t1.global.Capacity())
+	}
+	for _, a := range added {
+		if got := st.Check(a.Peer, a.Prefix.Addr()|1); got != Match {
+			t.Fatalf("after rebuild: Check(%d, in %v) = %v, want Match", a.Peer, a.Prefix, got)
+		}
+	}
+}
+
+// TestBloomCheckpointRehydration: filters are not serialized; a store
+// built from a checkpoint-restored Set must come up with a live tier
+// answering exactly like the store that wrote the checkpoint.
+func TestBloomCheckpointRehydration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	set, assigns := trainRandom(rng, bloomCfg, 200, 4)
+	orig := NewStore(set)
+
+	var ckpt bytes.Buffer
+	if err := orig.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restoredSet := NewSet(bloomCfg)
+	if err := ReadCheckpointInto(restoredSet, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore(restoredSet)
+	if restored.snap.Load().tier == nil {
+		t.Fatal("restored store has no Bloom tier")
+	}
+	for i := 0; i < 2000; i++ {
+		peer, src := PeerAS(rng.Intn(4)), netaddr.IPv4(rng.Uint32())
+		if i%2 == 0 { // half the probes inside trained space
+			a := assigns[rng.Intn(len(assigns))]
+			src = a.Prefix.Addr() | netaddr.IPv4(rng.Intn(256))
+		}
+		if got, want := restored.Check(peer, src), orig.Check(peer, src); got != want {
+			t.Fatalf("probe %d: restored Check(%d, %v) = %v, original says %v", i, peer, src, got, want)
+		}
+	}
+}
+
+// TestBloomMetrics: the diagnostic counters must account for every
+// check (fastpath + fallbacks + bypassed = checks), false positives can
+// only be a subset of fallbacks, and the writer refreshes the gauges.
+func TestBloomMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	set, _ := trainRandom(rng, bloomCfg, 300, 4)
+	st := NewStore(set)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	st.SetMetrics(m)
+
+	if m.BloomBits.Value() == 0 {
+		t.Error("BloomBits gauge not seeded by SetMetrics")
+	}
+
+	const n = 5000
+	srcs := make([]netaddr.IPv4, n)
+	out := make([]Verdict, n)
+	for i := range srcs {
+		srcs[i] = netaddr.IPv4(rng.Uint32())
+	}
+	st.CheckBatchPeer(1, srcs, out)
+	for i := 0; i < 100; i++ {
+		st.Check(2, netaddr.IPv4(rng.Uint32()))
+	}
+
+	fast, fall := m.BloomFastpath.Value(), m.BloomFallbacks.Value()
+	fp, byp := m.BloomFalsePositives.Value(), m.BloomBypassed.Value()
+	if fast+fall+byp != n+100 {
+		t.Errorf("fastpath(%d) + fallbacks(%d) + bypassed(%d) = %d, want %d checks",
+			fast, fall, byp, fast+fall+byp, n+100)
+	}
+	if fp > fall {
+		t.Errorf("false positives (%d) exceed fallbacks (%d)", fp, fall)
+	}
+	if fast == 0 {
+		t.Error("random-source probes never hit the fast path")
+	}
+
+	// A publication refreshes the fill gauge. It may move either way — a
+	// big batch can trigger a rebuild at doubled capacity, lowering the
+	// ratio — but it must change from the seeded value and stay sane.
+	before := m.BloomFillPermille.Value()
+	var batch []Assignment
+	for i := 0; i < 200; i++ {
+		batch = append(batch, Assignment{Peer: 1, Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24)})
+	}
+	st.AddPrefixes(batch)
+	after := m.BloomFillPermille.Value()
+	if after == before {
+		t.Errorf("fill gauge not refreshed on publication (still %d)", before)
+	}
+	if after <= 0 || after >= 1000 {
+		t.Errorf("fill gauge out of range after publication: %d", after)
+	}
+}
+
+// TestBloomBatchBypass: a batch of expected traffic — every probe falls
+// back to the exact walk — must stop probing after the adaptive
+// threshold and go straight to the trie for the remainder, while a
+// spoofed-flood batch (fast-path resolutions) never trips the bypass.
+// Verdicts are unaffected either way; that is what the equivalence tests
+// pin down.
+func TestBloomBatchBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	set, inserted := trainRandom(rng, bloomCfg, 300, 4)
+	st := NewStore(set)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	st.SetMetrics(m)
+
+	const n = 256
+	legal := make([]netaddr.IPv4, n)
+	out := make([]Verdict, n)
+	for i := range legal {
+		a := inserted[i%len(inserted)]
+		legal[i] = a.Prefix.Addr() | 1
+	}
+	// Mixed-peer lane: sources in-set, so every probe defers to the walk.
+	peers := make([]PeerAS, n)
+	for i := range peers {
+		peers[i] = inserted[i%len(inserted)].Peer
+	}
+	st.CheckBatch(peers, legal, out)
+	if got := m.BloomBypassed.Value(); got != n-bloomBypassAfter {
+		t.Errorf("CheckBatch on expected traffic bypassed %d probes, want %d", got, n-bloomBypassAfter)
+	}
+	if got := m.BloomFallbacks.Value(); got != bloomBypassAfter {
+		t.Errorf("CheckBatch on expected traffic fell back %d times, want %d", got, bloomBypassAfter)
+	}
+	for i := range out {
+		if out[i] != Match {
+			t.Fatalf("bypassed check [%d] = %v, want Match", i, out[i])
+		}
+	}
+
+	// Single-peer lane, same shape.
+	st.CheckBatchPeer(inserted[0].Peer, legal[:64], out[:64])
+	if got := m.BloomBypassed.Value(); got <= n-bloomBypassAfter {
+		t.Errorf("CheckBatchPeer on expected traffic never bypassed (total still %d)", got)
+	}
+
+	// A spoofed flood resolves on the fast path; the occasional filter
+	// false positive must not accumulate into a bypass streak.
+	before := m.BloomBypassed.Value()
+	flood := make([]netaddr.IPv4, n)
+	for i := range flood {
+		flood[i] = netaddr.IPv4(rng.Uint32())
+	}
+	st.CheckBatchPeer(1, flood, out)
+	if got := m.BloomBypassed.Value(); got != before {
+		t.Errorf("flood batch bypassed %d probes, want 0", got-before)
+	}
+}

@@ -18,9 +18,10 @@ type Stage string
 
 // Detection stages.
 const (
-	StageEIA  Stage = "eia-set"
-	StageScan Stage = "scan-analysis"
-	StageNNS  Stage = "nns-search"
+	StageEIA         Stage = "eia-set"
+	StageHeavyHitter Stage = "heavy-hitter"
+	StageScan        Stage = "scan-analysis"
+	StageNNS         Stage = "nns-search"
 )
 
 // Alert is the subset of an IDMEF Alert the prototype emits.

@@ -1,0 +1,150 @@
+package scan
+
+import (
+	"infilter/internal/bloom"
+	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
+)
+
+// HeavyHitter identifies flood sources among the suspect stream in
+// bounded memory: a multistage conservative-update sketch (bloom.Sketch)
+// counts suspect flows per source address, and a source whose estimate
+// crosses the threshold is flagged as a heavy hitter. It sits in front
+// of Scan Analysis in the enhanced pipeline: a spoofed flood hammering
+// from few sources is recognized by volume alone, before its flows can
+// churn the scan buffer, and with no per-source state — memory is fixed
+// at stages × counters × 4 bytes no matter how many sources the flood
+// cycles through.
+//
+// The sketch decays (all counters halve) every DecayEvery observations,
+// so the threshold is effectively "this many suspect flows within the
+// recent window": sustained sources keep their counters pinned across
+// decays while burst noise ages out — the adaptive behavior of the
+// multistage-filter flow-identification scheme the sketch implements.
+//
+// Estimates never undercount, so a true flood source is never missed;
+// a hash-collision overcount can flag a source early, which costs one
+// alert for a flow that was already EIA-suspect — the same
+// false-positive direction the scan thresholds already accept.
+//
+// Not safe for concurrent use: like the Analyzer, every pipeline shard
+// owns its own HeavyHitter (a flood arrives through one ingress, hence
+// one shard, so per-shard counting preserves detection).
+type HeavyHitter struct {
+	cfg        HeavyHitterConfig
+	sketch     *bloom.Sketch
+	sinceDecay int
+	metrics    *HeavyHitterMetrics
+}
+
+// HeavyHitterConfig tunes the flood-source identifier.
+type HeavyHitterConfig struct {
+	// Threshold is the suspect-flow count (within the decay window) at
+	// which a source is flagged. Zero or negative disables the stage
+	// entirely — the pipeline then behaves exactly as without it.
+	Threshold int
+	// Stages is the sketch depth. Zero defaults to 4.
+	Stages int
+	// Counters is the per-stage counter count (rounded up to a power of
+	// two). Zero defaults to 4096 (64 KiB per shard at 4 stages).
+	Counters int
+	// DecayEvery halves all counters after this many observations. Zero
+	// defaults to 8192.
+	DecayEvery int
+}
+
+// Defaults for HeavyHitterConfig.
+const (
+	DefaultHeavyHitterStages     = 4
+	DefaultHeavyHitterCounters   = 4096
+	DefaultHeavyHitterDecayEvery = 8192
+)
+
+func (c HeavyHitterConfig) withDefaults() HeavyHitterConfig {
+	if c.Stages <= 0 {
+		c.Stages = DefaultHeavyHitterStages
+	}
+	if c.Counters <= 0 {
+		c.Counters = DefaultHeavyHitterCounters
+	}
+	if c.DecayEvery <= 0 {
+		c.DecayEvery = DefaultHeavyHitterDecayEvery
+	}
+	return c
+}
+
+// Enabled reports whether the config asks for the stage.
+func (c HeavyHitterConfig) Enabled() bool { return c.Threshold > 0 }
+
+// HeavyHitterMetrics count stage activity. One HeavyHitterMetrics may be
+// shared by many per-shard HeavyHitters: increments are single atomics.
+type HeavyHitterMetrics struct {
+	Trips  *telemetry.Counter
+	Decays *telemetry.Counter
+}
+
+// NewHeavyHitterMetrics registers the heavy-hitter counters on r.
+func NewHeavyHitterMetrics(r *telemetry.Registry) *HeavyHitterMetrics {
+	return &HeavyHitterMetrics{
+		Trips:  r.Counter("infilter_heavyhitter_trips_total", "Suspect flows whose source crossed the heavy-hitter threshold."),
+		Decays: r.Counter("infilter_heavyhitter_decays_total", "Heavy-hitter sketch decay (counter-halving) passes."),
+	}
+}
+
+// heavyHitterSeed keys the sketch hashing; fixed for reproducibility
+// (the sketch defends throughput, and estimates only ever overcount).
+const heavyHitterSeed = 0x4ea7_1417
+
+// NewHeavyHitter returns a flood-source identifier, or nil when cfg
+// disables the stage — callers may Observe on a nil receiver.
+func NewHeavyHitter(cfg HeavyHitterConfig) *HeavyHitter {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &HeavyHitter{
+		cfg:    cfg,
+		sketch: bloom.NewSketch(cfg.Stages, cfg.Counters, heavyHitterSeed),
+	}
+}
+
+// SetMetrics installs stage counters (nil disables). Call before the
+// owner starts feeding flows.
+func (h *HeavyHitter) SetMetrics(m *HeavyHitterMetrics) {
+	if h != nil {
+		h.metrics = m
+	}
+}
+
+// Observe counts one suspect flow from src and reports whether the
+// source is a heavy hitter. A nil receiver (stage disabled) never flags.
+func (h *HeavyHitter) Observe(src netaddr.IPv4) bool {
+	if h == nil {
+		return false
+	}
+	est := h.sketch.Observe(uint64(src))
+	h.sinceDecay++
+	if h.sinceDecay >= h.cfg.DecayEvery {
+		h.sinceDecay = 0
+		h.sketch.Decay()
+		if m := h.metrics; m != nil {
+			m.Decays.Inc()
+		}
+	}
+	heavy := est >= uint32(h.cfg.Threshold)
+	if heavy {
+		if m := h.metrics; m != nil {
+			m.Trips.Inc()
+		}
+	}
+	return heavy
+}
+
+// Estimate returns the current count estimate for src without counting
+// (monitoring and tests). Zero on a nil receiver.
+func (h *HeavyHitter) Estimate(src netaddr.IPv4) uint32 {
+	if h == nil {
+		return 0
+	}
+	return h.sketch.Estimate(uint64(src))
+}

@@ -1,0 +1,83 @@
+package scan
+
+import (
+	"testing"
+
+	"infilter/internal/netaddr"
+	"infilter/internal/telemetry"
+)
+
+func TestHeavyHitterDisabled(t *testing.T) {
+	if hh := NewHeavyHitter(HeavyHitterConfig{}); hh != nil {
+		t.Fatal("zero-value config built a HeavyHitter")
+	}
+	var hh *HeavyHitter
+	hh.SetMetrics(nil) // must not panic
+	if hh.Observe(netaddr.IPv4(1)) {
+		t.Error("nil HeavyHitter flagged a source")
+	}
+	if hh.Estimate(netaddr.IPv4(1)) != 0 {
+		t.Error("nil HeavyHitter reported a nonzero estimate")
+	}
+}
+
+func TestHeavyHitterFlagsFloodSource(t *testing.T) {
+	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 50})
+	flood := netaddr.IPv4(0x0a000001)
+	for i := 0; i < 49; i++ {
+		if hh.Observe(flood) {
+			t.Fatalf("flagged at observation %d, below threshold 50", i+1)
+		}
+	}
+	if !hh.Observe(flood) {
+		t.Fatal("not flagged at the threshold")
+	}
+	// Once heavy, stays heavy while the flood continues.
+	for i := 0; i < 10; i++ {
+		if !hh.Observe(flood) {
+			t.Fatal("flood source unflagged while still flooding")
+		}
+	}
+	// An unrelated quiet source is untouched.
+	if hh.Observe(netaddr.IPv4(0x0a000002)) {
+		t.Error("single-flow source flagged")
+	}
+}
+
+// TestHeavyHitterDecayAges: burst noise ages out — after enough decay
+// windows a stopped source falls back under the threshold.
+func TestHeavyHitterDecayAges(t *testing.T) {
+	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 40, DecayEvery: 100})
+	burst := netaddr.IPv4(0xc0a80101)
+	for i := 0; i < 60; i++ {
+		hh.Observe(burst)
+	}
+	if hh.Estimate(burst) < 40 {
+		t.Fatalf("estimate %d below threshold right after the burst", hh.Estimate(burst))
+	}
+	// Drive decay windows with other traffic; the burst source is silent.
+	other := netaddr.IPv4(0x01020304)
+	for i := 0; i < 400; i++ {
+		hh.Observe(other + netaddr.IPv4(i%32))
+	}
+	if est := hh.Estimate(burst); est >= 40 {
+		t.Errorf("estimate %d still at threshold after 4 decay windows", est)
+	}
+}
+
+func TestHeavyHitterMetrics(t *testing.T) {
+	r := telemetry.NewRegistry()
+	m := NewHeavyHitterMetrics(r)
+	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 10, DecayEvery: 64})
+	hh.SetMetrics(m)
+	src := netaddr.IPv4(7)
+	for i := 0; i < 64; i++ {
+		hh.Observe(src)
+	}
+	if got := m.Trips.Value(); got != 64-9 {
+		t.Errorf("Trips = %d, want %d (observations 10..64)", got, 64-9)
+	}
+	if got := m.Decays.Value(); got != 1 {
+		t.Errorf("Decays = %d, want 1 after exactly DecayEvery observations", got)
+	}
+}

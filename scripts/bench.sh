@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR6.json.
+# fixed settings and writes machine-readable results to BENCH_PR7.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
@@ -20,26 +20,42 @@
 # with its own, longer benchtime (E2E_BENCHTIME) because each sample
 # carries socket and pacing overhead.
 #
-# Two gates fail the script:
+# Four gates fail the script:
 #   - steady-state template-driven decode must be allocation-free
 #     (BenchmarkDecodeV5Batch / BenchmarkDecodeV9Batch: 0 allocs/op);
 #   - the batched ingest path must not regress below the per-record
 #     baseline (BenchmarkIngestE2E/batched records/sec must exceed
 #     BenchmarkIngestE2E/per-record). The speedup ratio is printed and
 #     recorded in the JSON; the PR-6 acceptance bar on the bench box
-#     is >= 3x.
+#     is >= 3x;
+#   - the EIA Bloom fast tier must stay flat as the prefix set grows:
+#     BenchmarkEIACheckBloomTier/bloom-1000x ns/op must be <= 1.2x
+#     bloom-10x. This benchmark runs BLOOM_COUNT times and the gate
+#     compares per-name minimums — the noise-robust estimator — because
+#     a 30 ns/op measurement on a shared runner swings more run-to-run
+#     than the 1.2x margin. The trie-only baseline at the same scales
+#     is recorded for contrast but not gated — it is the thing that
+#     degrades;
+#   - enabling the Bloom tier must not tax the expected-traffic path:
+#     BenchmarkIngestE2E/batched-bloom records/sec must be >= 0.95x
+#     BenchmarkIngestE2E/batched. Like the flatness gate, the ingest
+#     benchmark runs E2E_COUNT times and the gates compare per-name
+#     maximum records/sec, since socket-path noise between sub-
+#     benchmarks of a single run exceeds the 5% margin.
 #
-# CI uploads BENCH_PR6.json as a non-blocking artifact so reviewers can
+# CI uploads BENCH_*.json as a non-blocking artifact so reviewers can
 # diff ns/op, allocs/op and records/sec across PRs without the job
 # gating merges.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR6.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR7.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
+BLOOM_COUNT="${BLOOM_COUNT:-5}"
+E2E_COUNT="${E2E_COUNT:-3}"
 
 PATTERN='^(BenchmarkParallelPipeline|BenchmarkLatencyBasic|BenchmarkLatencyEnhanced|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkEIACheckBatch.*|BenchmarkNetFlowCodec|BenchmarkDecodeV5Batch|BenchmarkDecodeV9Batch|BenchmarkDecodeIPFIXBatch|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
 
@@ -48,9 +64,32 @@ RAW=$(go test -run='^$' -bench="$PATTERN" -benchmem \
 	-benchtime="$BENCHTIME" -count="$COUNT" . ./internal/netflow ./internal/telemetry)
 echo "$RAW"
 
-echo "==> go test -bench BenchmarkIngestE2E (benchtime=${E2E_BENCHTIME})"
-E2ERAW=$(go test -run='^$' -bench='^BenchmarkIngestE2E$' -benchtime="$E2E_BENCHTIME" .)
-echo "$E2ERAW"
+echo "==> go test -bench BenchmarkEIACheckBloomTier (benchtime=${BENCHTIME} count=${BLOOM_COUNT})"
+BLOOMALL=$(go test -run='^$' -bench='^BenchmarkEIACheckBloomTier$' -benchmem \
+	-benchtime="$BENCHTIME" -count="$BLOOM_COUNT" .)
+echo "$BLOOMALL"
+# Reduce to the per-name minimum ns/op; the gate and the JSON both use
+# the reduced rows.
+BLOOMRAW=$(echo "$BLOOMALL" | awk '
+/^BenchmarkEIACheckBloomTier\// {
+	if (!($1 in min) || $3 + 0 < min[$1]) { min[$1] = $3 + 0; line[$1] = $0 }
+	order[$1] = NR
+}
+END { for (k in line) print order[k], line[k] }' | sort -n | cut -d" " -f2-)
+
+echo "==> go test -bench BenchmarkIngestE2E (benchtime=${E2E_BENCHTIME} count=${E2E_COUNT})"
+E2EALL=$(go test -run='^$' -bench='^BenchmarkIngestE2E$' \
+	-benchtime="$E2E_BENCHTIME" -count="$E2E_COUNT" .)
+echo "$E2EALL"
+# Reduce to the per-name maximum records/sec (best-observed throughput).
+E2ERAW=$(echo "$E2EALL" | awk '
+/^BenchmarkIngestE2E\// {
+	rps = 0
+	for (i = 2; i <= NF; i++) if ($i == "records/sec") rps = $(i - 1) + 0
+	if (!($1 in max) || rps > max[$1]) { max[$1] = rps; line[$1] = $0 }
+	order[$1] = NR
+}
+END { for (k in line) print order[k], line[k] }' | sort -n | cut -d" " -f2-)
 
 echo "$RAW" | awk '
 /^BenchmarkDecode(V5|V9)Batch/ {
@@ -68,28 +107,58 @@ END {
 	if (bad) exit 1
 }'
 
+echo "$BLOOMRAW" | awk '
+/^BenchmarkEIACheckBloomTier\// {
+	ns = 0
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (index($1, "/bloom-10x") > 0)   b10 = ns
+	if (index($1, "/bloom-1000x") > 0) b1000 = ns
+	if (index($1, "/trie-10x") > 0)    t10 = ns
+	if (index($1, "/trie-1000x") > 0)  t1000 = ns
+}
+END {
+	if (b10 == 0 || b1000 == 0) {
+		print "error: BenchmarkEIACheckBloomTier bloom-10x/bloom-1000x results missing" > "/dev/stderr"
+		exit 1
+	}
+	printf "==> eia bloom tier (min of runs): trie %.1f -> %.1f ns/op, bloom %.1f -> %.1f ns/op (%.2fx at 1000x set size)\n",
+		t10, t1000, b10, b1000, b1000 / b10
+	if (b1000 > 1.2 * b10) {
+		printf "error: bloom fast tier is not flat: %.1f ns/op at 1000x vs %.1f ns/op at 10x (> 1.2x)\n",
+			b1000, b10 > "/dev/stderr"
+		exit 1
+	}
+}'
+
 echo "$E2ERAW" | awk '
 /^BenchmarkIngestE2E\// {
 	rps = 0
 	for (i = 2; i <= NF; i++) if ($i == "records/sec") rps = $(i - 1)
-	if (index($1, "/per-record") > 0) base = rps
-	if (index($1, "/batched") > 0)    batched = rps
+	if (index($1, "/per-record") > 0)        base = rps
+	else if (index($1, "/batched-bloom") > 0) bloom = rps
+	else if (index($1, "/batched") > 0)       batched = rps
 }
 END {
-	if (base == 0 || batched == 0) {
-		print "error: BenchmarkIngestE2E per-record/batched results missing" > "/dev/stderr"
+	if (base == 0 || batched == 0 || bloom == 0) {
+		print "error: BenchmarkIngestE2E per-record/batched/batched-bloom results missing" > "/dev/stderr"
 		exit 1
 	}
 	ratio = batched / base
-	printf "==> ingest e2e: per-record %.0f rec/s, batched %.0f rec/s (%.2fx)\n", base, batched, ratio
+	printf "==> ingest e2e: per-record %.0f rec/s, batched %.0f rec/s (%.2fx), batched-bloom %.0f rec/s (%.2fx of batched)\n",
+		base, batched, ratio, bloom, bloom / batched
 	if (batched <= base) {
 		printf "error: batched ingest (%.0f rec/s) regressed below the per-record baseline (%.0f rec/s)\n",
 			batched, base > "/dev/stderr"
 		exit 1
 	}
+	if (bloom < 0.95 * batched) {
+		printf "error: bloom-tier batched ingest (%.0f rec/s) fell below 0.95x the exact batched baseline (%.0f rec/s)\n",
+			bloom, batched > "/dev/stderr"
+		exit 1
+	}
 }'
 
-{ echo "$RAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
+{ echo "$RAW"; echo "$BLOOMRAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
 	-v benchtime="$BENCHTIME" -v count="$COUNT" '
 BEGIN {
 	printf "{\n  \"schema\": \"infilter-bench/2\",\n"

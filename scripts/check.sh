@@ -21,6 +21,15 @@ FUZZTIME="${1:-5s}"
 echo "==> go vet ./..."
 go vet ./...
 
+# CI pins staticcheck in its lint job; locally it gates only when the
+# binary is already on PATH, because the dev container has no network.
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck ./..."
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (CI lint job runs it)"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
