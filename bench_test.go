@@ -387,12 +387,12 @@ func BenchmarkAblationScanBuffer(b *testing.B) {
 		b.Run(itoa(size), func(b *testing.B) {
 			a := scan.New(scan.Config{BufferSize: size})
 			rec := flow.Record{
-				Key:     flow.Key{Dst: netaddr.MustParseIPv4("192.0.2.1"), DstPort: 1434, Proto: flow.ProtoUDP},
+				Key:     flow.Key{Dst: netaddr.MustParseAddr("192.0.2.1"), DstPort: 1434, Proto: flow.ProtoUDP},
 				Packets: 1,
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rec.Key.Dst = netaddr.IPv4(0xc0000200 + uint32(i%250))
+				rec.Key.Dst = netaddr.IPv4(0xc0000200 + uint32(i%250)).Addr()
 				a.Add(rec)
 			}
 		})
@@ -427,7 +427,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 	} {
 		apkts, err := trace.Generate(at, trace.AttackConfig{
 			Seed: int64(40 + i), Start: start.Add(time.Hour),
-			Src: netaddr.MustParseIPv4("70.1.1.1"), DstPrefix: target,
+			Src: netaddr.MustParseAddr("70.1.1.1"), DstPrefix: target,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -606,26 +606,38 @@ func BenchmarkParallelPipeline(b *testing.B) {
 
 // --- Tentpole: end-to-end batched ingest throughput ---
 
-// ingestBenchWorkload builds a trained BI engine plus pre-encoded v5
+// ingestBenchWorkload builds a trained BI engine plus pre-encoded export
 // datagrams of legal traffic: replay sources equal training sources, so
 // every record takes the cheapest (Match) path and the measurement
 // isolates per-record ingest overhead — syscalls, decode, handoff — not
 // analysis cost. eiaCfg selects the EIA configuration (the bloom-tier
 // sub-benchmark enables the probabilistic fast tier; everything else
-// runs exact-only).
-func ingestBenchWorkload(b *testing.B, eiaCfg eia.Config) (*analysis.ParallelEngine, [][]byte) {
+// runs exact-only). fam selects the stream's address families: "v4"
+// encodes over NetFlow v5 (the pre-dual-stack wire format, unchanged so
+// the gated baselines stay comparable), "v6" and "mixed" encode over
+// IPFIX with per-family templates, mixed alternating the family every
+// datagram. The returned setup datagrams (IPFIX templates) must be sent
+// once before the timed replay; every returned data datagram carries
+// exactly netflow.MaxRecords records.
+func ingestBenchWorkload(b *testing.B, eiaCfg eia.Config, fam string) (*analysis.ParallelEngine, [][]byte, [][]byte) {
 	b.Helper()
 	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	v6pfx := netaddr.MustParsePrefix("2001:db8:1000::/48")
 	recs := make([]flow.Record, 600)
 	labeled := make([]analysis.LabeledRecord, len(recs))
 	for i := range recs {
+		key := flow.Key{
+			// 61.0.0.0/11 spread: the training prefix of the testbed.
+			Src: (netaddr.MustParseIPv4("61.0.0.0") + netaddr.IPv4(uint32(i)<<8|1)).Addr(),
+			Dst: netaddr.MustParseAddr("192.0.2.1"), Proto: flow.ProtoTCP,
+			SrcPort: uint16(1024 + i), DstPort: 80,
+		}
+		if fam == "v6" || (fam == "mixed" && (i/netflow.MaxRecords)%2 == 1) {
+			key.Src = v6pfx.Nth(uint64(i)<<8 | 1)
+			key.Dst = netaddr.MustParseAddr("2001:db8::1")
+		}
 		recs[i] = flow.Record{
-			Key: flow.Key{
-				// 61.0.0.0/11 spread: the training prefix of the testbed.
-				Src: netaddr.MustParseIPv4("61.0.0.0") + netaddr.IPv4(uint32(i)<<8|1),
-				Dst: netaddr.MustParseIPv4("192.0.2.1"), Proto: flow.ProtoTCP,
-				SrcPort: uint16(1024 + i), DstPort: 80,
-			},
+			Key:     key,
 			Packets: 10, Bytes: 4000,
 			Start: start, End: start.Add(time.Second),
 		}
@@ -639,17 +651,27 @@ func ingestBenchWorkload(b *testing.B, eiaCfg eia.Config) (*analysis.ParallelEng
 		b.Fatal(err)
 	}
 	boot := start.Add(-time.Hour)
-	var raws [][]byte
+	var setup, raws [][]byte
+	var enc netflow.WireEncoder
+	if fam == "v4" {
+		enc = netflow.NewV5Encoder(boot, 1)
+	} else {
+		enc = netflow.NewIPFIXEncoder(1)
+	}
 	for i := 0; i < len(recs); i += netflow.MaxRecords {
 		end := i + netflow.MaxRecords
 		if end > len(recs) {
 			end = len(recs)
 		}
-		for _, dg := range netflow.NewV5Encoder(boot, 1).Encode(recs[i:end], start) {
-			raws = append(raws, dg.Raw)
+		for _, dg := range enc.Encode(recs[i:end], start) {
+			if dg.Flows == 0 {
+				setup = append(setup, dg.Raw) // template datagram
+			} else {
+				raws = append(raws, dg.Raw)
+			}
 		}
 	}
-	return engine, raws
+	return engine, raws, setup
 }
 
 // benchIngestE2E replays UDP export datagrams through a live collector
@@ -658,8 +680,8 @@ func ingestBenchWorkload(b *testing.B, eiaCfg eia.Config) (*analysis.ParallelEng
 // socket buffer never overflows (no drops, so the drain barrier below
 // terminates); the pacing window stays under the ~200 KiB default
 // SO_RCVBUF the classic collector runs with.
-func benchIngestE2E(b *testing.B, eiaCfg eia.Config, newIngest func(*analysis.ParallelEngine) ingestPath) {
-	engine, raws := ingestBenchWorkload(b, eiaCfg)
+func benchIngestE2E(b *testing.B, eiaCfg eia.Config, fam string, newIngest func(*analysis.ParallelEngine) ingestPath) {
+	engine, raws, setup := ingestBenchWorkload(b, eiaCfg, fam)
 	defer engine.Close()
 	path := newIngest(engine)
 	defer path.close()
@@ -672,6 +694,12 @@ func benchIngestE2E(b *testing.B, eiaCfg eia.Config, newIngest func(*analysis.Pa
 		b.Fatal(err)
 	}
 	defer conn.Close()
+	// Announce the IPFIX templates (if any) once, outside the timed loop.
+	for _, raw := range setup {
+		if _, err := conn.Write(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
 	sender, err := newBurstSender(conn.(*net.UDPConn))
 	if err != nil {
 		b.Fatal(err)
@@ -732,7 +760,10 @@ type ingestPath struct {
 // fast tier enabled — the all-Match workload is the tier's worst case
 // (every check probes the filters and still walks the trie), so
 // batched-bloom ≈ batched proves enabling the tier costs the expected
-// path nothing material. The records/sec ratios are gated by
+// path nothing material. batched-v6 and batched-mixed replay the same
+// workload as IPFIX streams of 16-byte-address records (all-v6, and
+// alternating family per datagram), covering the dual-stack decode and
+// check path end to end. The records/sec ratios are gated by
 // scripts/bench.sh.
 func BenchmarkIngestE2E(b *testing.B) {
 	batchedIngest := func(engine *analysis.ParallelEngine) ingestPath {
@@ -748,7 +779,7 @@ func BenchmarkIngestE2E(b *testing.B) {
 		}
 	}
 	b.Run("per-record", func(b *testing.B) {
-		benchIngestE2E(b, eia.Config{}, func(engine *analysis.ParallelEngine) ingestPath {
+		benchIngestE2E(b, eia.Config{}, "v4", func(engine *analysis.ParallelEngine) ingestPath {
 			c := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
 				for _, r := range recs {
 					engine.Submit(1, r)
@@ -762,10 +793,16 @@ func BenchmarkIngestE2E(b *testing.B) {
 		})
 	})
 	b.Run("batched", func(b *testing.B) {
-		benchIngestE2E(b, eia.Config{}, batchedIngest)
+		benchIngestE2E(b, eia.Config{}, "v4", batchedIngest)
 	})
 	b.Run("batched-bloom", func(b *testing.B) {
-		benchIngestE2E(b, eia.Config{BloomBitsPerEntry: 10}, batchedIngest)
+		benchIngestE2E(b, eia.Config{BloomBitsPerEntry: 10}, "v4", batchedIngest)
+	})
+	b.Run("batched-v6", func(b *testing.B) {
+		benchIngestE2E(b, eia.Config{}, "v6", batchedIngest)
+	})
+	b.Run("batched-mixed", func(b *testing.B) {
+		benchIngestE2E(b, eia.Config{}, "mixed", batchedIngest)
 	})
 }
 
@@ -786,7 +823,7 @@ func BenchmarkEIACheck(b *testing.B) {
 	src := netaddr.MustParseIPv4("61.40.1.7")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		set.Check(eia.PeerAS(i%10+1), src+netaddr.IPv4(i%1024))
+		set.Check(eia.PeerAS(i%10+1), (src + netaddr.IPv4(i%1024)).Addr())
 	}
 }
 
@@ -815,7 +852,7 @@ type rwmutexEIA struct {
 	set *eia.Set
 }
 
-func (s *rwmutexEIA) Check(peer eia.PeerAS, src netaddr.IPv4) eia.Verdict {
+func (s *rwmutexEIA) Check(peer eia.PeerAS, src netaddr.Addr) eia.Verdict {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.set.Check(peer, src)
@@ -828,7 +865,7 @@ func (s *rwmutexEIA) Check(peer eia.PeerAS, src netaddr.IPv4) eia.Verdict {
 // atomic pointer load keeps per-check cost flat.
 func BenchmarkEIACheckParallel(b *testing.B) {
 	src := netaddr.MustParseIPv4("61.40.1.7")
-	run := func(b *testing.B, readers int, check func(eia.PeerAS, netaddr.IPv4) eia.Verdict) {
+	run := func(b *testing.B, readers int, check func(eia.PeerAS, netaddr.Addr) eia.Verdict) {
 		b.ResetTimer()
 		var wg sync.WaitGroup
 		for w := 0; w < readers; w++ {
@@ -840,7 +877,7 @@ func BenchmarkEIACheckParallel(b *testing.B) {
 			go func(n int) {
 				defer wg.Done()
 				for i := 0; i < n; i++ {
-					check(eia.PeerAS(i%10+1), src+netaddr.IPv4(i%1024))
+					check(eia.PeerAS(i%10+1), (src + netaddr.IPv4(i%1024)).Addr())
 				}
 			}(n)
 		}
@@ -865,12 +902,12 @@ func BenchmarkEIACheckParallel(b *testing.B) {
 func BenchmarkEIACheckBatch(b *testing.B) {
 	const n = 256
 	peers := make([]eia.PeerAS, n)
-	srcs := make([]netaddr.IPv4, n)
+	srcs := make([]netaddr.Addr, n)
 	verdicts := make([]eia.Verdict, n)
 	src := netaddr.MustParseIPv4("61.40.1.7")
 	for i := range peers {
 		peers[i] = eia.PeerAS(i%10 + 1)
-		srcs[i] = src + netaddr.IPv4(i%1024)
+		srcs[i] = (src + netaddr.IPv4(i%1024)).Addr()
 	}
 	b.Run("per-record", func(b *testing.B) {
 		store := eia.NewStore(benchEIASet(b))
@@ -897,18 +934,86 @@ func BenchmarkEIACheckBatch(b *testing.B) {
 // forces the exact path through a full-depth trie walk (the expensive
 // miss, not an early divergence) while the Bloom fast tier answers the
 // same probe from one filter block per length class.
-func benchBloomWorkload(b *testing.B, n int, cfg eia.Config) (*eia.Store, []netaddr.IPv4) {
+func benchBloomWorkload(b *testing.B, n int, cfg eia.Config) (*eia.Store, []netaddr.Addr) {
 	b.Helper()
 	const probeCount = 4096
 	set := eia.NewSet(cfg)
-	srcs := make([]netaddr.IPv4, 0, probeCount)
+	srcs := make([]netaddr.Addr, 0, probeCount)
 	rng := uint64(0x9e3779b97f4a7c15)
 	for i := 0; i < n; i++ {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		subnet := uint32(rng>>42) << 1 // even /24 subnet under 0.0.0.0/1
-		set.AddPrefix(eia.PeerAS(i%16+1), netaddr.MustPrefix(netaddr.IPv4(subnet)<<8, 24))
+		set.AddPrefix(eia.PeerAS(i%16+1), netaddr.PrefixFrom4(netaddr.IPv4(subnet)<<8, 24))
 		if len(srcs) < cap(srcs) {
-			srcs = append(srcs, netaddr.IPv4(subnet|1)<<8|netaddr.IPv4(i)&0xff)
+			srcs = append(srcs, (netaddr.IPv4(subnet|1)<<8 | netaddr.IPv4(i)&0xff).Addr())
+		}
+	}
+	return eia.NewStore(set), srcs
+}
+
+// benchV6Subnet48 builds the 2001:SSSS:SSSS::/48 prefix for a 32-bit
+// subnet id — the v6 analog of the even-/24 trick above, with the id
+// occupying bits 16..48 so sibling subnets share 47 leading bits.
+func benchV6Subnet48(sub uint32) netaddr.Prefix {
+	var a [16]byte
+	a[0], a[1] = 0x20, 0x01
+	a[2], a[3], a[4], a[5] = byte(sub>>24), byte(sub>>16), byte(sub>>8), byte(sub)
+	return netaddr.MustPrefix(netaddr.AddrFrom16(a), 48)
+}
+
+// benchV6Probe returns a host address inside the (absent) odd sibling of
+// a trained even /48.
+func benchV6Probe(sub uint32, host uint64) netaddr.Addr {
+	var a [16]byte
+	a[0], a[1] = 0x20, 0x01
+	a[2], a[3], a[4], a[5] = byte(sub>>24), byte(sub>>16), byte(sub>>8), byte(sub)
+	a[14], a[15] = byte(host>>8), byte(host)
+	return netaddr.AddrFrom16(a)
+}
+
+// benchBloomWorkload6 is benchBloomWorkload over IPv6: n pseudo-random
+// even /48s across 16 peers, probes in the odd sibling /48s so the exact
+// path walks 47 shared bits before diverging.
+func benchBloomWorkload6(b *testing.B, n int, cfg eia.Config) (*eia.Store, []netaddr.Addr) {
+	b.Helper()
+	const probeCount = 4096
+	set := eia.NewSet(cfg)
+	srcs := make([]netaddr.Addr, 0, probeCount)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		sub := uint32(rng>>40) << 1 // even /48 id
+		set.AddPrefix(eia.PeerAS(i%16+1), benchV6Subnet48(sub))
+		if len(srcs) < cap(srcs) {
+			srcs = append(srcs, benchV6Probe(sub|1, uint64(i)))
+		}
+	}
+	return eia.NewStore(set), srcs
+}
+
+// benchBloomWorkloadMixed splits the set between the families and
+// alternates probe families record by record, the dual-stack worst case
+// for the per-family filter banks.
+func benchBloomWorkloadMixed(b *testing.B, n int, cfg eia.Config) (*eia.Store, []netaddr.Addr) {
+	b.Helper()
+	const probeCount = 4096
+	set := eia.NewSet(cfg)
+	srcs := make([]netaddr.Addr, 0, probeCount)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		if i%2 == 0 {
+			subnet := uint32(rng>>42) << 1
+			set.AddPrefix(eia.PeerAS(i%16+1), netaddr.PrefixFrom4(netaddr.IPv4(subnet)<<8, 24))
+			if len(srcs) < cap(srcs) {
+				srcs = append(srcs, (netaddr.IPv4(subnet|1)<<8 | netaddr.IPv4(i)&0xff).Addr())
+			}
+		} else {
+			sub := uint32(rng>>40) << 1
+			set.AddPrefix(eia.PeerAS(i%16+1), benchV6Subnet48(sub))
+			if len(srcs) < cap(srcs) {
+				srcs = append(srcs, benchV6Probe(sub|1, uint64(i)))
+			}
 		}
 	}
 	return eia.NewStore(set), srcs
@@ -916,29 +1021,42 @@ func benchBloomWorkload(b *testing.B, n int, cfg eia.Config) (*eia.Store, []neta
 
 // BenchmarkEIACheckBloomTier measures the spoofed-flood hot case — every
 // probed source absent from the EIA trie — at 10x and 1000x set scale,
-// exact-only (trie) versus the Bloom fast tier (bloom). The trie walk
-// chases ~24 dependent pointers through a structure whose footprint
-// grows with the set; the blocked Bloom probe touches one cache line per
-// filter per length class regardless of scale. scripts/bench.sh gates
+// exact-only (trie) versus the Bloom fast tier (bloom), for a v4 set
+// (the original names), a v6 set (-v6-) and a half-and-half set probed
+// with alternating families (-mixed-). The trie walk chases dependent
+// pointers through a structure whose footprint grows with the set; the
+// blocked Bloom probe touches one cache line per filter per length
+// class regardless of scale or family width. scripts/bench.sh gates
 // bloom-1000x <= 1.2x bloom-10x while the trie baseline is left to
-// degrade.
+// degrade, and gates the v4 per-check cost against the pre-dual-stack
+// baseline so the 128-bit key can't silently tax the v4 hot path.
 func BenchmarkEIACheckBloomTier(b *testing.B) {
 	const base = 1000 // prefixes at 1x
+	workloads := []struct {
+		name  string
+		build func(*testing.B, int, eia.Config) (*eia.Store, []netaddr.Addr)
+	}{
+		{"", benchBloomWorkload},
+		{"v6-", benchBloomWorkload6},
+		{"mixed-", benchBloomWorkloadMixed},
+	}
 	for _, scale := range []int{10, 1000} {
-		for _, tier := range []struct {
-			name string
-			cfg  eia.Config
-		}{
-			{"trie", eia.Config{}},
-			{"bloom", eia.Config{BloomBitsPerEntry: 10}},
-		} {
-			b.Run(tier.name+"-"+itoa(scale)+"x", func(b *testing.B) {
-				store, srcs := benchBloomWorkload(b, base*scale, tier.cfg)
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					store.Check(eia.PeerAS(i%16+1), srcs[i%len(srcs)])
-				}
-			})
+		for _, w := range workloads {
+			for _, tier := range []struct {
+				name string
+				cfg  eia.Config
+			}{
+				{"trie", eia.Config{}},
+				{"bloom", eia.Config{BloomBitsPerEntry: 10}},
+			} {
+				b.Run(tier.name+"-"+w.name+itoa(scale)+"x", func(b *testing.B) {
+					store, srcs := w.build(b, base*scale, tier.cfg)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						store.Check(eia.PeerAS(i%16+1), srcs[i%len(srcs)])
+					}
+				})
+			}
 		}
 	}
 }
@@ -951,7 +1069,7 @@ func BenchmarkNetFlowCodec(b *testing.B) {
 	for i := 0; i < netflow.MaxRecords; i++ {
 		recs = append(recs, flow.Record{
 			Key: flow.Key{
-				Src: netaddr.IPv4(uint32(i)), Dst: 0xc0000201,
+				Src: netaddr.IPv4(uint32(i)).Addr(), Dst: netaddr.IPv4(0xc0000201).Addr(),
 				Proto: flow.ProtoTCP, DstPort: 80,
 			},
 			Packets: 10, Bytes: 4000,

@@ -128,7 +128,7 @@ func buildTrace(generate int, attack, traceFile, srcBlocks string, seed int64) (
 		return trace.Generate(at, trace.AttackConfig{
 			Seed:      seed,
 			Start:     start,
-			Src:       netaddr.MustParseIPv4("198.51.100.1"),
+			Src:       netaddr.MustParseAddr("198.51.100.1"),
 			DstPrefix: netaddr.MustParsePrefix("192.0.2.0/24"),
 		})
 	case generate > 0:

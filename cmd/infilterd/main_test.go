@@ -28,8 +28,8 @@ func testRec(src string, packets, bytes uint32, proto uint8, dstPort uint16) flo
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	return flow.Record{
 		Key: flow.Key{
-			Src:   netaddr.MustParseIPv4(src),
-			Dst:   netaddr.MustParseIPv4("192.0.2.1"),
+			Src:   netaddr.MustParseAddr(src),
+			Dst:   netaddr.MustParseAddr("192.0.2.1"),
 			Proto: proto, DstPort: dstPort,
 		},
 		Packets: packets, Bytes: bytes,
@@ -89,10 +89,10 @@ func TestLoadEIAFile(t *testing.T) {
 	if set.Len() != 3 {
 		t.Errorf("loaded %d prefixes", set.Len())
 	}
-	if got := set.Check(1, netaddr.MustParseIPv4("61.1.1.1")); got != eia.Match {
+	if got := set.Check(1, netaddr.MustParseAddr("61.1.1.1")); got != eia.Match {
 		t.Errorf("check = %v", got)
 	}
-	if got := set.Check(1, netaddr.MustParseIPv4("70.1.1.1")); got != eia.WrongPeer {
+	if got := set.Check(1, netaddr.MustParseAddr("70.1.1.1")); got != eia.WrongPeer {
 		t.Errorf("check = %v", got)
 	}
 }
@@ -686,6 +686,71 @@ func TestWarmRestartLoadsDetector(t *testing.T) {
 
 	_, cancel, done = startDaemon(t, append([]string{"-train-flows", "0"}, base...))
 	stopDaemon(t, cancel, done)
+}
+
+// TestWarmRestartFromV1GoldenCheckpoint seeds the state dir with a
+// committed pre-dual-stack (v1) EIA checkpoint — the exact bytes an
+// older daemon wrote — and starts WITHOUT -eia-file. The daemon must
+// restore its verdict state from the legacy file (legal sources silent,
+// spoofed sources alerting), and the shutdown flush must rewrite the
+// file in the v2 family-tagged format: upgrade-on-write.
+func TestWarmRestartFromV1GoldenCheckpoint(t *testing.T) {
+	var alerts atomic.Int64
+	consumer := idmef.NewConsumer(func(idmef.Alert) { alerts.Add(1) })
+	alertPort, err := consumer.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	stateDir := t.TempDir()
+	golden, err := os.ReadFile(filepath.Join("testdata", "eia_v1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stateDir, "eia.ckpt"), golden, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ports, cancel, done := startDaemon(t, []string{
+		"-ports", "0", "-mode", "BI",
+		"-alert", fmt.Sprintf("127.0.0.1:%d", alertPort),
+		"-state-dir", stateDir, "-checkpoint-interval", "1h",
+		"-stats", "1h", "-workers", "2", "-queue-depth", "64",
+	})
+	const perDatagram = 10
+	var legalRecs, spoofRecs []flow.Record
+	for j := 0; j < perDatagram; j++ {
+		legalRecs = append(legalRecs, testRec(fmt.Sprintf("61.0.9.%d", j+1), 9, 4040, flow.ProtoTCP, 80))
+		spoofRecs = append(spoofRecs, testRec(fmt.Sprintf("99.1.0.%d", j+1), 1, 404, flow.ProtoUDP, 1434))
+	}
+	sendRaw(t, ports[0], v5Raw(t, legalRecs))
+	sendRaw(t, ports[0], v5Raw(t, spoofRecs))
+	deadline := time.Now().Add(10 * time.Second)
+	for alerts.Load() < perDatagram {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d alerts, want %d", alerts.Load(), perDatagram)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stopDaemon(t, cancel, done)
+	time.Sleep(200 * time.Millisecond)
+	if n := alerts.Load(); n != perDatagram {
+		t.Errorf("got %d alerts, want %d (legal flows must stay silent off the v1 state)", n, perDatagram)
+	}
+
+	upgraded, err := os.ReadFile(filepath.Join(stateDir, "eia.ckpt"))
+	if err != nil {
+		t.Fatalf("shutdown flush left no EIA checkpoint: %v", err)
+	}
+	if !strings.HasPrefix(string(upgraded), "# infilter-eia-checkpoint v2\n") {
+		t.Errorf("checkpoint not upgraded to v2:\n%s", upgraded)
+	}
+	for _, row := range []string{"1 4 61.0.0.0/11", "2 4 70.0.0.0/11"} {
+		if !strings.Contains(string(upgraded), row+"\n") {
+			t.Errorf("upgraded checkpoint missing row %q:\n%s", row, upgraded)
+		}
+	}
 }
 
 // TestRunRejectsBadFlags covers the pre-listen validation paths.

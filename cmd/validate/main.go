@@ -151,7 +151,7 @@ func runDump(path, targetIP string) error {
 	if err != nil {
 		return err
 	}
-	ip, err := netaddr.ParseIPv4(targetIP)
+	ip, err := netaddr.ParseAddr(targetIP)
 	if err != nil {
 		return err
 	}

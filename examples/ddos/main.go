@@ -80,7 +80,7 @@ func run() error {
 	// peer AS 1's border router (Dagflow does the spoofing).
 	flood, err := trace.Generate(trace.AttackTFN2K, trace.AttackConfig{
 		Seed: 9, Start: start.Add(time.Hour),
-		Src:       netaddr.MustParseIPv4("203.0.113.99"),
+		Src:       netaddr.MustParseAddr("203.0.113.99"),
 		DstPrefix: target, Scale: 2,
 	})
 	if err != nil {

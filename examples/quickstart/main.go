@@ -58,7 +58,7 @@ func run() error {
 
 	// 3. A benign flow from a subnet peer 1's training traffic used,
 	// arriving at peer 1 as expected.
-	var knownSrc netaddr.IPv4
+	var knownSrc netaddr.Addr
 	for _, lr := range labeled {
 		if lr.Peer == 1 {
 			knownSrc = lr.Record.Key.Src
@@ -79,7 +79,7 @@ func run() error {
 	// 4. A Slammer burst spoofed from peer 2's space, entering at peer 1.
 	pkts, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
 		Seed: 7, Start: start.Add(2 * time.Hour),
-		Src:       netaddr.MustParseIPv4("70.9.9.9"),
+		Src:       netaddr.MustParseAddr("70.9.9.9"),
 		DstPrefix: target,
 	})
 	if err != nil {

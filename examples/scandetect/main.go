@@ -58,7 +58,7 @@ func run() error {
 			Seed:  int64(10 + i),
 			Start: start.Add(time.Duration(i+1) * time.Hour),
 			// Spoofed source outside every EIA set.
-			Src:       netaddr.MustParseIPv4("198.51.100.77"),
+			Src:       netaddr.MustParseAddr("198.51.100.77"),
 			DstPrefix: target,
 		})
 		if err != nil {

@@ -71,7 +71,7 @@ func run() error {
 	for i, sc := range scenarios {
 		pkts, err := trace.Generate(sc.at, trace.AttackConfig{
 			Seed: int64(20 + i), Start: clock.Add(time.Duration(i) * time.Minute),
-			Src: netaddr.MustParseIPv4(sc.src), DstPrefix: target,
+			Src: netaddr.MustParseAddr(sc.src), DstPrefix: target,
 		})
 		if err != nil {
 			return err

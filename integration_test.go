@@ -125,7 +125,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	// Attack replay: slammer spoofed from peer 2's space entering router 1.
 	attack, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
 		Seed: 9, Start: start.Add(2 * time.Hour),
-		Src:       netaddr.MustParseIPv4("203.0.113.5"),
+		Src:       netaddr.MustParseAddr("203.0.113.5"),
 		DstPrefix: target,
 	})
 	if err != nil {
@@ -194,7 +194,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	for _, a := range alerts {
 		// The attack's signature: a peer-2 source observed at peer 1.
 		if a.Assessment.PeerAS == 1 &&
-			peerBlocks[2].Contains(netaddr.MustParseIPv4(a.Source.Address)) {
+			peerBlocks[2].Contains(netaddr.MustParseAddr(a.Source.Address)) {
 			spoofedAlerts++
 		}
 	}

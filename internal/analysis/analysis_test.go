@@ -44,7 +44,7 @@ func attackFlowRecords(t *testing.T, at trace.AttackType, seed int64, src string
 	pkts, err := trace.Generate(at, trace.AttackConfig{
 		Seed:      seed,
 		Start:     start.Add(time.Hour),
-		Src:       netaddr.MustParseIPv4(src),
+		Src:       netaddr.MustParseAddr(src),
 		DstPrefix: targetPfx,
 	})
 	if err != nil {
@@ -206,7 +206,7 @@ func TestPromotionAdaptsEIA(t *testing.T) {
 		t.Error("promotion counter zero")
 	}
 	// After promotion the subnet matches at peer 1.
-	if got := eng.EIASet().Check(1, netaddr.MustParseIPv4("70.4.4.77")); got != eia.Match {
+	if got := eng.EIASet().Check(1, netaddr.MustParseAddr("70.4.4.77")); got != eia.Match {
 		t.Errorf("post-promotion Check = %v", got)
 	}
 }

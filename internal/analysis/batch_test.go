@@ -246,7 +246,7 @@ func TestBatchFanOutPartition(t *testing.T) {
 			batch[i] = LabeledRecord{
 				Peer: eia.PeerAS(rng.Intn(12)),
 				Record: flow.Record{Key: flow.Key{
-					Src:     netaddr.IPv4(rng.Uint32()),
+					Src:     netaddr.IPv4(rng.Uint32()).Addr(),
 					SrcPort: uint16(i),
 				}},
 			}
@@ -293,7 +293,7 @@ func TestParallelEngineBatchWorkerLeak(t *testing.T) {
 	set.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
 	recs := make([]flow.Record, 32)
 	for i := range recs {
-		recs[i] = flow.Record{Key: flow.Key{Src: netaddr.MustParseIPv4("99.1.1.1")}}
+		recs[i] = flow.Record{Key: flow.Key{Src: netaddr.MustParseAddr("99.1.1.1")}}
 	}
 	labeled := make([]LabeledRecord, 32)
 	for i := range labeled {

@@ -59,7 +59,7 @@ type shard struct {
 	// and, on the serial engine, the staging slice ProcessBatch fills.
 	items    []shardItem
 	peers    []eia.PeerAS
-	srcs     []netaddr.IPv4
+	srcs     []netaddr.Addr
 	verdicts []eia.Verdict
 
 	mu    sync.Mutex
@@ -156,7 +156,7 @@ func (c *core) processBatch(s *shard, items []shardItem) {
 	}
 	if cap(s.peers) < n {
 		s.peers = make([]eia.PeerAS, n)
-		s.srcs = make([]netaddr.IPv4, n)
+		s.srcs = make([]netaddr.Addr, n)
 		s.verdicts = make([]eia.Verdict, n)
 	}
 	peers, srcs, verdicts := s.peers[:n], s.srcs[:n], s.verdicts[:n]
@@ -176,17 +176,13 @@ func (c *core) processBatch(s *shard, items []shardItem) {
 	}
 
 	batch := Stats{ByStage: make(map[idmef.Stage]int)}
-	var hits, misses int64
+	var tally verdictTally
 	for i := range items {
 		if m != nil {
 			m.flows.Inc()
 			m.observeStage(stageEIA, eiaShare)
 		}
-		if verdicts[i] == eia.Match {
-			hits++
-		} else {
-			misses++
-		}
+		tally.add(srcs[i], verdicts[i])
 		// No per-record Decision.Latency on the batch path: the decision is
 		// not returned to any caller here, and stage telemetry already gets
 		// its per-flow observations (amortized for EIA, direct for scan/NNS
@@ -201,7 +197,7 @@ func (c *core) processBatch(s *shard, items []shardItem) {
 			c.store.CheckBatch(peers[i+1:], srcs[i+1:], verdicts[i+1:])
 		}
 	}
-	c.store.AddVerdictCounts(hits, misses)
+	tally.settle(c.store)
 	s.mu.Lock()
 	s.stats.merge(batch)
 	s.mu.Unlock()
@@ -220,7 +216,7 @@ func (c *core) processPeerBatch(s *shard, peer eia.PeerAS, recs []flow.Record) {
 	}
 	if cap(s.srcs) < n {
 		s.peers = make([]eia.PeerAS, n)
-		s.srcs = make([]netaddr.IPv4, n)
+		s.srcs = make([]netaddr.Addr, n)
 		s.verdicts = make([]eia.Verdict, n)
 	}
 	srcs, verdicts := s.srcs[:n], s.verdicts[:n]
@@ -239,17 +235,13 @@ func (c *core) processPeerBatch(s *shard, peer eia.PeerAS, recs []flow.Record) {
 	}
 
 	batch := Stats{ByStage: make(map[idmef.Stage]int)}
-	var hits, misses int64
+	var tally verdictTally
 	for i := range recs {
 		if m != nil {
 			m.flows.Inc()
 			m.observeStage(stageEIA, eiaShare)
 		}
-		if verdicts[i] == eia.Match {
-			hits++
-		} else {
-			misses++
-		}
+		tally.add(srcs[i], verdicts[i])
 		d, scanFlagged := s.pl.decideVerdict(peer, &recs[i], verdicts[i])
 		batch.record(d, scanFlagged)
 		if d.Attack {
@@ -259,10 +251,34 @@ func (c *core) processPeerBatch(s *shard, peer eia.PeerAS, recs []flow.Record) {
 			c.store.CheckBatchPeer(peer, srcs[i+1:], verdicts[i+1:])
 		}
 	}
-	c.store.AddVerdictCounts(hits, misses)
+	tally.settle(c.store)
 	s.mu.Lock()
 	s.stats.merge(batch)
 	s.mu.Unlock()
+}
+
+// verdictTally accumulates a batch's consumed verdicts per address
+// family, so the hit/miss settle stays a handful of atomic adds per
+// batch (now at most four) instead of one per record.
+type verdictTally struct {
+	hits, misses [2]int64 // indexed 0=v4, 1=v6
+}
+
+func (t *verdictTally) add(src netaddr.Addr, v eia.Verdict) {
+	f := 0
+	if src.Is6() {
+		f = 1
+	}
+	if v == eia.Match {
+		t.hits[f]++
+	} else {
+		t.misses[f]++
+	}
+}
+
+func (t *verdictTally) settle(store *eia.Store) {
+	store.AddVerdictCounts(netaddr.FamilyV4, t.hits[0], t.misses[0])
+	store.AddVerdictCounts(netaddr.FamilyV6, t.hits[1], t.misses[1])
 }
 
 func (c *core) emitAlert(peer eia.PeerAS, rec flow.Record, d Decision) {

@@ -45,13 +45,13 @@ func TestHeavyHitterStageFlagsFlood(t *testing.T) {
 	eng := trainedEngineHH(t, threshold)
 	// Spoofed flood: one unknown source, multi-packet flows (so the scan
 	// stage's probe filter is not what stops them).
-	src := netaddr.MustParseIPv4("203.0.113.99")
+	src := netaddr.MustParseAddr("203.0.113.99")
 	hhFlagged := 0
 	for i := 0; i < 100; i++ {
 		rec := flow.Record{
 			Key: flow.Key{
 				Src:     src,
-				Dst:     netaddr.MustParseIPv4("192.0.2.10"),
+				Dst:     netaddr.MustParseAddr("192.0.2.10"),
 				Proto:   6,
 				SrcPort: uint16(40000 + i),
 				DstPort: 80,

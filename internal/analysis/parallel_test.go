@@ -203,7 +203,7 @@ func TestParallelEngineCloseSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := flow.Record{Key: flow.Key{Src: netaddr.MustParseIPv4("61.1.1.1")}}
+	rec := flow.Record{Key: flow.Key{Src: netaddr.MustParseAddr("61.1.1.1")}}
 	if err := pe.Submit(1, rec); err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestParallelEngineValidation(t *testing.T) {
 func TestParallelEngineWorkerLeak(t *testing.T) {
 	set := eia.NewSet(eia.Config{})
 	set.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
-	rec := flow.Record{Key: flow.Key{Src: netaddr.MustParseIPv4("99.1.1.1")}}
+	rec := flow.Record{Key: flow.Key{Src: netaddr.MustParseAddr("99.1.1.1")}}
 	testutil.ExpectNoGoroutineGrowth(t, func() {
 		for i := 0; i < 5; i++ {
 			pe, err := NewParallelEngine(

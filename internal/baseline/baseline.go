@@ -32,7 +32,7 @@ func (u *URPF) AddRoute(p netaddr.Prefix, ifIndex uint16) {
 
 // Check reports whether a packet with the given source arriving on
 // ifIndex passes the strict uRPF test.
-func (u *URPF) Check(src netaddr.IPv4, ifIndex uint16) bool {
+func (u *URPF) Check(src netaddr.Addr, ifIndex uint16) bool {
 	egress, ok := u.routes.Lookup(src)
 	return ok && egress == ifIndex
 }
@@ -47,17 +47,17 @@ func (u *URPF) RouteCount() int { return u.routes.Len() }
 // and it only helps against volume attacks (the overload trigger), not
 // stealthy ones.
 type HIF struct {
-	history    map[netaddr.IPv4]struct{}
+	history    map[netaddr.Addr]struct{}
 	overloaded bool
 }
 
 // NewHIF returns an empty history filter.
 func NewHIF() *HIF {
-	return &HIF{history: make(map[netaddr.IPv4]struct{})}
+	return &HIF{history: make(map[netaddr.Addr]struct{})}
 }
 
 // Learn records a source address in the history (normal operation).
-func (h *HIF) Learn(src netaddr.IPv4) {
+func (h *HIF) Learn(src netaddr.Addr) {
 	h.history[src] = struct{}{}
 }
 
@@ -70,7 +70,7 @@ func (h *HIF) Overloaded() bool { return h.overloaded }
 
 // Admit reports whether a packet from src is admitted: always when not
 // overloaded; only if historically seen when overloaded.
-func (h *HIF) Admit(src netaddr.IPv4) bool {
+func (h *HIF) Admit(src netaddr.Addr) bool {
 	if !h.overloaded {
 		return true
 	}

@@ -13,13 +13,13 @@ func TestURPFSymmetricRoutingPasses(t *testing.T) {
 	if u.RouteCount() != 2 {
 		t.Fatalf("RouteCount = %d", u.RouteCount())
 	}
-	if !u.Check(netaddr.MustParseIPv4("61.1.2.3"), 1) {
+	if !u.Check(netaddr.MustParseAddr("61.1.2.3"), 1) {
 		t.Error("symmetric source failed uRPF")
 	}
-	if u.Check(netaddr.MustParseIPv4("61.1.2.3"), 2) {
+	if u.Check(netaddr.MustParseAddr("61.1.2.3"), 2) {
 		t.Error("spoofed/asymmetric source passed uRPF")
 	}
-	if u.Check(netaddr.MustParseIPv4("99.1.2.3"), 1) {
+	if u.Check(netaddr.MustParseAddr("99.1.2.3"), 1) {
 		t.Error("unrouted source passed uRPF")
 	}
 }
@@ -32,7 +32,7 @@ func TestURPFAsymmetryFalsePositive(t *testing.T) {
 	u.AddRoute(netaddr.MustParsePrefix("61.0.0.0/11"), 1)
 	// Legit traffic from 61/11 actually enters via interface 3 because the
 	// neighbor's policy differs from our best path.
-	if u.Check(netaddr.MustParseIPv4("61.5.5.5"), 3) {
+	if u.Check(netaddr.MustParseAddr("61.5.5.5"), 3) {
 		t.Fatal("expected uRPF to (wrongly) reject the asymmetric flow")
 	}
 }
@@ -41,17 +41,17 @@ func TestURPFLongestPrefix(t *testing.T) {
 	u := NewURPF()
 	u.AddRoute(netaddr.MustParsePrefix("4.0.0.0/8"), 1)
 	u.AddRoute(netaddr.MustParsePrefix("4.2.101.0/24"), 2)
-	if !u.Check(netaddr.MustParseIPv4("4.2.101.20"), 2) {
+	if !u.Check(netaddr.MustParseAddr("4.2.101.20"), 2) {
 		t.Error("more-specific route not honored")
 	}
-	if u.Check(netaddr.MustParseIPv4("4.2.101.20"), 1) {
+	if u.Check(netaddr.MustParseAddr("4.2.101.20"), 1) {
 		t.Error("covering route won over more-specific")
 	}
 }
 
 func TestHIFAdmitsEverythingWhenNotOverloaded(t *testing.T) {
 	h := NewHIF()
-	if !h.Admit(netaddr.MustParseIPv4("1.2.3.4")) {
+	if !h.Admit(netaddr.MustParseAddr("1.2.3.4")) {
 		t.Error("not-overloaded HIF rejected a flow")
 	}
 	if h.Overloaded() {
@@ -61,7 +61,7 @@ func TestHIFAdmitsEverythingWhenNotOverloaded(t *testing.T) {
 
 func TestHIFFiltersUnderOverload(t *testing.T) {
 	h := NewHIF()
-	known := netaddr.MustParseIPv4("61.1.1.1")
+	known := netaddr.MustParseAddr("61.1.1.1")
 	h.Learn(known)
 	h.Learn(known) // idempotent
 	if h.HistorySize() != 1 {
@@ -71,11 +71,11 @@ func TestHIFFiltersUnderOverload(t *testing.T) {
 	if !h.Admit(known) {
 		t.Error("known source rejected under overload")
 	}
-	if h.Admit(netaddr.MustParseIPv4("99.9.9.9")) {
+	if h.Admit(netaddr.MustParseAddr("99.9.9.9")) {
 		t.Error("unknown source admitted under overload")
 	}
 	h.SetOverloaded(false)
-	if !h.Admit(netaddr.MustParseIPv4("99.9.9.9")) {
+	if !h.Admit(netaddr.MustParseAddr("99.9.9.9")) {
 		t.Error("unknown source rejected after overload cleared")
 	}
 }
@@ -86,7 +86,7 @@ func TestHIFFiltersUnderOverload(t *testing.T) {
 // under overload.
 func TestHIFBlindToStealthySpoofing(t *testing.T) {
 	h := NewHIF()
-	spoofed := netaddr.MustParseIPv4("70.9.9.9")
+	spoofed := netaddr.MustParseAddr("70.9.9.9")
 	h.Learn(spoofed) // the real owner's traffic was seen once
 	// Stealthy attack: no overload — everything admitted.
 	if !h.Admit(spoofed) {

@@ -89,7 +89,7 @@ func TestDeriveMappingPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := DeriveMapping(entries, netaddr.MustParseIPv4("4.2.101.20"))
+	m := DeriveMapping(entries, netaddr.MustParseAddr("4.2.101.20"))
 
 	want := map[uint16][]uint16{
 		3356: {3333, 9057, 10514},
@@ -125,13 +125,13 @@ func TestDeriveMappingOutsideTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 4.0.4.90 is covered by 4/8 only: the /24's paths must not apply.
-	m := DeriveMapping(entries, netaddr.MustParseIPv4("4.0.4.90"))
+	m := DeriveMapping(entries, netaddr.MustParseAddr("4.0.4.90"))
 	peerOf := m.SourcePeer()
 	if peerOf[1224] != 3356 {
 		t.Errorf("1224 maps to %d for 4.0.4.90, want 3356", peerOf[1224])
 	}
 	// An address outside every prefix yields an empty mapping.
-	if got := DeriveMapping(entries, netaddr.MustParseIPv4("99.9.9.9")); len(got) != 0 {
+	if got := DeriveMapping(entries, netaddr.MustParseAddr("99.9.9.9")); len(got) != 0 {
 		t.Errorf("mapping for uncovered address: %v", got)
 	}
 }

@@ -20,7 +20,7 @@ import (
 // (last element is the origin AS of the target network).
 type Entry struct {
 	Network netaddr.Prefix
-	NextHop netaddr.IPv4
+	NextHop netaddr.Addr
 	Path    []uint16
 	Best    bool
 }
@@ -113,7 +113,7 @@ func ParseShowIPBGP(r io.Reader) ([]Entry, error) {
 		if len(rest) < 1 {
 			return nil, fmt.Errorf("bgp: line %d: missing next hop", ln)
 		}
-		nextHop, err := netaddr.ParseIPv4(rest[0])
+		nextHop, err := netaddr.ParseAddr(rest[0])
 		if err != nil {
 			return nil, fmt.Errorf("bgp: line %d: next hop: %w", ln, err)
 		}
@@ -153,7 +153,7 @@ func parsePrefixClassful(s string) (netaddr.Prefix, error) {
 	case first < 192:
 		bits = 16
 	}
-	return netaddr.NewPrefix(ip, bits)
+	return netaddr.NewPrefix(ip.Addr(), bits)
 }
 
 // Format renders entries back into "show ip bgp" style lines.
@@ -182,7 +182,7 @@ type Mapping map[uint16][]uint16
 // uses to reach the target address — the §3.2 construction. A source AS
 // appearing on paths for several prefixes covering the target follows the
 // most specific prefix (the paper's 4.2.101.0/24 vs 4.0.0.0/8 case).
-func DeriveMapping(entries []Entry, target netaddr.IPv4) Mapping {
+func DeriveMapping(entries []Entry, target netaddr.Addr) Mapping {
 	type choice struct {
 		peer uint16
 		bits int

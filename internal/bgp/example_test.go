@@ -23,7 +23,7 @@ func ExampleDeriveMapping() {
 		fmt.Println(err)
 		return
 	}
-	m := bgp.DeriveMapping(entries, netaddr.MustParseIPv4("4.2.101.20"))
+	m := bgp.DeriveMapping(entries, netaddr.MustParseAddr("4.2.101.20"))
 	for _, peer := range m.Peers() {
 		fmt.Printf("peer %d <- sources %v\n", peer, m[peer])
 	}

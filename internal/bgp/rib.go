@@ -48,7 +48,7 @@ func (r *RIB) Announce(e Entry) error {
 
 // Withdraw removes the path learned from nextHop for prefix, reporting
 // whether anything was removed.
-func (r *RIB) Withdraw(prefix netaddr.Prefix, nextHop netaddr.IPv4) bool {
+func (r *RIB) Withdraw(prefix netaddr.Prefix, nextHop netaddr.Addr) bool {
 	entries := r.paths[prefix]
 	for i := range entries {
 		if entries[i].NextHop == nextHop {
@@ -80,7 +80,7 @@ func (r *RIB) selectBest(prefix netaddr.Prefix) {
 		case len(entries[i].Path) < len(entries[best].Path):
 			best = i
 		case len(entries[i].Path) == len(entries[best].Path) &&
-			entries[i].NextHop < entries[best].NextHop:
+			entries[i].NextHop.Less(entries[best].NextHop):
 			best = i
 		}
 	}
@@ -100,7 +100,7 @@ func (r *RIB) Best(prefix netaddr.Prefix) (Entry, bool) {
 }
 
 // Lookup returns the best entry of the longest prefix covering ip.
-func (r *RIB) Lookup(ip netaddr.IPv4) (Entry, bool) {
+func (r *RIB) Lookup(ip netaddr.Addr) (Entry, bool) {
 	var (
 		found    bool
 		bestBits = -1
@@ -128,11 +128,11 @@ func (r *RIB) Entries() []Entry {
 		a, b := out[i], out[j]
 		if a.Network != b.Network {
 			if a.Network.Addr() != b.Network.Addr() {
-				return a.Network.Addr() < b.Network.Addr()
+				return a.Network.Addr().Less(b.Network.Addr())
 			}
 			return a.Network.Bits() < b.Network.Bits()
 		}
-		return a.NextHop < b.NextHop
+		return a.NextHop.Less(b.NextHop)
 	})
 	return out
 }
@@ -152,7 +152,7 @@ func (r *RIB) PathCount() int {
 // Mapping derives the peer-AS → source-AS mapping for target from the
 // RIB's full table (all learned paths, as §3.2 uses the entire Routeviews
 // view rather than only best paths).
-func (r *RIB) Mapping(target netaddr.IPv4) Mapping {
+func (r *RIB) Mapping(target netaddr.Addr) Mapping {
 	return DeriveMapping(r.Entries(), target)
 }
 

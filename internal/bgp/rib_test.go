@@ -10,7 +10,7 @@ import (
 func entry(prefix, nextHop string, path ...uint16) Entry {
 	return Entry{
 		Network: netaddr.MustParsePrefix(prefix),
-		NextHop: netaddr.MustParseIPv4(nextHop),
+		NextHop: netaddr.MustParseAddr(nextHop),
 		Path:    path,
 	}
 }
@@ -27,7 +27,7 @@ func TestRIBAnnounceAndBestPath(t *testing.T) {
 	if !ok {
 		t.Fatal("no best path")
 	}
-	if best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+	if best.NextHop != netaddr.MustParseAddr("10.0.0.2") {
 		t.Errorf("best path via %v, want the shorter AS path", best.NextHop)
 	}
 	if r.Prefixes() != 1 || r.PathCount() != 2 {
@@ -44,7 +44,7 @@ func TestRIBBestPathTieBreak(t *testing.T) {
 		t.Fatal(err)
 	}
 	best, _ := r.Best(netaddr.MustParsePrefix("4.0.0.0/8"))
-	if best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+	if best.NextHop != netaddr.MustParseAddr("10.0.0.2") {
 		t.Errorf("tie-break chose %v, want lowest next hop", best.NextHop)
 	}
 }
@@ -83,18 +83,18 @@ func TestRIBWithdraw(t *testing.T) {
 	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.2", 3333, 3356, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if !r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.1")) {
+	if !r.Withdraw(p, netaddr.MustParseAddr("10.0.0.1")) {
 		t.Fatal("withdraw reported nothing removed")
 	}
 	// Best path must fail over to the remaining longer path.
 	best, ok := r.Best(p)
-	if !ok || best.NextHop != netaddr.MustParseIPv4("10.0.0.2") {
+	if !ok || best.NextHop != netaddr.MustParseAddr("10.0.0.2") {
 		t.Errorf("after withdraw best=%v ok=%v", best, ok)
 	}
-	if r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.1")) {
+	if r.Withdraw(p, netaddr.MustParseAddr("10.0.0.1")) {
 		t.Error("second withdraw of same path should be a no-op")
 	}
-	if !r.Withdraw(p, netaddr.MustParseIPv4("10.0.0.2")) {
+	if !r.Withdraw(p, netaddr.MustParseAddr("10.0.0.2")) {
 		t.Fatal("final withdraw failed")
 	}
 	if r.Prefixes() != 0 {
@@ -113,15 +113,15 @@ func TestRIBLookupLongestPrefix(t *testing.T) {
 	if err := r.Announce(entry("4.2.101.0/24", "10.0.0.2", 6325, 1)); err != nil {
 		t.Fatal(err)
 	}
-	e, ok := r.Lookup(netaddr.MustParseIPv4("4.2.101.20"))
+	e, ok := r.Lookup(netaddr.MustParseAddr("4.2.101.20"))
 	if !ok || e.Network != netaddr.MustParsePrefix("4.2.101.0/24") {
 		t.Errorf("lookup = %+v, %v", e, ok)
 	}
-	e, ok = r.Lookup(netaddr.MustParseIPv4("4.9.9.9"))
+	e, ok = r.Lookup(netaddr.MustParseAddr("4.9.9.9"))
 	if !ok || e.Network != netaddr.MustParsePrefix("4.0.0.0/8") {
 		t.Errorf("lookup = %+v, %v", e, ok)
 	}
-	if _, ok := r.Lookup(netaddr.MustParseIPv4("99.0.0.1")); ok {
+	if _, ok := r.Lookup(netaddr.MustParseAddr("99.0.0.1")); ok {
 		t.Error("lookup outside table should miss")
 	}
 }
@@ -139,8 +139,8 @@ func TestRIBLoadDumpAndMapping(t *testing.T) {
 		t.Errorf("loaded %d paths, want %d", r.PathCount(), len(entries))
 	}
 	// The RIB-derived mapping must equal the direct derivation.
-	want := DeriveMapping(entries, netaddr.MustParseIPv4("4.2.101.20"))
-	got := r.Mapping(netaddr.MustParseIPv4("4.2.101.20"))
+	want := DeriveMapping(entries, netaddr.MustParseAddr("4.2.101.20"))
+	got := r.Mapping(netaddr.MustParseAddr("4.2.101.20"))
 	if len(got) != len(want) {
 		t.Fatalf("mapping peers %v vs %v", got.Peers(), want.Peers())
 	}
@@ -175,7 +175,7 @@ func TestRIBEntriesSorted(t *testing.T) {
 		t.Fatalf("%d entries", len(got))
 	}
 	if got[0].Network != netaddr.MustParsePrefix("4.0.0.0/8") ||
-		got[0].NextHop != netaddr.MustParseIPv4("10.0.0.1") {
+		got[0].NextHop != netaddr.MustParseAddr("10.0.0.1") {
 		t.Errorf("entries not sorted: first = %+v", got[0])
 	}
 	if got[2].Network != netaddr.MustParsePrefix("9.0.0.0/8") {
@@ -187,7 +187,7 @@ func TestRIBEntriesSorted(t *testing.T) {
 // and watches the mapping move — the §3.2 change events at RIB level.
 func TestRIBMappingFollowsRouteChange(t *testing.T) {
 	r := NewRIB()
-	target := netaddr.MustParseIPv4("4.1.2.3")
+	target := netaddr.MustParseAddr("4.1.2.3")
 	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 1224, 38, 3356, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRIBMappingFollowsRouteChange(t *testing.T) {
 		t.Fatalf("initial mapping %v", m)
 	}
 	// The route moves: 1224's traffic now transits 6325.
-	r.Withdraw(netaddr.MustParsePrefix("4.0.0.0/8"), netaddr.MustParseIPv4("10.0.0.1"))
+	r.Withdraw(netaddr.MustParsePrefix("4.0.0.0/8"), netaddr.MustParseAddr("10.0.0.1"))
 	if err := r.Announce(entry("4.0.0.0/8", "10.0.0.1", 1224, 38, 6325, 1)); err != nil {
 		t.Fatal(err)
 	}

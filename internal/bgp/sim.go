@@ -97,7 +97,7 @@ func simulateTarget(rng *rand.Rand, cfg SimConfig, targetAS uint16, numPeers int
 	for i := range peers {
 		peers[i] = uint16(1000 + int(targetAS)*64 + i)
 	}
-	targetPrefix := netaddr.MustPrefix(netaddr.FromOctets(byte(4+targetAS%120), 0, 0, 0), 8)
+	targetPrefix := netaddr.MustPrefix(netaddr.FromOctets(byte(4+targetAS%120), 0, 0, 0).Addr(), 8)
 	targetIP := targetPrefix.Nth(42)
 
 	// Source ASes and their current peer assignment.
@@ -168,7 +168,7 @@ func buildEntries(rng *rand.Rand, prefix netaddr.Prefix, targetAS uint16, peers 
 			// Peer still advertises a path with no upstream sources.
 			entries = append(entries, Entry{
 				Network: prefix,
-				NextHop: netaddr.IPv4(rng.Uint32()),
+				NextHop: netaddr.IPv4(rng.Uint32()).Addr(),
 				Path:    []uint16{peers[pi], targetAS},
 			})
 			continue
@@ -184,7 +184,7 @@ func buildEntries(rng *rand.Rand, prefix netaddr.Prefix, targetAS uint16, peers 
 			path = append(path, peers[pi], targetAS)
 			entries = append(entries, Entry{
 				Network: prefix,
-				NextHop: netaddr.IPv4(rng.Uint32()),
+				NextHop: netaddr.IPv4(rng.Uint32()).Addr(),
 				Path:    path,
 			})
 		}

@@ -66,7 +66,7 @@ var ErrBadNotation = errors.New("blocks: malformed sub-block notation")
 func Table1() []netaddr.Prefix {
 	out := make([]netaddr.Prefix, NumBlocks)
 	for i, o := range table1FirstOctets {
-		out[i] = netaddr.MustPrefix(netaddr.FromOctets(o, 0, 0, 0), 8)
+		out[i] = netaddr.PrefixFrom4(netaddr.FromOctets(o, 0, 0, 0), 8)
 	}
 	return out
 }
@@ -109,7 +109,7 @@ func (sb SubBlock) Letter() byte { return byte('a' + sb.index%SubBlocksPerBlock)
 func (sb SubBlock) Prefix() netaddr.Prefix {
 	first := table1FirstOctets[sb.BlockNumber()-1]
 	second := byte(sb.index%SubBlocksPerBlock) << 5
-	return netaddr.MustPrefix(netaddr.FromOctets(first, second, 0, 0), 11)
+	return netaddr.PrefixFrom4(netaddr.FromOctets(first, second, 0, 0), 11)
 }
 
 // String renders the paper notation, e.g. "1a", "125h".

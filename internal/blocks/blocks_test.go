@@ -16,7 +16,7 @@ func TestTable1Shape(t *testing.T) {
 		if p.Bits() != 8 {
 			t.Errorf("block %d is /%d, want /8", i, p.Bits())
 		}
-		if i > 0 && blks[i-1].Addr() >= p.Addr() {
+		if i > 0 && !blks[i-1].Addr().Less(p.Addr()) {
 			t.Errorf("blocks not ascending at index %d", i)
 		}
 	}
@@ -37,7 +37,8 @@ func TestTable1Shape(t *testing.T) {
 func TestTable1ExcludesReservedBlocks(t *testing.T) {
 	present := map[byte]bool{}
 	for _, p := range Table1() {
-		a, _, _, _ := p.Addr().Octets()
+		v4, _ := p.Addr().V4()
+		a, _, _, _ := v4.Octets()
 		present[a] = true
 	}
 	// A few well-known non-routable or unallocated first octets the table

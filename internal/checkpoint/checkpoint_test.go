@@ -273,7 +273,7 @@ func TestRestartPreservesEIAAndNNS(t *testing.T) {
 	// trained detector.
 	store := eia.NewStore(nil)
 	store.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
-	src := netaddr.MustParseIPv4("70.9.9.9")
+	src := netaddr.MustParseAddr("70.9.9.9")
 	promoted := false
 	for i := 0; i < eia.DefaultPromoteThreshold; i++ {
 		promoted = store.RecordLegal(2, src) || promoted
@@ -306,7 +306,7 @@ func TestRestartPreservesEIAAndNNS(t *testing.T) {
 		t.Fatalf("load eia: ok=%v err=%v", ok, err)
 	}
 	store2 := eia.NewStore(restored)
-	if got := store2.Check(1, netaddr.MustParseIPv4("61.1.2.3")); got != eia.Match {
+	if got := store2.Check(1, netaddr.MustParseAddr("61.1.2.3")); got != eia.Match {
 		t.Errorf("trained prefix lost across restart: %v", got)
 	}
 	if got := store2.Check(2, src); got != eia.Match {

@@ -23,14 +23,14 @@ import (
 // mapping must be deterministic per original address within one replay so a
 // multi-packet flow stays one flow after rewriting.
 type SourcePolicy interface {
-	Rewrite(orig netaddr.IPv4) netaddr.IPv4
+	Rewrite(orig netaddr.Addr) netaddr.Addr
 }
 
 // IdentityPolicy keeps source addresses unchanged.
 type IdentityPolicy struct{}
 
 // Rewrite returns orig unchanged.
-func (IdentityPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 { return orig }
+func (IdentityPolicy) Rewrite(orig netaddr.Addr) netaddr.Addr { return orig }
 
 // WeightedBlock pairs an address block with a selection weight.
 type WeightedBlock struct {
@@ -80,9 +80,17 @@ func UniformBlocks(prefixes []netaddr.Prefix) []WeightedBlock {
 }
 
 // Rewrite maps orig onto one of the policy's blocks, weighted, determined
-// entirely by a hash of the original address and the salt.
-func (p *BlockPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 {
-	h := splitmix64(uint64(orig) ^ p.salt)
+// entirely by a hash of the original address and the salt. A v4 original
+// hashes exactly as the pre-dual-stack engine did, so existing replay
+// fixtures keep their mappings; v6 originals fold both address words in.
+func (p *BlockPolicy) Rewrite(orig netaddr.Addr) netaddr.Addr {
+	var h uint64
+	if v4, ok := orig.V4(); ok {
+		h = splitmix64(uint64(v4) ^ p.salt)
+	} else {
+		hi, lo := orig.Uint64Pair()
+		h = splitmix64(hi ^ splitmix64(lo) ^ p.salt)
+	}
 	// Select a block by weight using the top bits.
 	sel := float64(h>>11) / float64(1<<53) * p.total
 	idx := 0
@@ -118,7 +126,7 @@ func NewSpoofPolicy(prefixes []netaddr.Prefix, seed int64) (*SpoofPolicy, error)
 }
 
 // Rewrite returns the spoofed source for orig.
-func (p *SpoofPolicy) Rewrite(orig netaddr.IPv4) netaddr.IPv4 {
+func (p *SpoofPolicy) Rewrite(orig netaddr.Addr) netaddr.Addr {
 	return p.inner.Rewrite(orig)
 }
 

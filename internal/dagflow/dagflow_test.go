@@ -43,7 +43,7 @@ func TestBlockPolicyDeterministicAndInRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := uint32(0); i < 1000; i++ {
-		orig := netaddr.IPv4(i * 7919)
+		orig := netaddr.IPv4(i * 7919).Addr()
 		a := p.Rewrite(orig)
 		b := p.Rewrite(orig)
 		if a != b {
@@ -77,7 +77,7 @@ func TestBlockPolicyDistribution(t *testing.T) {
 	counts := make([]int, 3)
 	const n = 20000
 	for i := 0; i < n; i++ {
-		a := p.Rewrite(netaddr.IPv4(uint32(i) * 2654435761))
+		a := p.Rewrite(netaddr.IPv4(uint32(i) * 2654435761).Addr())
 		for j, blk := range blocks {
 			if blk.Prefix.Contains(a) {
 				counts[j]++
@@ -106,7 +106,7 @@ func TestSpoofPolicyKeepsFlowsIntact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig := netaddr.MustParseIPv4("61.9.9.9")
+	orig := netaddr.MustParseAddr("61.9.9.9")
 	if sp.Rewrite(orig) != sp.Rewrite(orig) {
 		t.Error("spoof mapping not stable within a replay")
 	}
@@ -318,7 +318,7 @@ func TestMixTracesPreservesOrder(t *testing.T) {
 	b, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
 		Seed:      1,
 		Start:     boot.Add(90 * time.Second),
-		Src:       netaddr.MustParseIPv4("70.1.2.3"),
+		Src:       netaddr.MustParseAddr("70.1.2.3"),
 		DstPrefix: dstBlock,
 	})
 	if err != nil {

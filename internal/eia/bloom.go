@@ -53,15 +53,39 @@ const (
 	bloomSeedPeer   = 0x1f117e_e1a_0002
 )
 
-// bloomKey packs a masked address and its prefix length into the uint64
-// the filters hash. Length lives in the low byte so /24 and /25 views of
-// the same address never collide structurally.
+// bloomKey packs a masked v4 address and its prefix length into the
+// uint64 the filters hash. Length lives in the low byte so /24 and /25
+// views of the same address never collide structurally. This is the
+// exact pre-dual-stack key, so v4 filter behavior (and the benchmarked
+// probe cost) is unchanged by the family-generic refactor.
 func bloomKey(masked netaddr.IPv4, bits int) uint64 {
 	return uint64(masked)<<8 | uint64(bits)
 }
 
-// lenMask is one prefix length present in the snapshot, with its netmask
-// precomputed for the hot loop.
+// bloomKey6 condenses a masked v6 address (as its two raw words) and
+// prefix length into one hashable word. The 128→64 bit fold can collide
+// distinct prefixes, but a filter collision is just a false positive —
+// the exact trie confirms — so soundness is untouched. The multiplier
+// spreads hi's entropy before xor-folding lo so structured allocations
+// (sequential /48s) don't cancel.
+func bloomKey6(hi, lo uint64, bits int) uint64 {
+	return (hi*0x9e3779b97f4a7c15^lo)<<8 | uint64(bits)
+}
+
+// bloomKeyAddr computes the filter key for a prefix of either family.
+// Only the build/publish paths use it; the per-check probe loops use the
+// family-specialized forms directly.
+func bloomKeyAddr(p netaddr.Prefix) uint64 {
+	a := p.Addr()
+	hi, lo := a.Uint64Pair()
+	if a.Family() == netaddr.FamilyV4 {
+		return bloomKey(netaddr.IPv4(uint32(lo)), p.Bits())
+	}
+	return bloomKey6(hi, lo, p.Bits())
+}
+
+// lenMask is one v4 prefix length present in the snapshot, with its
+// netmask precomputed for the hot loop.
 type lenMask struct {
 	mask netaddr.IPv4
 	bits uint8
@@ -72,14 +96,38 @@ func maskOf(bits int) netaddr.IPv4 {
 	return ^netaddr.IPv4(0) << (32 - uint(bits))
 }
 
+// lenMask6 is one v6 prefix length, with the two mask words precomputed.
+type lenMask6 struct {
+	maskHi, maskLo uint64
+	bits           uint8
+}
+
+func maskOf6(bits int) (hi, lo uint64) {
+	switch {
+	case bits <= 0:
+		return 0, 0
+	case bits < 64:
+		return ^uint64(0) << (64 - uint(bits)), 0
+	case bits == 64:
+		return ^uint64(0), 0
+	case bits < 128:
+		return ^uint64(0), ^uint64(0) << (128 - uint(bits))
+	default:
+		return ^uint64(0), ^uint64(0)
+	}
+}
+
 // bloomTier is the immutable probabilistic state of one snapshot. peers
 // is indexed by PeerAS (small dense ints in this system); nil entries
-// are peers with no prefixes. lengths is ordered most-populated first so
-// positive probes exit early on the common granularity.
+// are peers with no prefixes. The length lists are kept per family and
+// ordered most-populated first so positive probes exit early on the
+// common granularity; a check only ever walks its own family's list, so
+// v6 prefixes in the snapshot add zero probes to a v4 check.
 type bloomTier struct {
-	global  *bloom.Filter
-	peers   []*bloom.Filter
-	lengths []lenMask
+	global   *bloom.Filter
+	peers    []*bloom.Filter
+	lengths  []lenMask
+	lengths6 []lenMask6
 }
 
 // bloomEnabled reports whether cfg asks for the tier.
@@ -119,13 +167,18 @@ func buildBloomTier(index *netaddr.PrefixTrie[PeerAS], perPeer map[PeerAS]int, c
 		}
 	}
 	var perLen [33]int
+	var perLen6 [129]int
 	index.Walk(func(pfx netaddr.Prefix, peer PeerAS) bool {
-		key := bloomKey(pfx.Addr(), pfx.Bits())
+		key := bloomKeyAddr(pfx)
 		t.global.Add(key)
 		if f := t.peers[peer]; f != nil {
 			f.Add(key)
 		}
-		perLen[pfx.Bits()]++
+		if pfx.Family() == netaddr.FamilyV6 {
+			perLen6[pfx.Bits()]++
+		} else {
+			perLen[pfx.Bits()]++
+		}
 		return true
 	})
 	for bits, n := range perLen {
@@ -136,6 +189,15 @@ func buildBloomTier(index *netaddr.PrefixTrie[PeerAS], perPeer map[PeerAS]int, c
 	sort.SliceStable(t.lengths, func(i, j int) bool {
 		return perLen[t.lengths[i].bits] > perLen[t.lengths[j].bits]
 	})
+	for bits, n := range perLen6 {
+		if n > 0 {
+			hi, lo := maskOf6(bits)
+			t.lengths6 = append(t.lengths6, lenMask6{maskHi: hi, maskLo: lo, bits: uint8(bits)})
+		}
+	}
+	sort.SliceStable(t.lengths6, func(i, j int) bool {
+		return perLen6[t.lengths6[i].bits] > perLen6[t.lengths6[j].bits]
+	})
 	return t
 }
 
@@ -144,10 +206,10 @@ func buildBloomTier(index *netaddr.PrefixTrie[PeerAS], perPeer map[PeerAS]int, c
 // the new keys inserted. If any touched filter overflows its sized
 // capacity the whole tier is rebuilt from the (already-updated) trie.
 func (t *bloomTier) withAssignments(applied []Assignment, index *netaddr.PrefixTrie[PeerAS], perPeer map[PeerAS]int, cfg Config) *bloomTier {
-	nt := &bloomTier{global: t.global.Clone(), peers: t.peers, lengths: t.lengths}
+	nt := &bloomTier{global: t.global.Clone(), peers: t.peers, lengths: t.lengths, lengths6: t.lengths6}
 	peersCloned := false
 	for _, a := range applied {
-		key := bloomKey(a.Prefix.Addr(), a.Prefix.Bits())
+		key := bloomKeyAddr(a.Prefix)
 		nt.global.Add(key)
 		if !peersCloned {
 			nt.peers, peersCloned = clonePeerFilters(t.peers, a.Peer), true
@@ -166,7 +228,14 @@ func (t *bloomTier) withAssignments(applied []Assignment, index *netaddr.PrefixT
 			nt.peers[a.Peer] = f
 		}
 		f.Add(key)
-		if !nt.hasLength(a.Prefix.Bits()) {
+		if a.Prefix.Family() == netaddr.FamilyV6 {
+			if !nt.hasLength6(a.Prefix.Bits()) {
+				lengths := make([]lenMask6, len(nt.lengths6), len(nt.lengths6)+1)
+				copy(lengths, nt.lengths6)
+				hi, lo := maskOf6(a.Prefix.Bits())
+				nt.lengths6 = append(lengths, lenMask6{maskHi: hi, maskLo: lo, bits: uint8(a.Prefix.Bits())})
+			}
+		} else if !nt.hasLength(a.Prefix.Bits()) {
 			lengths := make([]lenMask, len(nt.lengths), len(nt.lengths)+1)
 			copy(lengths, nt.lengths)
 			nt.lengths = append(lengths, lenMask{mask: maskOf(a.Prefix.Bits()), bits: uint8(a.Prefix.Bits())})
@@ -200,6 +269,15 @@ func (t *bloomTier) hasLength(bits int) bool {
 	return false
 }
 
+func (t *bloomTier) hasLength6(bits int) bool {
+	for _, l := range t.lengths6 {
+		if int(l.bits) == bits {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *bloomTier) overflowed() bool {
 	if t.global.Overflowed() {
 		return true
@@ -224,19 +302,38 @@ func (t *bloomTier) peerFilter(peer PeerAS) *bloom.Filter {
 // against an already-fetched peer filter (hoisted by the batch paths).
 // It returns (Unknown, true) when the absence proof lands — no prefix of
 // src at any present length is in any set — and (0, false) when the
-// caller must confirm against the exact trie.
-func (t *bloomTier) probe(pf *bloom.Filter, src netaddr.IPv4) (Verdict, bool) {
-	if pf != nil {
+// caller must confirm against the exact trie. The loops are specialized
+// per family: a v4 check masks with one 32-bit AND exactly as before the
+// dual-stack refactor, and only walks v4 lengths.
+func (t *bloomTier) probe(pf *bloom.Filter, src netaddr.Addr) (Verdict, bool) {
+	hi, lo := src.Uint64Pair()
+	if src.Family() == netaddr.FamilyV4 {
+		v4 := netaddr.IPv4(uint32(lo))
+		if pf != nil {
+			for _, l := range t.lengths {
+				if pf.Test(bloomKey(v4&l.mask, int(l.bits))) {
+					return 0, false // maybe expected here: confirm exact
+				}
+			}
+		}
+		// Not expected at this peer, definitively. Unknown iff no other
+		// set holds a prefix of src either; WrongPeer needs the walk.
 		for _, l := range t.lengths {
-			if pf.Test(bloomKey(src&l.mask, int(l.bits))) {
-				return 0, false // maybe expected here: confirm exact
+			if t.global.Test(bloomKey(v4&l.mask, int(l.bits))) {
+				return 0, false
+			}
+		}
+		return Unknown, true
+	}
+	if pf != nil {
+		for _, l := range t.lengths6 {
+			if pf.Test(bloomKey6(hi&l.maskHi, lo&l.maskLo, int(l.bits))) {
+				return 0, false
 			}
 		}
 	}
-	// Not expected at this peer, definitively. Unknown iff no other set
-	// holds a prefix of src either; a WrongPeer verdict needs the walk.
-	for _, l := range t.lengths {
-		if t.global.Test(bloomKey(src&l.mask, int(l.bits))) {
+	for _, l := range t.lengths6 {
+		if t.global.Test(bloomKey6(hi&l.maskHi, lo&l.maskLo, int(l.bits))) {
 			return 0, false
 		}
 	}

@@ -54,9 +54,13 @@ type Config struct {
 	// past NNS gets its spoofed source promoted before the scan counters
 	// can fire.
 	PromoteThreshold int
-	// PromoteMaskBits is the prefix length learned on promotion. Zero
+	// PromoteMaskBits is the prefix length learned on v4 promotion. Zero
 	// defaults to 24 (the subnet granularity used throughout §3.1).
 	PromoteMaskBits int
+	// PromoteMaskBitsV6 is the prefix length learned when the promoted
+	// source is IPv6. Zero defaults to 48, the customer-site granularity
+	// that plays the role a /24 does in v4.
+	PromoteMaskBitsV6 int
 	// BloomBitsPerEntry, when positive, enables the probabilistic fast
 	// tier on Store: per-peer blocked Bloom filters (plus one global
 	// filter) published inside each snapshot, sized at this many bits per
@@ -75,8 +79,9 @@ type Config struct {
 
 // Defaults for Config.
 const (
-	DefaultPromoteThreshold = 20
-	DefaultPromoteMaskBits  = 24
+	DefaultPromoteThreshold  = 20
+	DefaultPromoteMaskBits   = 24
+	DefaultPromoteMaskBitsV6 = 48
 )
 
 func (c Config) withDefaults() Config {
@@ -86,7 +91,18 @@ func (c Config) withDefaults() Config {
 	if c.PromoteMaskBits <= 0 {
 		c.PromoteMaskBits = DefaultPromoteMaskBits
 	}
+	if c.PromoteMaskBitsV6 <= 0 {
+		c.PromoteMaskBitsV6 = DefaultPromoteMaskBitsV6
+	}
 	return c
+}
+
+// promoteBits returns the promotion prefix length for fam.
+func (c Config) promoteBits(fam netaddr.Family) int {
+	if fam == netaddr.FamilyV6 {
+		return c.PromoteMaskBitsV6
+	}
+	return c.PromoteMaskBits
 }
 
 type pendingKey struct {
@@ -128,12 +144,12 @@ func (s *Set) AddPrefix(peer PeerAS, p netaddr.Prefix) {
 
 // ExpectedPeer returns the peer AS whose EIA set contains src, by
 // longest-prefix match.
-func (s *Set) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
+func (s *Set) ExpectedPeer(src netaddr.Addr) (PeerAS, bool) {
 	return s.index.Lookup(src)
 }
 
 // Check classifies a flow's source address observed at peer.
-func (s *Set) Check(peer PeerAS, src netaddr.IPv4) Verdict {
+func (s *Set) Check(peer PeerAS, src netaddr.Addr) Verdict {
 	expected, ok := s.index.Lookup(src)
 	switch {
 	case !ok:
@@ -150,8 +166,8 @@ func (s *Set) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 // promotion threshold, the source's subnet is added to peer's EIA set so
 // the route change stops raising suspicions. Reports whether promotion
 // happened on this call.
-func (s *Set) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
-	pfx := netaddr.MustPrefix(src, s.cfg.PromoteMaskBits)
+func (s *Set) RecordLegal(peer PeerAS, src netaddr.Addr) bool {
+	pfx := netaddr.MustPrefix(src, s.cfg.promoteBits(src.Family()))
 	k := pendingKey{peer: peer, pfx: pfx}
 	s.pending[k]++
 	if s.pending[k] >= s.cfg.PromoteThreshold {
@@ -164,8 +180,8 @@ func (s *Set) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
 
 // PendingCount exposes the current promotion progress for a source subnet
 // at a peer, for tests and monitoring.
-func (s *Set) PendingCount(peer PeerAS, src netaddr.IPv4) int {
-	return s.pending[pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, s.cfg.PromoteMaskBits)}]
+func (s *Set) PendingCount(peer PeerAS, src netaddr.Addr) int {
+	return s.pending[pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, s.cfg.promoteBits(src.Family()))}]
 }
 
 // Len returns the total number of prefixes across all peers.
@@ -192,17 +208,23 @@ func peersOf(perPeer map[PeerAS]int) []PeerAS {
 // initialize EIA sets from live traffic (§5.1.3(a)).
 type TrainingSource struct {
 	Peer PeerAS
-	Src  netaddr.IPv4
+	Src  netaddr.Addr
 }
 
 // Train initializes EIA sets from observed traffic: each source address is
-// aggregated to maskBits and added to the EIA set of the peer AS it was
-// seen at. maskBits <= 0 defaults to the config's promote mask.
+// aggregated and added to the EIA set of the peer AS it was seen at.
+// maskBits applies to v4 sources (<= 0 defaults to the config's promote
+// mask); v6 sources always aggregate at the config's v6 promote mask,
+// since a v4 subnet length is meaningless at 128-bit width.
 func (s *Set) Train(obs []TrainingSource, maskBits int) {
 	if maskBits <= 0 {
 		maskBits = s.cfg.PromoteMaskBits
 	}
 	for _, o := range obs {
-		s.AddPrefix(o.Peer, netaddr.MustPrefix(o.Src, maskBits))
+		bits := maskBits
+		if o.Src.Family() == netaddr.FamilyV6 {
+			bits = s.cfg.PromoteMaskBitsV6
+		}
+		s.AddPrefix(o.Peer, netaddr.MustPrefix(o.Src, bits))
 	}
 }

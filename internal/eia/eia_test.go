@@ -24,7 +24,7 @@ func TestCheckVerdicts(t *testing.T) {
 		{1, "9.9.9.9", Unknown},
 	}
 	for _, tt := range tests {
-		if got := s.Check(tt.peer, netaddr.MustParseIPv4(tt.src)); got != tt.want {
+		if got := s.Check(tt.peer, netaddr.MustParseAddr(tt.src)); got != tt.want {
 			t.Errorf("Check(%d, %s) = %v, want %v", tt.peer, tt.src, got, tt.want)
 		}
 	}
@@ -44,10 +44,10 @@ func TestExpectedPeerLongestPrefixWins(t *testing.T) {
 	s.AddPrefix(1, netaddr.MustParsePrefix("4.0.0.0/8"))
 	s.AddPrefix(2, netaddr.MustParsePrefix("4.2.101.0/24"))
 	// The §3.2 worked example: 4.2.101.20 routes via the /24's peer.
-	if p, ok := s.ExpectedPeer(netaddr.MustParseIPv4("4.2.101.20")); !ok || p != 2 {
+	if p, ok := s.ExpectedPeer(netaddr.MustParseAddr("4.2.101.20")); !ok || p != 2 {
 		t.Errorf("ExpectedPeer = %d, %v; want 2", p, ok)
 	}
-	if p, ok := s.ExpectedPeer(netaddr.MustParseIPv4("4.9.9.9")); !ok || p != 1 {
+	if p, ok := s.ExpectedPeer(netaddr.MustParseAddr("4.9.9.9")); !ok || p != 1 {
 		t.Errorf("ExpectedPeer = %d, %v; want 1", p, ok)
 	}
 }
@@ -60,7 +60,7 @@ func TestAddPrefixRehoming(t *testing.T) {
 		t.Fatalf("peer 1 count = %d", s.PeerPrefixCount(1))
 	}
 	s.AddPrefix(2, p) // route change: same block now enters via peer 2
-	if got := s.Check(2, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+	if got := s.Check(2, netaddr.MustParseAddr("61.1.1.1")); got != Match {
 		t.Errorf("after rehoming Check = %v, want Match", got)
 	}
 	if s.PeerPrefixCount(1) != 0 || s.PeerPrefixCount(2) != 1 {
@@ -76,7 +76,7 @@ func TestAddPrefixRehoming(t *testing.T) {
 func TestPromotionAfterThreshold(t *testing.T) {
 	s := NewSet(Config{PromoteThreshold: 3, PromoteMaskBits: 24})
 	s.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
-	src := netaddr.MustParseIPv4("61.10.1.7")
+	src := netaddr.MustParseAddr("61.10.1.7")
 
 	// Route change: traffic from 61.40.1/24 now arrives at peer 2.
 	if s.Check(2, src) != WrongPeer {
@@ -99,10 +99,10 @@ func TestPromotionAfterThreshold(t *testing.T) {
 	}
 	// Now the whole /24 matches at peer 2; the rest of the /11 still
 	// matches at peer 1.
-	if got := s.Check(2, netaddr.MustParseIPv4("61.10.1.200")); got != Match {
+	if got := s.Check(2, netaddr.MustParseAddr("61.10.1.200")); got != Match {
 		t.Errorf("promoted subnet Check = %v", got)
 	}
-	if got := s.Check(1, netaddr.MustParseIPv4("61.20.0.1")); got != Match {
+	if got := s.Check(1, netaddr.MustParseAddr("61.20.0.1")); got != Match {
 		t.Errorf("rest of block Check = %v", got)
 	}
 }
@@ -110,8 +110,8 @@ func TestPromotionAfterThreshold(t *testing.T) {
 func TestPromotionCountsPerPeerAndSubnet(t *testing.T) {
 	s := NewSet(Config{PromoteThreshold: 2})
 	s.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
-	a := netaddr.MustParseIPv4("61.10.1.1")
-	b := netaddr.MustParseIPv4("61.22.1.1") // different /24
+	a := netaddr.MustParseAddr("61.10.1.1")
+	b := netaddr.MustParseAddr("61.22.1.1") // different /24
 	s.RecordLegal(2, a)
 	if s.RecordLegal(2, b) {
 		t.Error("counts leaked across subnets")
@@ -127,18 +127,18 @@ func TestPromotionCountsPerPeerAndSubnet(t *testing.T) {
 func TestTrainBuildsSets(t *testing.T) {
 	s := NewSet(Config{})
 	obs := []TrainingSource{
-		{Peer: 1, Src: netaddr.MustParseIPv4("61.1.2.3")},
-		{Peer: 1, Src: netaddr.MustParseIPv4("61.1.2.99")}, // same /24
-		{Peer: 2, Src: netaddr.MustParseIPv4("70.4.5.6")},
+		{Peer: 1, Src: netaddr.MustParseAddr("61.1.2.3")},
+		{Peer: 1, Src: netaddr.MustParseAddr("61.1.2.99")}, // same /24
+		{Peer: 2, Src: netaddr.MustParseAddr("70.4.5.6")},
 	}
 	s.Train(obs, 24)
 	if s.Len() != 2 {
 		t.Errorf("trained %d prefixes, want 2", s.Len())
 	}
-	if got := s.Check(1, netaddr.MustParseIPv4("61.1.2.200")); got != Match {
+	if got := s.Check(1, netaddr.MustParseAddr("61.1.2.200")); got != Match {
 		t.Errorf("Check in trained /24 = %v", got)
 	}
-	if got := s.Check(1, netaddr.MustParseIPv4("61.9.9.9")); got != Unknown {
+	if got := s.Check(1, netaddr.MustParseAddr("61.9.9.9")); got != Unknown {
 		t.Errorf("Check outside trained subnets = %v", got)
 	}
 	peers := s.Peers()
@@ -149,8 +149,8 @@ func TestTrainBuildsSets(t *testing.T) {
 
 func TestTrainDefaultMask(t *testing.T) {
 	s := NewSet(Config{PromoteMaskBits: 16})
-	s.Train([]TrainingSource{{Peer: 1, Src: netaddr.MustParseIPv4("61.1.2.3")}}, 0)
-	if got := s.Check(1, netaddr.MustParseIPv4("61.1.200.200")); got != Match {
+	s.Train([]TrainingSource{{Peer: 1, Src: netaddr.MustParseAddr("61.1.2.3")}}, 0)
+	if got := s.Check(1, netaddr.MustParseAddr("61.1.200.200")); got != Match {
 		t.Errorf("default mask not honored: %v", got)
 	}
 }
@@ -172,18 +172,18 @@ func TestTable3Preload(t *testing.T) {
 		t.Fatalf("preloaded %d prefixes", s.Len())
 	}
 	// 1a = 3.0.0.0/11 belongs to peer AS 1; 113e (index 900) to AS 10.
-	if got := s.Check(1, netaddr.MustParseIPv4("3.1.2.3")); got != Match {
+	if got := s.Check(1, netaddr.MustParseAddr("3.1.2.3")); got != Match {
 		t.Errorf("3.1.2.3 at AS1 = %v", got)
 	}
 	sb := blocks.MustParseNotation("113e")
 	if got := s.Check(10, sb.Prefix().First()); got != Match {
 		t.Errorf("113e at AS10 = %v", got)
 	}
-	if got := s.Check(4, netaddr.MustParseIPv4("3.1.2.3")); got != WrongPeer {
+	if got := s.Check(4, netaddr.MustParseAddr("3.1.2.3")); got != WrongPeer {
 		t.Errorf("3.1.2.3 at AS4 = %v", got)
 	}
 	// 205/8 onward was not allocated to any source.
-	if got := s.Check(1, netaddr.MustParseIPv4("205.1.1.1")); got != Unknown {
+	if got := s.Check(1, netaddr.MustParseAddr("205.1.1.1")); got != Unknown {
 		t.Errorf("205.1.1.1 = %v", got)
 	}
 }

@@ -14,12 +14,15 @@ import (
 // WriteTo serializes the EIA sets as "<peerAS> <cidr>" lines, sorted for
 // stable output. Pending promotion counters are transient and not saved.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
-	return writeRows(w, s.index)
+	return writeRows(w, s.index, false)
 }
 
-// writeRows emits the sorted "<peerAS> <cidr>" body shared by the Set and
-// Store serializers.
-func writeRows(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) (int64, error) {
+// writeRows emits the sorted body shared by the Set and Store
+// serializers: "<peerAS> <cidr>" rows when tagFamily is false (the plain
+// WriteTo format), "<peerAS> <family> <cidr>" rows when true (the v2
+// checkpoint format). Rows sort peer-major, then v4 before v6, then by
+// address, so output is stable and diffs cleanly.
+func writeRows(w io.Writer, index *netaddr.PrefixTrie[PeerAS], tagFamily bool) (int64, error) {
 	type row struct {
 		peer PeerAS
 		pfx  netaddr.Prefix
@@ -34,14 +37,20 @@ func writeRows(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) (int64, error) {
 			return rows[i].peer < rows[j].peer
 		}
 		if rows[i].pfx.Addr() != rows[j].pfx.Addr() {
-			return rows[i].pfx.Addr() < rows[j].pfx.Addr()
+			return rows[i].pfx.Addr().Less(rows[j].pfx.Addr())
 		}
 		return rows[i].pfx.Bits() < rows[j].pfx.Bits()
 	})
 	bw := bufio.NewWriter(w)
 	var total int64
 	for _, r := range rows {
-		n, err := fmt.Fprintf(bw, "%d %s\n", r.peer, r.pfx)
+		var n int
+		var err error
+		if tagFamily {
+			n, err = fmt.Fprintf(bw, "%d %s %s\n", r.peer, r.pfx.Family(), r.pfx)
+		} else {
+			n, err = fmt.Fprintf(bw, "%d %s\n", r.peer, r.pfx)
+		}
 		total += int64(n)
 		if err != nil {
 			return total, fmt.Errorf("eia: write: %w", err)
@@ -53,16 +62,22 @@ func writeRows(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) (int64, error) {
 	return total, nil
 }
 
-// ReadInto loads "<peerAS> <cidr>" lines into the set. Blank lines and
-// '#' comments are skipped.
+// ReadInto loads "<peerAS> <cidr>" lines into the set (either family;
+// ParsePrefix tells them apart). Blank lines and '#' comments are
+// skipped.
 func ReadInto(s *Set, r io.Reader) error {
-	return readLines(bufio.NewScanner(r), 0, s)
+	return readLines(bufio.NewScanner(r), 0, s, 0)
 }
 
-// readLines parses "<peerAS> <cidr>" rows from sc into s, with line
-// numbers in errors offset by startLine (the count of lines a caller
-// already consumed, e.g. a checkpoint header).
-func readLines(sc *bufio.Scanner, startLine int, s *Set) error {
+// readLines parses prefix rows from sc into s, with line numbers in
+// errors offset by startLine (the count of lines a caller already
+// consumed, e.g. a checkpoint header). version selects the row grammar:
+// 0 (plain WriteTo) and 1 (legacy checkpoint) are "<peerAS> <cidr>" —
+// with v1 additionally rejecting v6 rows, since the v1 format predates
+// dual-stack and a v6 row in one means the file is corrupt — and 2 is
+// the family-tagged "<peerAS> <family> <cidr>", where the tag must agree
+// with the parsed prefix.
+func readLines(sc *bufio.Scanner, startLine int, s *Set, version int) error {
 	line := startLine
 	for sc.Scan() {
 		line++
@@ -71,16 +86,32 @@ func readLines(sc *bufio.Scanner, startLine int, s *Set) error {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 2 {
+		cidr, famTag := "", ""
+		switch {
+		case version < 2 && len(fields) == 2:
+			cidr = fields[1]
+		case version != 1 && len(fields) == 3:
+			// v2 checkpoint rows — or a family-tagged checkpoint body
+			// loaded through plain ReadInto, which stays a valid EIA file.
+			famTag, cidr = fields[1], fields[2]
+		case version == 2:
+			return fmt.Errorf("eia: line %d: want '<peerAS> <family> <cidr>', got %q", line, text)
+		default:
 			return fmt.Errorf("eia: line %d: want '<peerAS> <cidr>', got %q", line, text)
 		}
 		peer, err := strconv.ParseUint(fields[0], 10, 16)
 		if err != nil {
 			return fmt.Errorf("eia: line %d: peer AS: %w", line, err)
 		}
-		pfx, err := netaddr.ParsePrefix(fields[1])
+		pfx, err := netaddr.ParsePrefix(cidr)
 		if err != nil {
 			return fmt.Errorf("eia: line %d: %w", line, err)
+		}
+		if version == 1 && pfx.Family() != netaddr.FamilyV4 {
+			return fmt.Errorf("eia: line %d: v1 checkpoint carries non-v4 prefix %q", line, cidr)
+		}
+		if famTag != "" && famTag != pfx.Family().String() {
+			return fmt.Errorf("eia: line %d: family tag %q does not match prefix %q", line, famTag, cidr)
 		}
 		s.AddPrefix(PeerAS(peer), pfx)
 	}
@@ -91,14 +122,21 @@ func readLines(sc *bufio.Scanner, startLine int, s *Set) error {
 }
 
 // Checkpoint format: a mandatory versioned header line followed by the
-// WriteTo body. The header is a '#' comment, so a checkpoint file still
-// loads through plain ReadInto; ReadCheckpointInto additionally rejects
-// files that lack the header or carry an unknown version, which is what
-// the warm-restart path wants (a truncated or foreign file must not be
-// silently accepted as empty EIA state).
+// prefix rows. The header is a '#' comment, so a v1 checkpoint file
+// still loads through plain ReadInto; ReadCheckpointInto additionally
+// rejects files that lack the header or carry an unknown version, which
+// is what the warm-restart path wants (a truncated or foreign file must
+// not be silently accepted as empty EIA state).
+//
+// v1 rows are "<peerAS> <cidr>" and v4-only (the format predates
+// dual-stack). v2 rows are "<peerAS> <family> <cidr>" with family "4" or
+// "6". Writers always emit v2; readers accept both, so a daemon restarted
+// over a v1 state directory loads it as v4-only EIA state and upgrades
+// the file to v2 at its next checkpoint flush.
 const (
-	checkpointMagic   = "# infilter-eia-checkpoint v"
-	checkpointVersion = 1
+	checkpointMagic      = "# infilter-eia-checkpoint v"
+	checkpointVersion    = 2
+	checkpointVersionOld = 1
 )
 
 // WriteCheckpoint writes a versioned EIA checkpoint: header plus the
@@ -111,7 +149,7 @@ func writeCheckpoint(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) error {
 	if _, err := fmt.Fprintf(w, "%s%d\n", checkpointMagic, checkpointVersion); err != nil {
 		return fmt.Errorf("eia: write checkpoint header: %w", err)
 	}
-	_, err := writeRows(w, index)
+	_, err := writeRows(w, index, true)
 	return err
 }
 
@@ -136,8 +174,8 @@ func ReadCheckpointInto(s *Set, r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("eia: checkpoint: bad version in header %q", header)
 	}
-	if v != checkpointVersion {
-		return fmt.Errorf("eia: checkpoint version %d, want %d", v, checkpointVersion)
+	if v != checkpointVersion && v != checkpointVersionOld {
+		return fmt.Errorf("eia: checkpoint version %d, want %d or %d", v, checkpointVersionOld, checkpointVersion)
 	}
-	return readLines(sc, 1, s)
+	return readLines(sc, 1, s, v)
 }

@@ -2,6 +2,8 @@ package eia
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -43,7 +45,7 @@ func TestSetWriteReadRoundTrip(t *testing.T) {
 		{1, "9.9.9.9", Unknown},
 	}
 	for _, c := range checks {
-		if got := loaded.Check(c.peer, netaddr.MustParseIPv4(c.src)); got != c.want {
+		if got := loaded.Check(c.peer, netaddr.MustParseAddr(c.src)); got != c.want {
 			t.Errorf("loaded Check(%d,%s) = %v, want %v", c.peer, c.src, got, c.want)
 		}
 	}
@@ -81,7 +83,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := s.WriteCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "# infilter-eia-checkpoint v1\n") {
+	if !strings.HasPrefix(buf.String(), "# infilter-eia-checkpoint v2\n") {
 		t.Errorf("checkpoint header missing: %q", buf.String())
 	}
 	loaded := NewSet(Config{})
@@ -91,7 +93,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if loaded.Len() != s.Len() {
 		t.Fatalf("loaded %d prefixes, want %d", loaded.Len(), s.Len())
 	}
-	if got := loaded.Check(3, netaddr.MustParseIPv4("4.2.101.20")); got != Match {
+	if got := loaded.Check(3, netaddr.MustParseAddr("4.2.101.20")); got != Match {
 		t.Errorf("loaded Check = %v, want Match", got)
 	}
 	// A checkpoint is also a valid plain EIA file (header is a comment).
@@ -108,6 +110,69 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointV1GoldenUpgrade restores from a committed pre-dual-stack
+// checkpoint file (the exact bytes a v1 daemon wrote) and proves
+// upgrade-on-write: the loaded state answers verdicts, and the next
+// WriteCheckpoint emits the v2 family-tagged format — including any v6
+// prefixes promoted after the restore, which v1 could not express.
+func TestCheckpointV1GoldenUpgrade(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "checkpoint_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewSet(Config{})
+	if err := ReadCheckpointInto(s, f); err != nil {
+		t.Fatalf("restore from v1 golden: %v", err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("restored %d prefixes, want 4", s.Len())
+	}
+	for _, c := range []struct {
+		peer PeerAS
+		src  string
+		want Verdict
+	}{
+		{1, "61.5.5.5", Match},
+		{1, "88.40.0.1", Match},
+		{2, "70.5.5.5", Match},
+		{3, "4.2.101.20", Match},
+		{2, "61.5.5.5", WrongPeer},
+		{1, "9.9.9.9", Unknown},
+	} {
+		if got := s.Check(c.peer, netaddr.MustParseAddr(c.src)); got != c.want {
+			t.Errorf("restored Check(%d,%s) = %v, want %v", c.peer, c.src, got, c.want)
+		}
+	}
+
+	// The restarted daemon keeps learning — including v6 now — and its
+	// next checkpoint flush rewrites the file in the v2 format.
+	s.AddPrefix(2, netaddr.MustParsePrefix("2001:db8:4000::/48"))
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# infilter-eia-checkpoint v2\n" +
+		"1 4 61.0.0.0/11\n" +
+		"1 4 88.32.0.0/11\n" +
+		"2 4 70.0.0.0/11\n" +
+		"2 6 2001:db8:4000::/48\n" +
+		"3 4 4.2.101.0/24\n"
+	if buf.String() != want {
+		t.Errorf("upgraded checkpoint:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	reloaded := NewSet(Config{})
+	if err := ReadCheckpointInto(reloaded, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("reload of upgraded checkpoint: %v", err)
+	}
+	if reloaded.Len() != 5 {
+		t.Errorf("reloaded %d prefixes, want 5", reloaded.Len())
+	}
+	if got := reloaded.Check(2, netaddr.MustParseAddr("2001:db8:4000::99")); got != Match {
+		t.Errorf("reloaded v6 Check = %v, want Match", got)
+	}
+}
+
 func TestReadCheckpointIntoRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
 		"",                                  // empty file
@@ -115,8 +180,12 @@ func TestReadCheckpointIntoRejectsMalformed(t *testing.T) {
 		"# infilter-eia-checkpoint vX\n",    // unparsable version
 		"# infilter-eia-checkpoint v99\n",   // future version
 		"# some other comment\n1 6.0.0.0/8", // wrong header
-		"# infilter-eia-checkpoint v1\n1 notacidr\n", // bad row
-		"# infilter-eia-checkpoint v1\nonlyfield\n",  // truncated row
+		"# infilter-eia-checkpoint v1\n1 notacidr\n",        // bad row
+		"# infilter-eia-checkpoint v1\nonlyfield\n",         // truncated row
+		"# infilter-eia-checkpoint v1\n1 2001:db8::/32\n",   // v6 row predates v1
+		"# infilter-eia-checkpoint v2\n1 61.0.0.0/11\n",     // v2 row without family tag
+		"# infilter-eia-checkpoint v2\n1 6 61.0.0.0/11\n",   // family tag contradicts prefix
+		"# infilter-eia-checkpoint v2\n1 4 2001:db8::/32\n", // family tag contradicts prefix
 	} {
 		if err := ReadCheckpointInto(NewSet(Config{}), strings.NewReader(bad)); err == nil {
 			t.Errorf("ReadCheckpointInto(%q): want error", bad)

@@ -11,8 +11,12 @@ import (
 
 // Metrics are the EIA runtime counters: Check outcomes split into hits
 // (expected ingress) and misses (wrong peer or unknown source), plus
-// completed promotions. All counters are shared across every shard that
-// uses the store — increments are single atomics, so sharing adds no lock.
+// completed promotions. The hit and miss series carry a `family` label
+// ("4" or "6") keyed on the checked source address, so a dual-stack
+// deployment can see per-family verdict rates; summing over the label
+// recovers the pre-split totals. All counters are shared across every
+// shard that uses the store — increments are single atomics, so sharing
+// adds no lock.
 //
 // The Bloom* series observes the probabilistic fast tier (when enabled):
 // fastpath counts checks the filters resolved without a trie walk,
@@ -26,8 +30,8 @@ import (
 // permille of the global filter and total bits across every filter in
 // the tier.
 type Metrics struct {
-	Hits       *telemetry.Counter
-	Misses     *telemetry.Counter
+	Hits       telemetry.FamilyCounter
+	Misses     telemetry.FamilyCounter
 	Promotions *telemetry.Counter
 
 	BloomFastpath       *telemetry.Counter
@@ -41,8 +45,8 @@ type Metrics struct {
 // NewMetrics registers the EIA counters on r.
 func NewMetrics(r *telemetry.Registry) *Metrics {
 	return &Metrics{
-		Hits:       r.Counter("infilter_eia_hits_total", "EIA checks whose source matched the observed peer's set."),
-		Misses:     r.Counter("infilter_eia_misses_total", "EIA checks flagged suspect (wrong peer or unknown source)."),
+		Hits:       r.FamilyCounter("infilter_eia_hits_total", "EIA checks whose source matched the observed peer's set."),
+		Misses:     r.FamilyCounter("infilter_eia_misses_total", "EIA checks flagged suspect (wrong peer or unknown source)."),
 		Promotions: r.Counter("infilter_eia_promotions_total", "Vouched sources promoted into a peer's EIA set."),
 
 		BloomFastpath:       r.Counter("infilter_eia_bloom_fastpath_total", "EIA checks resolved by the Bloom tier without a trie walk (provably unknown sources)."),
@@ -144,14 +148,14 @@ func (c *Store) SetMetrics(m *Metrics) {
 // that either prove the source unknown outright or defer to the exact
 // longest-prefix walk over the immutable trie. Verdicts are identical
 // with the tier on or off; only the cost profile changes.
-func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
+func (c *Store) Check(peer PeerAS, src netaddr.Addr) Verdict {
 	snap := c.snap.Load()
 	m := c.metrics
 	if t := snap.tier; t != nil {
 		if v, ok := t.probe(t.peerFilter(peer), src); ok {
 			if m != nil {
 				m.BloomFastpath.Inc()
-				m.Misses.Inc() // fast path only ever yields Unknown
+				m.Misses.Pick(src.Is6()).Inc() // fast path only ever yields Unknown
 			}
 			return v
 		}
@@ -171,9 +175,9 @@ func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 	}
 	if m != nil {
 		if v == Match {
-			m.Hits.Inc()
+			m.Hits.Pick(src.Is6()).Inc()
 		} else {
-			m.Misses.Inc()
+			m.Misses.Pick(src.Is6()).Inc()
 		}
 		if v == Unknown && snap.tier != nil {
 			m.BloomFalsePositives.Inc()
@@ -198,7 +202,7 @@ func (c *Store) Check(peer PeerAS, src netaddr.IPv4) Verdict {
 // traffic mix: after bloomBypassAfter consecutive probes deferred to the
 // exact walk, the rest of the batch skips the probe (see the constant's
 // doc). Verdicts are identical with or without the bypass.
-func (c *Store) CheckBatch(peers []PeerAS, srcs []netaddr.IPv4, out []Verdict) {
+func (c *Store) CheckBatch(peers []PeerAS, srcs []netaddr.Addr, out []Verdict) {
 	if len(peers) != len(srcs) || len(srcs) != len(out) {
 		panic("eia: CheckBatch slice lengths differ")
 	}
@@ -253,7 +257,7 @@ func (c *Store) CheckBatch(peers []PeerAS, srcs []netaddr.IPv4, out []Verdict) {
 // link). One atomic snapshot load covers the batch; out[i] receives the
 // verdict for (peer, srcs[i]). Like CheckBatch it does not touch the
 // hit/miss counters — consumers count at consumption time.
-func (c *Store) CheckBatchPeer(peer PeerAS, srcs []netaddr.IPv4, out []Verdict) {
+func (c *Store) CheckBatchPeer(peer PeerAS, srcs []netaddr.Addr, out []Verdict) {
 	if len(srcs) != len(out) {
 		panic("eia: CheckBatchPeer slice lengths differ")
 	}
@@ -325,32 +329,35 @@ func (c *Store) addBloomCounts(fast, fall, fp, bypassed int64) {
 }
 
 // CountVerdict folds one consumed verdict into the hit/miss counters,
-// exactly as Check does internally. It pairs with CheckBatch: call it
-// once per verdict the batch actually acted on.
-func (c *Store) CountVerdict(v Verdict) {
+// exactly as Check does internally, attributed to the checked source's
+// address family. It pairs with CheckBatch: call it once per verdict
+// the batch actually acted on.
+func (c *Store) CountVerdict(v Verdict, fam netaddr.Family) {
 	if m := c.metrics; m != nil {
 		if v == Match {
-			m.Hits.Inc()
+			m.Hits.Pick(fam == netaddr.FamilyV6).Inc()
 		} else {
-			m.Misses.Inc()
+			m.Misses.Pick(fam == netaddr.FamilyV6).Inc()
 		}
 	}
 }
 
-// AddVerdictCounts folds a batch's consumed verdicts into the hit/miss
-// counters in two atomic adds: batched pipelines tally hits (Match) and
-// misses (everything else) locally while consuming and settle once per
-// batch instead of once per record.
-func (c *Store) AddVerdictCounts(hits, misses int64) {
+// AddVerdictCounts folds a batch's consumed verdicts for one address
+// family into the hit/miss counters in two atomic adds: batched
+// pipelines tally hits (Match) and misses (everything else) per family
+// locally while consuming and settle once per family per batch instead
+// of once per record.
+func (c *Store) AddVerdictCounts(fam netaddr.Family, hits, misses int64) {
 	if m := c.metrics; m != nil {
-		m.Hits.Add(hits)
-		m.Misses.Add(misses)
+		v6 := fam == netaddr.FamilyV6
+		m.Hits.Pick(v6).Add(hits)
+		m.Misses.Pick(v6).Add(misses)
 	}
 }
 
 // ExpectedPeer returns the peer AS whose EIA set contains src, by
 // longest-prefix match against the current snapshot (lock-free).
-func (c *Store) ExpectedPeer(src netaddr.IPv4) (PeerAS, bool) {
+func (c *Store) ExpectedPeer(src netaddr.Addr) (PeerAS, bool) {
 	return c.snap.Load().index.Lookup(src)
 }
 
@@ -423,8 +430,8 @@ func clonePeerCounts(per map[PeerAS]int) map[PeerAS]int {
 // into peer's EIA set on this call (§5.2(a)). Promotion publishes a new
 // snapshot; concurrent Checks keep reading the previous one until the
 // swap lands.
-func (c *Store) RecordLegal(peer PeerAS, src netaddr.IPv4) bool {
-	pfx := netaddr.MustPrefix(src, c.cfg.PromoteMaskBits)
+func (c *Store) RecordLegal(peer PeerAS, src netaddr.Addr) bool {
+	pfx := netaddr.MustPrefix(src, c.cfg.promoteBits(src.Family()))
 	k := pendingKey{peer: peer, pfx: pfx}
 	c.mu.Lock()
 	c.pending[k]++
@@ -465,14 +472,18 @@ func (c *Store) Train(obs []TrainingSource, maskBits int) {
 	}
 	assign := make([]Assignment, len(obs))
 	for i, o := range obs {
-		assign[i] = Assignment{Peer: o.Peer, Prefix: netaddr.MustPrefix(o.Src, maskBits)}
+		bits := maskBits
+		if o.Src.Family() == netaddr.FamilyV6 {
+			bits = c.cfg.PromoteMaskBitsV6
+		}
+		assign[i] = Assignment{Peer: o.Peer, Prefix: netaddr.MustPrefix(o.Src, bits)}
 	}
 	c.AddPrefixes(assign)
 }
 
 // PendingCount exposes the promotion progress for a source subnet at peer.
-func (c *Store) PendingCount(peer PeerAS, src netaddr.IPv4) int {
-	k := pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, c.cfg.PromoteMaskBits)}
+func (c *Store) PendingCount(peer PeerAS, src netaddr.Addr) int {
+	k := pendingKey{peer: peer, pfx: netaddr.MustPrefix(src, c.cfg.promoteBits(src.Family()))}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.pending[k]
@@ -491,7 +502,7 @@ func (c *Store) Peers() []PeerAS { return peersOf(c.snap.Load().perPeer) }
 // Set.WriteTo. It reads one consistent snapshot without blocking writers
 // or the Check hot path.
 func (c *Store) WriteTo(w io.Writer) (int64, error) {
-	return writeRows(w, c.snap.Load().index)
+	return writeRows(w, c.snap.Load().index, false)
 }
 
 // WriteCheckpoint writes the current snapshot as a versioned checkpoint

@@ -25,10 +25,10 @@ func BenchmarkCheckBatchPeerMatch(b *testing.B) {
 			rng := rand.New(rand.NewSource(9))
 			set, inserted := trainRandom(rng, tc.cfg, 600, 1)
 			st := NewStore(set)
-			srcs := make([]netaddr.IPv4, n)
+			srcs := make([]netaddr.Addr, n)
 			out := make([]Verdict, n)
 			for i := range srcs {
-				srcs[i] = inserted[i%len(inserted)].Prefix.Addr() | 1
+				srcs[i] = v4In(inserted[i%len(inserted)].Prefix, 1)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

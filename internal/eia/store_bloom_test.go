@@ -12,13 +12,19 @@ import (
 // bloomCfg is the tier-enabled config the tests in this file exercise.
 var bloomCfg = Config{BloomBitsPerEntry: 10}
 
+// v4In returns a v4 host address inside a v4 prefix with low bits set.
+func v4In(p netaddr.Prefix, low uint32) netaddr.Addr {
+	v4, _ := p.Addr().V4()
+	return (v4 | netaddr.IPv4(low)).Addr()
+}
+
 // trainRandom loads n random /24 prefixes spread over nPeers into a
 // fresh Set built with cfg and returns it with the prefixes used.
 func trainRandom(rng *rand.Rand, cfg Config, n, nPeers int) (*Set, []Assignment) {
 	set := NewSet(cfg)
 	assigns := make([]Assignment, 0, n)
 	for i := 0; i < n; i++ {
-		pfx := netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24)
+		pfx := netaddr.PrefixFrom4(netaddr.IPv4(rng.Uint32()), 24)
 		peer := PeerAS(rng.Intn(nPeers))
 		set.AddPrefix(peer, pfx)
 		assigns = append(assigns, Assignment{Peer: peer, Prefix: pfx})
@@ -61,16 +67,17 @@ func TestBloomVerdictEquivalence(t *testing.T) {
 		probed, exact := NewStore(setA), NewStore(setB)
 
 		const nPeers = 6
-		srcOf := func() netaddr.IPv4 {
+		srcOf := func() netaddr.Addr {
 			switch rng.Intn(3) {
 			case 0: // inside a trained prefix
 				a := assigns[rng.Intn(len(assigns))]
-				return a.Prefix.Addr() | netaddr.IPv4(rng.Intn(256))
+				return v4In(a.Prefix, uint32(rng.Intn(256)))
 			case 1: // adjacent /24 (near-miss)
 				a := assigns[rng.Intn(len(assigns))]
-				return a.Prefix.Addr() ^ (1 << 8) | netaddr.IPv4(rng.Intn(256))
+				v4, _ := a.Prefix.Addr().V4()
+				return (v4 ^ (1 << 8) | netaddr.IPv4(rng.Intn(256))).Addr()
 			default: // anywhere
-				return netaddr.IPv4(rng.Uint32())
+				return netaddr.IPv4(rng.Uint32()).Addr()
 			}
 		}
 
@@ -90,8 +97,8 @@ func TestBloomVerdictEquivalence(t *testing.T) {
 				}
 			case 2: // fresh prefix batch
 				batch := []Assignment{
-					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 16)},
-					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 28)},
+					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.PrefixFrom4(netaddr.IPv4(rng.Uint32()), 16)},
+					{Peer: PeerAS(rng.Intn(nPeers)), Prefix: netaddr.PrefixFrom4(netaddr.IPv4(rng.Uint32()), 28)},
 				}
 				probed.AddPrefixes(batch)
 				exact.AddPrefixes(batch)
@@ -99,7 +106,7 @@ func TestBloomVerdictEquivalence(t *testing.T) {
 			}
 
 			peers := make([]PeerAS, 32)
-			srcs := make([]netaddr.IPv4, 32)
+			srcs := make([]netaddr.Addr, 32)
 			gotB := make([]Verdict, 32)
 			wantB := make([]Verdict, 32)
 			for i := range srcs {
@@ -160,7 +167,7 @@ func TestBloomRebuildOnOverflow(t *testing.T) {
 		for j := range batch {
 			batch[j] = Assignment{
 				Peer:   PeerAS(rng.Intn(3)),
-				Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24),
+				Prefix: netaddr.PrefixFrom4(netaddr.IPv4(rng.Uint32()), 24),
 			}
 		}
 		st.AddPrefixes(batch)
@@ -176,7 +183,7 @@ func TestBloomRebuildOnOverflow(t *testing.T) {
 			t1.global.Entries(), t1.global.Capacity())
 	}
 	for _, a := range added {
-		if got := st.Check(a.Peer, a.Prefix.Addr()|1); got != Match {
+		if got := st.Check(a.Peer, v4In(a.Prefix, 1)); got != Match {
 			t.Fatalf("after rebuild: Check(%d, in %v) = %v, want Match", a.Peer, a.Prefix, got)
 		}
 	}
@@ -203,10 +210,10 @@ func TestBloomCheckpointRehydration(t *testing.T) {
 		t.Fatal("restored store has no Bloom tier")
 	}
 	for i := 0; i < 2000; i++ {
-		peer, src := PeerAS(rng.Intn(4)), netaddr.IPv4(rng.Uint32())
+		peer, src := PeerAS(rng.Intn(4)), netaddr.IPv4(rng.Uint32()).Addr()
 		if i%2 == 0 { // half the probes inside trained space
 			a := assigns[rng.Intn(len(assigns))]
-			src = a.Prefix.Addr() | netaddr.IPv4(rng.Intn(256))
+			src = v4In(a.Prefix, uint32(rng.Intn(256)))
 		}
 		if got, want := restored.Check(peer, src), orig.Check(peer, src); got != want {
 			t.Fatalf("probe %d: restored Check(%d, %v) = %v, original says %v", i, peer, src, got, want)
@@ -230,14 +237,14 @@ func TestBloomMetrics(t *testing.T) {
 	}
 
 	const n = 5000
-	srcs := make([]netaddr.IPv4, n)
+	srcs := make([]netaddr.Addr, n)
 	out := make([]Verdict, n)
 	for i := range srcs {
-		srcs[i] = netaddr.IPv4(rng.Uint32())
+		srcs[i] = netaddr.IPv4(rng.Uint32()).Addr()
 	}
 	st.CheckBatchPeer(1, srcs, out)
 	for i := 0; i < 100; i++ {
-		st.Check(2, netaddr.IPv4(rng.Uint32()))
+		st.Check(2, netaddr.IPv4(rng.Uint32()).Addr())
 	}
 
 	fast, fall := m.BloomFastpath.Value(), m.BloomFallbacks.Value()
@@ -259,7 +266,7 @@ func TestBloomMetrics(t *testing.T) {
 	before := m.BloomFillPermille.Value()
 	var batch []Assignment
 	for i := 0; i < 200; i++ {
-		batch = append(batch, Assignment{Peer: 1, Prefix: netaddr.MustPrefix(netaddr.IPv4(rng.Uint32()), 24)})
+		batch = append(batch, Assignment{Peer: 1, Prefix: netaddr.PrefixFrom4(netaddr.IPv4(rng.Uint32()), 24)})
 	}
 	st.AddPrefixes(batch)
 	after := m.BloomFillPermille.Value()
@@ -286,11 +293,11 @@ func TestBloomBatchBypass(t *testing.T) {
 	st.SetMetrics(m)
 
 	const n = 256
-	legal := make([]netaddr.IPv4, n)
+	legal := make([]netaddr.Addr, n)
 	out := make([]Verdict, n)
 	for i := range legal {
 		a := inserted[i%len(inserted)]
-		legal[i] = a.Prefix.Addr() | 1
+		legal[i] = v4In(a.Prefix, 1)
 	}
 	// Mixed-peer lane: sources in-set, so every probe defers to the walk.
 	peers := make([]PeerAS, n)
@@ -319,9 +326,9 @@ func TestBloomBatchBypass(t *testing.T) {
 	// A spoofed flood resolves on the fast path; the occasional filter
 	// false positive must not accumulate into a bypass streak.
 	before := m.BloomBypassed.Value()
-	flood := make([]netaddr.IPv4, n)
+	flood := make([]netaddr.Addr, n)
 	for i := range flood {
-		flood[i] = netaddr.IPv4(rng.Uint32())
+		flood[i] = netaddr.IPv4(rng.Uint32()).Addr()
 	}
 	st.CheckBatchPeer(1, flood, out)
 	if got := m.BloomBypassed.Value(); got != before {

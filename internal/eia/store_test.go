@@ -14,16 +14,16 @@ func TestStoreSemantics(t *testing.T) {
 	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
 	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
 
-	if got := cs.Check(1, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+	if got := cs.Check(1, netaddr.MustParseAddr("61.1.1.1")); got != Match {
 		t.Errorf("Check = %v, want Match", got)
 	}
-	if got := cs.Check(1, netaddr.MustParseIPv4("70.1.1.1")); got != WrongPeer {
+	if got := cs.Check(1, netaddr.MustParseAddr("70.1.1.1")); got != WrongPeer {
 		t.Errorf("Check = %v, want WrongPeer", got)
 	}
-	if got := cs.Check(1, netaddr.MustParseIPv4("99.1.1.1")); got != Unknown {
+	if got := cs.Check(1, netaddr.MustParseAddr("99.1.1.1")); got != Unknown {
 		t.Errorf("Check = %v, want Unknown", got)
 	}
-	if peer, ok := cs.ExpectedPeer(netaddr.MustParseIPv4("70.1.1.1")); !ok || peer != 2 {
+	if peer, ok := cs.ExpectedPeer(netaddr.MustParseAddr("70.1.1.1")); !ok || peer != 2 {
 		t.Errorf("ExpectedPeer = %v, %v", peer, ok)
 	}
 	if cs.Len() != 2 || cs.PeerPrefixCount(1) != 1 {
@@ -31,7 +31,7 @@ func TestStoreSemantics(t *testing.T) {
 	}
 
 	// Promotion through the store behaves like the bare set.
-	src := netaddr.MustParseIPv4("99.2.3.4")
+	src := netaddr.MustParseAddr("99.2.3.4")
 	var promoted bool
 	for i := 0; i < DefaultPromoteThreshold; i++ {
 		promoted = cs.RecordLegal(3, src)
@@ -60,7 +60,7 @@ func TestStoreRehoming(t *testing.T) {
 	if got := cs.PeerPrefixCount(2); got != 1 {
 		t.Errorf("PeerPrefixCount(2) = %d, want 1", got)
 	}
-	if got := cs.Check(2, netaddr.MustParseIPv4("61.1.1.1")); got != Match {
+	if got := cs.Check(2, netaddr.MustParseAddr("61.1.1.1")); got != Match {
 		t.Errorf("Check after re-home = %v, want Match", got)
 	}
 	// Re-inserting the same mapping publishes nothing and changes nothing.
@@ -82,8 +82,8 @@ func TestStoreBatchPublish(t *testing.T) {
 	if cs.Len() != 3 || cs.PeerPrefixCount(1) != 2 {
 		t.Errorf("Len = %d, PeerPrefixCount(1) = %d", cs.Len(), cs.PeerPrefixCount(1))
 	}
-	cs.Train([]TrainingSource{{Peer: 3, Src: netaddr.MustParseIPv4("10.1.2.3")}}, 0)
-	if got := cs.Check(3, netaddr.MustParseIPv4("10.1.2.99")); got != Match {
+	cs.Train([]TrainingSource{{Peer: 3, Src: netaddr.MustParseAddr("10.1.2.3")}}, 0)
+	if got := cs.Check(3, netaddr.MustParseAddr("10.1.2.99")); got != Match {
 		t.Errorf("trained /24 Check = %v, want Match", got)
 	}
 	if got := len(cs.Peers()); got != 3 {
@@ -96,7 +96,7 @@ func TestStoreBatchPublish(t *testing.T) {
 func TestStoreAdoptsSetState(t *testing.T) {
 	set := NewSet(Config{PromoteThreshold: 3})
 	set.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
-	src := netaddr.MustParseIPv4("99.2.3.4")
+	src := netaddr.MustParseAddr("99.2.3.4")
 	set.RecordLegal(2, src) // 1 of 3
 
 	cs := NewStore(set)
@@ -119,8 +119,24 @@ func TestStoreAdoptsSetState(t *testing.T) {
 	if err := cs.WriteCheckpoint(&b); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(b.Bytes(), a.Bytes()) {
-		t.Error("checkpoint body does not contain WriteTo rows")
+	// The checkpoint carries exactly the WriteTo state, re-encoded as
+	// family-tagged v2 rows under the version header.
+	fromPlain, fromCkpt := NewSet(Config{}), NewSet(Config{})
+	if err := ReadInto(fromPlain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadCheckpointInto(fromCkpt, &b); err != nil {
+		t.Fatal(err)
+	}
+	var aa, bb bytes.Buffer
+	if _, err := fromPlain.WriteTo(&aa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fromCkpt.WriteTo(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aa.Bytes(), bb.Bytes()) {
+		t.Error("checkpoint state diverges from WriteTo state")
 	}
 }
 
@@ -133,13 +149,13 @@ func TestStoreCheckBatchMatchesCheck(t *testing.T) {
 	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
 
 	peers := []PeerAS{1, 1, 1, 2, 2, 9}
-	srcs := []netaddr.IPv4{
-		netaddr.MustParseIPv4("61.1.1.1"),  // Match
-		netaddr.MustParseIPv4("70.1.1.1"),  // WrongPeer
-		netaddr.MustParseIPv4("99.1.1.1"),  // Unknown
-		netaddr.MustParseIPv4("70.31.0.9"), // Match
-		netaddr.MustParseIPv4("61.0.0.1"),  // WrongPeer
-		netaddr.MustParseIPv4("61.2.3.4"),  // WrongPeer (unknown peer)
+	srcs := []netaddr.Addr{
+		netaddr.MustParseAddr("61.1.1.1"),  // Match
+		netaddr.MustParseAddr("70.1.1.1"),  // WrongPeer
+		netaddr.MustParseAddr("99.1.1.1"),  // Unknown
+		netaddr.MustParseAddr("70.31.0.9"), // Match
+		netaddr.MustParseAddr("61.0.0.1"),  // WrongPeer
+		netaddr.MustParseAddr("61.2.3.4"),  // WrongPeer (unknown peer)
 	}
 	out := make([]Verdict, len(peers))
 	cs.CheckBatch(peers, srcs, out)
@@ -168,11 +184,11 @@ func TestStoreCheckBatchPeerMatchesCheck(t *testing.T) {
 	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
 	cs.AddPrefix(2, netaddr.MustParsePrefix("70.0.0.0/11"))
 
-	srcs := []netaddr.IPv4{
-		netaddr.MustParseIPv4("61.1.1.1"),  // Match
-		netaddr.MustParseIPv4("70.1.1.1"),  // WrongPeer
-		netaddr.MustParseIPv4("99.1.1.1"),  // Unknown
-		netaddr.MustParseIPv4("61.31.0.9"), // Match
+	srcs := []netaddr.Addr{
+		netaddr.MustParseAddr("61.1.1.1"),  // Match
+		netaddr.MustParseAddr("70.1.1.1"),  // WrongPeer
+		netaddr.MustParseAddr("99.1.1.1"),  // Unknown
+		netaddr.MustParseAddr("61.31.0.9"), // Match
 	}
 	out := make([]Verdict, len(srcs))
 	cs.CheckBatchPeer(1, srcs, out)
@@ -198,23 +214,27 @@ func TestStoreCheckBatchPeerLengthMismatchPanics(t *testing.T) {
 		}
 	}()
 	cs := NewStore(nil)
-	cs.CheckBatchPeer(1, make([]netaddr.IPv4, 2), make([]Verdict, 1))
+	cs.CheckBatchPeer(1, make([]netaddr.Addr, 2), make([]Verdict, 1))
 }
 
 // TestStoreAddVerdictCounts pins the bulk counting entry point the batch
 // consumers use in place of per-verdict CountVerdict calls.
 func TestStoreAddVerdictCounts(t *testing.T) {
 	cs := NewStore(nil)
-	cs.AddVerdictCounts(1, 2) // no metrics installed: must not panic
+	cs.AddVerdictCounts(netaddr.FamilyV4, 1, 2) // no metrics installed: must not panic
 	m := &Metrics{
-		Hits:       telemetry.NewCounter(),
-		Misses:     telemetry.NewCounter(),
+		Hits:       telemetry.NewFamilyCounter(),
+		Misses:     telemetry.NewFamilyCounter(),
 		Promotions: telemetry.NewCounter(),
 	}
 	cs.SetMetrics(m)
-	cs.AddVerdictCounts(3, 5)
-	if m.Hits.Value() != 3 || m.Misses.Value() != 5 {
-		t.Errorf("after AddVerdictCounts: hits=%d misses=%d, want 3/5", m.Hits.Value(), m.Misses.Value())
+	cs.AddVerdictCounts(netaddr.FamilyV4, 3, 5)
+	cs.AddVerdictCounts(netaddr.FamilyV6, 2, 1)
+	if m.Hits.Value() != 5 || m.Misses.Value() != 6 {
+		t.Errorf("after AddVerdictCounts: hits=%d misses=%d, want 5/6", m.Hits.Value(), m.Misses.Value())
+	}
+	if m.Hits.V6.Value() != 2 || m.Misses.V6.Value() != 1 {
+		t.Errorf("v6 counts: hits=%d misses=%d, want 2/1", m.Hits.V6.Value(), m.Misses.V6.Value())
 	}
 }
 
@@ -225,7 +245,7 @@ func TestStoreCheckBatchLengthMismatchPanics(t *testing.T) {
 		}
 	}()
 	cs := NewStore(nil)
-	cs.CheckBatch(make([]PeerAS, 2), make([]netaddr.IPv4, 2), make([]Verdict, 1))
+	cs.CheckBatch(make([]PeerAS, 2), make([]netaddr.Addr, 2), make([]Verdict, 1))
 }
 
 // TestStoreCheckBatchMetrics pins the counting contract: CheckBatch
@@ -236,25 +256,25 @@ func TestStoreCheckBatchMetrics(t *testing.T) {
 	cs := NewStore(nil)
 	cs.AddPrefix(1, netaddr.MustParsePrefix("61.0.0.0/11"))
 	m := &Metrics{
-		Hits:       telemetry.NewCounter(),
-		Misses:     telemetry.NewCounter(),
+		Hits:       telemetry.NewFamilyCounter(),
+		Misses:     telemetry.NewFamilyCounter(),
 		Promotions: telemetry.NewCounter(),
 	}
 	cs.SetMetrics(m)
 
 	peers := []PeerAS{1, 1, 1}
-	srcs := []netaddr.IPv4{
-		netaddr.MustParseIPv4("61.1.1.1"), // Match
-		netaddr.MustParseIPv4("99.1.1.1"), // Unknown
-		netaddr.MustParseIPv4("99.2.2.2"), // Unknown
+	srcs := []netaddr.Addr{
+		netaddr.MustParseAddr("61.1.1.1"), // Match
+		netaddr.MustParseAddr("99.1.1.1"), // Unknown
+		netaddr.MustParseAddr("99.2.2.2"), // Unknown
 	}
 	out := make([]Verdict, len(peers))
 	cs.CheckBatch(peers, srcs, out)
 	if m.Hits.Value() != 0 || m.Misses.Value() != 0 {
 		t.Errorf("CheckBatch counted: hits=%d misses=%d, want 0/0", m.Hits.Value(), m.Misses.Value())
 	}
-	for _, v := range out {
-		cs.CountVerdict(v)
+	for i, v := range out {
+		cs.CountVerdict(v, srcs[i].Family())
 	}
 	if m.Hits.Value() != 1 || m.Misses.Value() != 2 {
 		t.Errorf("after CountVerdict: hits=%d misses=%d, want 1/2", m.Hits.Value(), m.Misses.Value())
@@ -272,7 +292,7 @@ func TestStoreCheckBatchMetrics(t *testing.T) {
 func TestStoreParallelAccess(t *testing.T) {
 	cs := NewStore(nil)
 	for i := 0; i < 8; i++ {
-		cs.AddPrefix(PeerAS(i+1), netaddr.MustPrefix(netaddr.IPv4(uint32(i+10)<<24), 8))
+		cs.AddPrefix(PeerAS(i+1), netaddr.PrefixFrom4(netaddr.IPv4(uint32(i+10)<<24), 8))
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -282,7 +302,7 @@ func TestStoreParallelAccess(t *testing.T) {
 			peer := PeerAS(g + 1)
 			base := netaddr.IPv4(uint32(g+100) << 24)
 			for i := 0; i < 500; i++ {
-				src := base + netaddr.IPv4(i%7)<<8
+				src := (base + netaddr.IPv4(i%7)<<8).Addr()
 				cs.Check(peer, src)
 				cs.RecordLegal(peer, src)
 				cs.ExpectedPeer(src)
@@ -301,7 +321,7 @@ func TestStoreParallelAccess(t *testing.T) {
 	// Each goroutine vouched ~72 times for each of 7 disjoint /24s, far
 	// past the promotion threshold: every subnet must have been promoted.
 	for g := 0; g < 8; g++ {
-		if got := cs.Check(PeerAS(g+1), netaddr.IPv4(uint32(g+100)<<24)); got != Match {
+		if got := cs.Check(PeerAS(g+1), netaddr.IPv4(uint32(g+100)<<24).Addr()); got != Match {
 			t.Errorf("goroutine %d subnet not promoted: %v", g, got)
 		}
 	}

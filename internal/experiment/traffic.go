@@ -159,7 +159,7 @@ func attackSetFlows(cfg Config, seed int64, s, normalPkts int, attackID *int) ([
 		pkts, err := trace.Generate(info.Type, trace.AttackConfig{
 			Seed:      seed + int64(id)*37,
 			Start:     launchAt,
-			Src:       netaddr.IPv4(rng.Uint32()),
+			Src:       netaddr.IPv4(rng.Uint32()).Addr(),
 			DstPrefix: TargetNetwork,
 		})
 		if err != nil {

@@ -27,16 +27,23 @@ const (
 	PortHTTP = 80
 )
 
-// Key identifies a flow: the seven NetFlow v5 key fields of Figure 10.
+// Key identifies a flow: the seven NetFlow v5 key fields of Figure 10,
+// with the addresses widened to either family. Key stays comparable, so
+// maps and == work unchanged; the family tag inside netaddr.Addr keeps a
+// v4 flow distinct from its 4-in-6 shadow.
 type Key struct {
-	Src     netaddr.IPv4
-	Dst     netaddr.IPv4
+	Src     netaddr.Addr
+	Dst     netaddr.Addr
 	Proto   uint8
 	SrcPort uint16
 	DstPort uint16
 	TOS     uint8
 	InputIf uint16
 }
+
+// Family returns the flow's address family (the source address family;
+// decoders never mix families within one record).
+func (k Key) Family() netaddr.Family { return k.Src.Family() }
 
 // String renders the key compactly for logs and alerts.
 func (k Key) String() string {
@@ -57,6 +64,9 @@ type Record struct {
 	SrcMask uint8
 	DstMask uint8
 	TCPFlag uint8
+	// FlowLabel is the IPv6 flow label (flowLabelIPv6, IE 31); zero for
+	// v4 flows and for v6 exports that do not carry the IE.
+	FlowLabel uint32
 }
 
 // Duration returns the flow's active duration. Flows whose start and end

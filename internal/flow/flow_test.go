@@ -9,8 +9,8 @@ import (
 
 func key(proto uint8, dstPort uint16) Key {
 	return Key{
-		Src:     netaddr.MustParseIPv4("10.0.0.1"),
-		Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+		Src:     netaddr.MustParseAddr("10.0.0.1"),
+		Dst:     netaddr.MustParseAddr("192.0.2.1"),
 		Proto:   proto,
 		SrcPort: 40000,
 		DstPort: dstPort,

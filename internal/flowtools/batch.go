@@ -290,7 +290,7 @@ func (c *BatchCollector) readLoop(conn *net.UDPConn, r datagramReader, port int)
 				m.DecodeErrors.Inc()
 				continue
 			}
-			m.Records.Add(int64(len(msg.Records)))
+			countRecords(m.Records, msg.Records)
 			if len(msg.Records) == 0 {
 				continue
 			}

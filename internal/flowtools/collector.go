@@ -19,10 +19,13 @@ import (
 // CollectorMetrics are the ingest-side runtime counters: datagrams
 // received off the wire, flow records decoded from them, and datagrams
 // dropped as undecodable. They are the collector's single source of
-// truth — Stats derives from them.
+// truth — Stats derives from them. The record series carries a `family`
+// label ("4" or "6") keyed on each record's source address, so a
+// dual-stack deployment can see its ingest mix; summing over the label
+// recovers the total.
 type CollectorMetrics struct {
 	Datagrams    *telemetry.Counter
-	Records      *telemetry.Counter
+	Records      telemetry.FamilyCounter
 	DecodeErrors *telemetry.Counter
 }
 
@@ -30,7 +33,7 @@ type CollectorMetrics struct {
 func NewCollectorMetrics(r *telemetry.Registry) *CollectorMetrics {
 	return &CollectorMetrics{
 		Datagrams:    r.Counter("infilter_collector_datagrams_total", "Flow-export datagrams received on the UDP listeners."),
-		Records:      r.Counter("infilter_collector_records_total", "Flow records decoded and handed to the pipeline."),
+		Records:      r.FamilyCounter("infilter_collector_records_total", "Flow records decoded and handed to the pipeline."),
 		DecodeErrors: r.Counter("infilter_collector_decode_errors_total", "Datagrams dropped as malformed flow export."),
 	}
 }
@@ -40,9 +43,22 @@ func NewCollectorMetrics(r *telemetry.Registry) *CollectorMetrics {
 func unregisteredCollectorMetrics() *CollectorMetrics {
 	return &CollectorMetrics{
 		Datagrams:    telemetry.NewCounter(),
-		Records:      telemetry.NewCounter(),
+		Records:      telemetry.NewFamilyCounter(),
 		DecodeErrors: telemetry.NewCounter(),
 	}
+}
+
+// countRecords folds one decoded datagram's records into the family-
+// split record counter: one pass to count v6 sources, two atomic adds.
+func countRecords(fc telemetry.FamilyCounter, recs []flow.Record) {
+	var v6 int64
+	for i := range recs {
+		if recs[i].Key.Src.Is6() {
+			v6++
+		}
+	}
+	fc.V4.Add(int64(len(recs)) - v6)
+	fc.V6.Add(v6)
 }
 
 // Source identifies where one export datagram came from: the local UDP
@@ -158,7 +174,7 @@ func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
 			m.DecodeErrors.Inc()
 			continue
 		}
-		m.Records.Add(int64(len(msg.Records)))
+		countRecords(m.Records, msg.Records)
 		if len(msg.Records) == 0 {
 			// Template-only or fully orphaned datagram: nothing to hand on.
 			continue

@@ -16,8 +16,8 @@ func ExampleCompileFilter() {
 	mk := func(src string, port uint16, proto uint8) flow.Record {
 		return flow.Record{
 			Key: flow.Key{
-				Src:     netaddr.MustParseIPv4(src),
-				Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+				Src:     netaddr.MustParseAddr(src),
+				Dst:     netaddr.MustParseAddr("192.0.2.1"),
 				Proto:   proto,
 				DstPort: port,
 			},

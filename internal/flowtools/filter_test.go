@@ -26,7 +26,7 @@ func TestCompileFilterPrimaries(t *testing.T) {
 		{"src-net 61.0.0.0/11", filterRec("61.5.5.5", 80, flow.ProtoTCP), filterRec("70.5.5.5", 80, flow.ProtoTCP)},
 		{"dst-net 192.0.2.0/24", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {
 			r := filterRec("61.0.0.1", 80, flow.ProtoTCP)
-			r.Key.Dst = netaddr.MustParseIPv4("10.0.0.1")
+			r.Key.Dst = netaddr.MustParseAddr("10.0.0.1")
 			return r
 		}()},
 		{"packets-min 5", filterRec("61.0.0.1", 80, flow.ProtoTCP), func() flow.Record {

@@ -20,8 +20,8 @@ func rec(src string, dstPort uint16, proto uint8, packets, bytes uint32, dur tim
 	start := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	return flow.Record{
 		Key: flow.Key{
-			Src:     netaddr.MustParseIPv4(src),
-			Dst:     netaddr.MustParseIPv4("192.0.2.1"),
+			Src:     netaddr.MustParseAddr(src),
+			Dst:     netaddr.MustParseAddr("192.0.2.1"),
 			Proto:   proto,
 			SrcPort: 1234,
 			DstPort: dstPort,
@@ -346,8 +346,8 @@ func TestStoreRandomRoundTrip(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		r := flow.Record{
 			Key: flow.Key{
-				Src:     netaddr.IPv4(rng.Uint32()),
-				Dst:     netaddr.IPv4(rng.Uint32()),
+				Src:     netaddr.IPv4(rng.Uint32()).Addr(),
+				Dst:     netaddr.IPv4(rng.Uint32()).Addr(),
 				Proto:   uint8(rng.Intn(256)),
 				SrcPort: uint16(rng.Intn(65536)),
 				DstPort: uint16(rng.Intn(65536)),

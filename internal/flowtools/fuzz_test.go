@@ -41,7 +41,7 @@ func FuzzCompileFilter(f *testing.F) {
 		{},
 		{
 			Key: flow.Key{
-				Src: netaddr.MustParseIPv4("61.1.2.3"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+				Src: netaddr.MustParseAddr("61.1.2.3"), Dst: netaddr.MustParseAddr("192.0.2.9"),
 				Proto: flow.ProtoTCP, SrcPort: 1024, DstPort: 80, TOS: 4, InputIf: 3,
 			},
 			Packets: 12, Bytes: 4800,

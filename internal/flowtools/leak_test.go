@@ -17,8 +17,8 @@ func TestCollectorGoroutineLeak(t *testing.T) {
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	dgs := netflow.NewV5Encoder(boot, 1).Encode([]flow.Record{{
 		Key: flow.Key{
-			Src:   netaddr.MustParseIPv4("61.1.1.1"),
-			Dst:   netaddr.MustParseIPv4("192.0.2.1"),
+			Src:   netaddr.MustParseAddr("61.1.1.1"),
+			Dst:   netaddr.MustParseAddr("192.0.2.1"),
 			Proto: flow.ProtoUDP, DstPort: 1434,
 		},
 		Packets: 1, Bytes: 404, Start: boot, End: boot,
@@ -72,7 +72,7 @@ func TestCollectorGoroutineLeak(t *testing.T) {
 func TestCaptureCloseCycle(t *testing.T) {
 	dir := t.TempDir()
 	rec := flow.Record{
-		Key:     flow.Key{Src: netaddr.MustParseIPv4("61.1.1.1"), Dst: netaddr.MustParseIPv4("192.0.2.1")},
+		Key:     flow.Key{Src: netaddr.MustParseAddr("61.1.1.1"), Dst: netaddr.MustParseAddr("192.0.2.1")},
 		Packets: 3, Bytes: 1200,
 		Start: time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC),
 		End:   time.Date(2005, 4, 1, 0, 0, 2, 0, time.UTC),

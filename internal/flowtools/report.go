@@ -178,11 +178,11 @@ func ReadASCII(r io.Reader) ([]flow.Record, error) {
 		if len(parts) != asciiFields {
 			return nil, fmt.Errorf("flowtools: ascii line %d: %d fields, want %d", line, len(parts), asciiFields)
 		}
-		src, err := netaddr.ParseIPv4(parts[0])
+		src, err := netaddr.ParseAddr(parts[0])
 		if err != nil {
 			return nil, fmt.Errorf("flowtools: ascii line %d: %w", line, err)
 		}
-		dst, err := netaddr.ParseIPv4(parts[1])
+		dst, err := netaddr.ParseAddr(parts[1])
 		if err != nil {
 			return nil, fmt.Errorf("flowtools: ascii line %d: %w", line, err)
 		}

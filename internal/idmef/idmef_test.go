@@ -17,8 +17,8 @@ func sampleAlert(id string) Alert {
 		time.Date(2005, 4, 1, 10, 30, 0, 0, time.UTC),
 		StageNNS, 3, "spoofed-traffic/http-exploit",
 		flow.Key{
-			Src:     netaddr.MustParseIPv4("70.1.2.3"),
-			Dst:     netaddr.MustParseIPv4("192.0.2.9"),
+			Src:     netaddr.MustParseAddr("70.1.2.3"),
+			Dst:     netaddr.MustParseAddr("192.0.2.9"),
 			Proto:   flow.ProtoTCP,
 			SrcPort: 4444,
 			DstPort: 80,

@@ -14,7 +14,7 @@ import (
 // live sender and fails if Close leaves any goroutine behind.
 func TestConsumerGoroutineLeak(t *testing.T) {
 	key := flow.Key{
-		Src: netaddr.MustParseIPv4("70.1.1.1"), Dst: netaddr.MustParseIPv4("192.0.2.1"),
+		Src: netaddr.MustParseAddr("70.1.1.1"), Dst: netaddr.MustParseAddr("192.0.2.1"),
 		Proto: flow.ProtoUDP, DstPort: 1434,
 	}
 	alert := NewAlert("leak-1", time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC),

@@ -1,0 +1,394 @@
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Family tags the address family of an Addr or Prefix. The zero value
+// (FamilyNone) marks the invalid/zero Addr, so a zero Addr is never
+// mistaken for a real address of either family.
+type Family uint8
+
+// Address families.
+const (
+	FamilyNone Family = 0
+	FamilyV4   Family = 4
+	FamilyV6   Family = 6
+)
+
+// String names the family the way metric labels spell it ("4" / "6").
+func (f Family) String() string {
+	switch f {
+	case FamilyV4:
+		return "4"
+	case FamilyV6:
+		return "6"
+	default:
+		return "none"
+	}
+}
+
+// BitLen returns the family's address width in bits: 32 for v4, 128 for
+// v6, 0 for FamilyNone.
+func (f Family) BitLen() int {
+	switch f {
+	case FamilyV4:
+		return 32
+	case FamilyV6:
+		return 128
+	default:
+		return 0
+	}
+}
+
+// v4InV6 is the 4-in-6 marker in the low word: v4 addresses are stored
+// at ::ffff:0:0/96 so the two families share one 128-bit value layout
+// and the family tag alone decides rendering and key dispatch.
+const v4InV6 = uint64(0xffff) << 32
+
+// Addr is an IP address of either family: a family tag plus a 16-byte
+// value held as two big-endian 64-bit words. IPv4 addresses are stored
+// 4-in-6 (::ffff:a.b.c.d) with FamilyV4, so the low 32 bits of lo are
+// the v4 address and every v4 fast path is a plain 32-bit extraction.
+// Addr is comparable (flow keys and maps use ==) and the zero value is
+// the invalid address (IsValid reports false).
+type Addr struct {
+	hi, lo uint64
+	fam    Family
+}
+
+// AddrFrom4 builds a v4 address from its dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr{lo: v4InV6 | uint64(a)<<24 | uint64(b)<<16 | uint64(c)<<8 | uint64(d), fam: FamilyV4}
+}
+
+// AddrFrom16 builds a v6 address from its 16 raw bytes. 4-in-6 values
+// stay FamilyV6 (matching net/netip's Is4In6 semantics); use Unmap to
+// fold them onto FamilyV4.
+func AddrFrom16(b [16]byte) Addr {
+	return Addr{
+		hi:  beUint64(b[0:8]),
+		lo:  beUint64(b[8:16]),
+		fam: FamilyV6,
+	}
+}
+
+// Addr widens an IPv4 to the family-generic address type.
+func (ip IPv4) Addr() Addr {
+	return Addr{lo: v4InV6 | uint64(uint32(ip)), fam: FamilyV4}
+}
+
+func beUint64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// Family returns the address family tag.
+func (a Addr) Family() Family { return a.fam }
+
+// Is4 reports whether a is an IPv4 address (FamilyV4, not 4-in-6).
+func (a Addr) Is4() bool { return a.fam == FamilyV4 }
+
+// Is6 reports whether a is an IPv6 address (including 4-in-6 values).
+func (a Addr) Is6() bool { return a.fam == FamilyV6 }
+
+// IsValid reports whether a is an address of either family (the zero
+// Addr is not).
+func (a Addr) IsValid() bool { return a.fam != FamilyNone }
+
+// Is4In6 reports whether a is a v6 address inside ::ffff:0:0/96.
+func (a Addr) Is4In6() bool { return a.fam == FamilyV6 && a.hi == 0 && a.lo>>32 == 0xffff }
+
+// BitLen returns the address width in bits (32, 128, or 0 when invalid).
+func (a Addr) BitLen() int { return a.fam.BitLen() }
+
+// As16 returns the 16-byte representation (v4 mapped 4-in-6).
+func (a Addr) As16() [16]byte {
+	var b [16]byte
+	bePutUint64(b[0:8], a.hi)
+	bePutUint64(b[8:16], a.lo)
+	return b
+}
+
+func bePutUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// V4 returns the compact IPv4 form of a and whether a is v4 (directly
+// or 4-in-6).
+func (a Addr) V4() (IPv4, bool) {
+	if a.fam == FamilyV4 || a.Is4In6() {
+		return IPv4(uint32(a.lo)), true
+	}
+	return 0, false
+}
+
+// Unmap folds a 4-in-6 address onto FamilyV4; every other address is
+// returned unchanged.
+func (a Addr) Unmap() Addr {
+	if a.Is4In6() {
+		a.fam = FamilyV4
+	}
+	return a
+}
+
+// Uint64Pair exposes the raw 128-bit value as two big-endian words, for
+// hashing. v4 addresses carry the 4-in-6 marker in lo.
+func (a Addr) Uint64Pair() (hi, lo uint64) { return a.hi, a.lo }
+
+// Compare orders addresses: invalid first, then v4 before v6, then by
+// value.
+func (a Addr) Compare(b Addr) int {
+	if a.fam != b.fam {
+		if a.fam < b.fam {
+			return -1
+		}
+		return 1
+	}
+	if a.hi != b.hi {
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	}
+	if a.lo != b.lo {
+		if a.lo < b.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether a orders before b (see Compare).
+func (a Addr) Less(b Addr) bool { return a.Compare(b) < 0 }
+
+// masked returns a with everything below the top `bits` bits of its
+// family's address space zeroed.
+func (a Addr) masked(bits int) Addr {
+	switch a.fam {
+	case FamilyV4:
+		if bits <= 0 {
+			a.lo = v4InV6
+		} else if bits < 32 {
+			a.lo = v4InV6 | (a.lo & (^uint64(0) << (32 - uint(bits))) & 0xffffffff)
+		}
+	case FamilyV6:
+		switch {
+		case bits <= 0:
+			a.hi, a.lo = 0, 0
+		case bits < 64:
+			a.hi &= ^uint64(0) << (64 - uint(bits))
+			a.lo = 0
+		case bits == 64:
+			a.lo = 0
+		case bits < 128:
+			a.lo &= ^uint64(0) << (128 - uint(bits))
+		}
+	}
+	return a
+}
+
+// addOffset returns a+n within the family's address space. Callers
+// (Prefix.Nth) guarantee the sum does not overflow the space.
+func (a Addr) addOffset(n uint64) Addr {
+	if a.fam == FamilyV4 {
+		a.lo = v4InV6 | uint64(uint32(a.lo)+uint32(n))
+		return a
+	}
+	lo := a.lo + n
+	if lo < a.lo {
+		a.hi++
+	}
+	a.lo = lo
+	return a
+}
+
+// String renders the address: dotted quad for v4, RFC 5952 form for v6
+// (lowercase hex, longest zero run compressed, 4-in-6 as ::ffff:a.b.c.d).
+func (a Addr) String() string {
+	switch {
+	case a.fam == FamilyV4:
+		return IPv4(uint32(a.lo)).String()
+	case a.fam == FamilyV6:
+		return a.string6()
+	default:
+		return "invalid"
+	}
+}
+
+func (a Addr) string6() string {
+	if a.Is4In6() {
+		return "::ffff:" + IPv4(uint32(a.lo)).String()
+	}
+	var g [8]uint16
+	for i := 0; i < 4; i++ {
+		g[i] = uint16(a.hi >> (48 - 16*uint(i)))
+		g[i+4] = uint16(a.lo >> (48 - 16*uint(i)))
+	}
+	// Longest run of >= 2 zero groups, leftmost on ties (RFC 5952 §4.2).
+	best, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if g[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && g[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			best, bestLen = i, j-i
+		}
+		i = j
+	}
+	var sb strings.Builder
+	sb.Grow(39)
+	for i := 0; i < 8; i++ {
+		if i == best {
+			sb.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && i != best+bestLen {
+			sb.WriteByte(':')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(g[i]), 16))
+	}
+	return sb.String()
+}
+
+// ParseAddr parses an address of either family: dotted-quad v4, or v6
+// per RFC 4291 text forms (hex groups, one "::", optional embedded v4
+// tail). Zoned addresses ("%zone") are rejected — flow records carry no
+// scope.
+func ParseAddr(s string) (Addr, error) {
+	if strings.IndexByte(s, ':') >= 0 {
+		return parseV6(s)
+	}
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		return Addr{}, err
+	}
+	return ip.Addr(), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error. For tests and constants.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func hexDigit(c byte) (int, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0'), true
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10, true
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func parseV6(s string) (Addr, error) {
+	orig := s
+	fail := func() (Addr, error) {
+		return Addr{}, fmt.Errorf("%w: %q", ErrBadAddress, orig)
+	}
+	var b [16]byte
+	ellipsis := -1 // byte index the "::" expands at
+	if len(s) >= 2 && s[0] == ':' && s[1] == ':' {
+		ellipsis = 0
+		s = s[2:]
+		if len(s) == 0 {
+			return AddrFrom16(b), nil
+		}
+	}
+	i := 0 // bytes of b filled
+	for i < 16 {
+		// Parse a hex group (1-4 digits).
+		off, val := 0, 0
+		for off < len(s) {
+			d, ok := hexDigit(s[off])
+			if !ok {
+				break
+			}
+			val = val<<4 | d
+			off++
+			if off > 4 {
+				return fail()
+			}
+		}
+		if off == 0 {
+			return fail()
+		}
+		if off < len(s) && s[off] == '.' {
+			// Embedded v4 tail: the remainder must be a dotted quad
+			// filling the final 32 bits.
+			if i+4 > 16 {
+				return fail()
+			}
+			ip, err := ParseIPv4(s)
+			if err != nil {
+				return fail()
+			}
+			oa, ob, oc, od := ip.Octets()
+			b[i], b[i+1], b[i+2], b[i+3] = oa, ob, oc, od
+			i += 4
+			s = ""
+			break
+		}
+		if i+2 > 16 {
+			return fail()
+		}
+		b[i], b[i+1] = byte(val>>8), byte(val)
+		i += 2
+		s = s[off:]
+		if len(s) == 0 {
+			break
+		}
+		if s[0] != ':' {
+			return fail()
+		}
+		s = s[1:]
+		if len(s) == 0 {
+			return fail() // trailing single colon
+		}
+		if s[0] == ':' {
+			if ellipsis >= 0 {
+				return fail() // second "::"
+			}
+			ellipsis = i
+			s = s[1:]
+			if len(s) == 0 {
+				break
+			}
+		}
+	}
+	if len(s) != 0 {
+		return fail()
+	}
+	if i < 16 {
+		if ellipsis < 0 {
+			return fail() // too few groups, no "::"
+		}
+		n := 16 - i
+		for j := i - 1; j >= ellipsis; j-- {
+			b[j+n] = b[j]
+			b[j] = 0
+		}
+	} else if ellipsis >= 0 {
+		return fail() // "::" must expand to at least one zero group
+	}
+	return AddrFrom16(b), nil
+}

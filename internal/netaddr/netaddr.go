@@ -1,6 +1,10 @@
-// Package netaddr provides compact IPv4 address and prefix types used
-// throughout InFilter. Addresses are represented as host-order uint32 so
-// prefix arithmetic and set membership stay allocation-free on the hot path.
+// Package netaddr provides the compact address and prefix types used
+// throughout InFilter. The core model is address-family-generic: Addr is a
+// family tag plus a 16-byte value (v4 stored 4-in-6) and Prefix masks up
+// to /128, so every layer — flow keys, EIA tries, the BGP RIB — handles
+// IPv4 and IPv6 through one type. The IPv4 (host-order uint32) type
+// remains for v4-only wire formats and generators where 32-bit prefix
+// arithmetic is the natural shape; IPv4.Addr() widens it losslessly.
 package netaddr
 
 import (
@@ -15,8 +19,8 @@ type IPv4 uint32
 
 // Errors returned by the parsers in this package.
 var (
-	ErrBadAddress = errors.New("netaddr: malformed IPv4 address")
-	ErrBadPrefix  = errors.New("netaddr: malformed IPv4 prefix")
+	ErrBadAddress = errors.New("netaddr: malformed IP address")
+	ErrBadPrefix  = errors.New("netaddr: malformed IP prefix")
 )
 
 // FromOctets builds an address from its four dotted-quad octets.
@@ -77,24 +81,26 @@ func MustParseIPv4(s string) IPv4 {
 	return ip
 }
 
-// Prefix is an IPv4 CIDR prefix. The address bits below the mask are kept
-// zero by the constructors so two equal prefixes compare equal with ==.
+// Prefix is a CIDR prefix of either family, masking up to /32 (v4) or
+// /128 (v6). The address bits below the mask are kept zero by the
+// constructors so two equal prefixes compare equal with ==. The zero
+// Prefix is invalid (IsZero reports true) and belongs to no family.
 type Prefix struct {
-	addr IPv4
+	addr Addr
 	bits uint8
 }
 
-// NewPrefix builds a prefix from an address and a mask length, zeroing host
-// bits. bits must be in [0,32].
-func NewPrefix(addr IPv4, bits int) (Prefix, error) {
-	if bits < 0 || bits > 32 {
-		return Prefix{}, fmt.Errorf("%w: /%d", ErrBadPrefix, bits)
+// NewPrefix builds a prefix from an address and a mask length, zeroing
+// host bits. bits must be in [0, addr.BitLen()].
+func NewPrefix(addr Addr, bits int) (Prefix, error) {
+	if !addr.IsValid() || bits < 0 || bits > addr.BitLen() {
+		return Prefix{}, fmt.Errorf("%w: /%d (%s)", ErrBadPrefix, bits, addr.fam)
 	}
-	return Prefix{addr: addr & maskFor(bits), bits: uint8(bits)}, nil
+	return Prefix{addr: addr.masked(bits), bits: uint8(bits)}, nil
 }
 
 // MustPrefix is NewPrefix that panics on error.
-func MustPrefix(addr IPv4, bits int) Prefix {
+func MustPrefix(addr Addr, bits int) Prefix {
 	p, err := NewPrefix(addr, bits)
 	if err != nil {
 		panic(err)
@@ -102,18 +108,24 @@ func MustPrefix(addr IPv4, bits int) Prefix {
 	return p
 }
 
-// ParsePrefix parses "a.b.c.d/len" CIDR notation.
+// PrefixFrom4 builds a v4 prefix from a compact IPv4 address; it is
+// MustPrefix(ip.Addr(), bits) for the v4 generators and wire decoders.
+func PrefixFrom4(ip IPv4, bits int) Prefix {
+	return MustPrefix(ip.Addr(), bits)
+}
+
+// ParsePrefix parses "addr/len" CIDR notation of either family.
 func ParsePrefix(s string) (Prefix, error) {
 	slash := strings.IndexByte(s, '/')
 	if slash < 0 {
 		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
 	}
-	addr, err := ParseIPv4(s[:slash])
+	addr, err := ParseAddr(s[:slash])
 	if err != nil {
 		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
 	}
 	bits, err := strconv.Atoi(s[slash+1:])
-	if err != nil || bits < 0 || bits > 32 {
+	if err != nil || bits < 0 || bits > addr.BitLen() {
 		return Prefix{}, fmt.Errorf("%w: %q", ErrBadPrefix, s)
 	}
 	return NewPrefix(addr, bits)
@@ -136,17 +148,18 @@ func maskFor(bits int) IPv4 {
 }
 
 // Addr returns the (masked) network address of p.
-func (p Prefix) Addr() IPv4 { return p.addr }
+func (p Prefix) Addr() Addr { return p.addr }
 
 // Bits returns the mask length of p.
 func (p Prefix) Bits() int { return int(p.bits) }
 
-// Mask returns the netmask of p as an address.
-func (p Prefix) Mask() IPv4 { return maskFor(int(p.bits)) }
+// Family returns the prefix's address family.
+func (p Prefix) Family() Family { return p.addr.fam }
 
-// Contains reports whether ip falls inside p.
-func (p Prefix) Contains(ip IPv4) bool {
-	return ip&maskFor(int(p.bits)) == p.addr
+// Contains reports whether a falls inside p. Addresses of a different
+// family are never contained.
+func (p Prefix) Contains(a Addr) bool {
+	return a.fam == p.addr.fam && a.masked(int(p.bits)) == p.addr
 }
 
 // Overlaps reports whether p and q share any address.
@@ -158,21 +171,46 @@ func (p Prefix) Overlaps(q Prefix) bool {
 }
 
 // First returns the lowest address in p.
-func (p Prefix) First() IPv4 { return p.addr }
+func (p Prefix) First() Addr { return p.addr }
 
 // Last returns the highest address in p.
-func (p Prefix) Last() IPv4 { return p.addr | ^maskFor(int(p.bits)) }
+func (p Prefix) Last() Addr {
+	a := p.addr
+	switch a.fam {
+	case FamilyV4:
+		a.lo |= uint64(^uint32(maskFor(int(p.bits))))
+	case FamilyV6:
+		bits := int(p.bits)
+		switch {
+		case bits < 64:
+			a.hi |= ^(^uint64(0) << (64 - uint(bits)))
+			a.lo = ^uint64(0)
+		case bits == 64:
+			a.lo = ^uint64(0)
+		case bits < 128:
+			a.lo |= ^(^uint64(0) << (128 - uint(bits)))
+		}
+	}
+	return a
+}
 
-// Size returns the number of addresses covered by p.
-func (p Prefix) Size() uint64 { return uint64(1) << (32 - uint(p.bits)) }
+// Size returns the number of addresses covered by p, saturating at
+// MaxUint64 for v6 prefixes wider than /64.
+func (p Prefix) Size() uint64 {
+	host := p.addr.BitLen() - int(p.bits)
+	if host >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << uint(host)
+}
 
 // Nth returns the i-th address inside p. It panics if i is out of range,
 // which indicates a programming error in the caller.
-func (p Prefix) Nth(i uint64) IPv4 {
+func (p Prefix) Nth(i uint64) Addr {
 	if i >= p.Size() {
 		panic(fmt.Sprintf("netaddr: Nth(%d) out of range for %v", i, p))
 	}
-	return p.addr + IPv4(i)
+	return p.addr.addOffset(i)
 }
 
 // String renders p in CIDR notation.
@@ -180,7 +218,6 @@ func (p Prefix) String() string {
 	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
 }
 
-// IsZero reports whether p is the zero Prefix (0.0.0.0/0 constructed as a
-// zero value). Note 0.0.0.0/0 built through NewPrefix is also zero; callers
-// that need a real default route should track it separately.
-func (p Prefix) IsZero() bool { return p == Prefix{} }
+// IsZero reports whether p is the zero (invalid) Prefix. Real prefixes
+// of either family — including 0.0.0.0/0 and ::/0 — are not zero.
+func (p Prefix) IsZero() bool { return !p.addr.IsValid() }

@@ -55,7 +55,7 @@ func TestIPv4StringRoundTrip(t *testing.T) {
 
 func TestPrefixMasking(t *testing.T) {
 	p := MustParsePrefix("192.168.77.200/24")
-	if got := p.Addr(); got != FromOctets(192, 168, 77, 0) {
+	if got := p.Addr(); got != FromOctets(192, 168, 77, 0).Addr() {
 		t.Errorf("Addr() = %v, want 192.168.77.0", got)
 	}
 	if p.Bits() != 24 {
@@ -84,7 +84,7 @@ func TestPrefixContains(t *testing.T) {
 	}
 	for _, tt := range tests {
 		p := MustParsePrefix(tt.prefix)
-		ip := MustParseIPv4(tt.ip)
+		ip := MustParseAddr(tt.ip)
 		if got := p.Contains(ip); got != tt.want {
 			t.Errorf("%v.Contains(%v) = %v, want %v", p, ip, got, tt.want)
 		}
@@ -93,10 +93,10 @@ func TestPrefixContains(t *testing.T) {
 
 func TestPrefixFirstLastSize(t *testing.T) {
 	p := MustParsePrefix("214.32.0.0/11")
-	if p.First() != MustParseIPv4("214.32.0.0") {
+	if p.First() != MustParseAddr("214.32.0.0") {
 		t.Errorf("First() = %v", p.First())
 	}
-	if p.Last() != MustParseIPv4("214.63.255.255") {
+	if p.Last() != MustParseAddr("214.63.255.255") {
 		t.Errorf("Last() = %v", p.Last())
 	}
 	if p.Size() != 1<<21 {
@@ -153,7 +153,7 @@ func TestParsePrefixErrors(t *testing.T) {
 func TestPrefixStringRoundTrip(t *testing.T) {
 	f := func(v uint32, bits uint8) bool {
 		b := int(bits % 33)
-		p := MustPrefix(IPv4(v), b)
+		p := PrefixFrom4(IPv4(v), b)
 		back, err := ParsePrefix(p.String())
 		return err == nil && back == p
 	}

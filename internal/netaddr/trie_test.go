@@ -51,25 +51,25 @@ func TestTrieLongestPrefixMatch(t *testing.T) {
 		{"4.255.0.1", "peer3356"},
 	}
 	for _, tt := range tests {
-		got, ok := tr.Lookup(MustParseIPv4(tt.ip))
+		got, ok := tr.Lookup(MustParseAddr(tt.ip))
 		if !ok || got != tt.want {
 			t.Errorf("Lookup(%s) = %q, %v; want %q", tt.ip, got, ok, tt.want)
 		}
 	}
-	if _, ok := tr.Lookup(MustParseIPv4("5.0.0.1")); ok {
+	if _, ok := tr.Lookup(MustParseAddr("5.0.0.1")); ok {
 		t.Error("Lookup outside any prefix should miss")
 	}
 }
 
 func TestTrieDefaultRoute(t *testing.T) {
 	tr := NewPrefixTrie[int]()
-	tr.Insert(MustPrefix(0, 0), 99)
+	tr.Insert(PrefixFrom4(0, 0), 99)
 	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
 
-	if got, ok := tr.Lookup(MustParseIPv4("10.1.2.3")); !ok || got != 1 {
+	if got, ok := tr.Lookup(MustParseAddr("10.1.2.3")); !ok || got != 1 {
 		t.Errorf("Lookup under /8 = %d, %v", got, ok)
 	}
-	if got, ok := tr.Lookup(MustParseIPv4("11.1.2.3")); !ok || got != 99 {
+	if got, ok := tr.Lookup(MustParseAddr("11.1.2.3")); !ok || got != 99 {
 		t.Errorf("Lookup default = %d, %v", got, ok)
 	}
 }
@@ -84,7 +84,7 @@ func TestTrieDelete(t *testing.T) {
 	if tr.Delete(p) {
 		t.Error("Delete absent prefix should report false")
 	}
-	if _, ok := tr.Lookup(MustParseIPv4("192.0.2.1")); ok {
+	if _, ok := tr.Lookup(MustParseAddr("192.0.2.1")); ok {
 		t.Error("Lookup after delete should miss")
 	}
 	if tr.Len() != 0 {
@@ -97,11 +97,11 @@ func TestTrieLookupPrefix(t *testing.T) {
 	tr.Insert(MustParsePrefix("4.0.0.0/8"), "a")
 	tr.Insert(MustParsePrefix("4.2.101.0/24"), "b")
 
-	p, v, ok := tr.LookupPrefix(MustParseIPv4("4.2.101.20"))
+	p, v, ok := tr.LookupPrefix(MustParseAddr("4.2.101.20"))
 	if !ok || v != "b" || p != MustParsePrefix("4.2.101.0/24") {
 		t.Errorf("LookupPrefix = %v, %q, %v", p, v, ok)
 	}
-	p, v, ok = tr.LookupPrefix(MustParseIPv4("4.9.9.9"))
+	p, v, ok = tr.LookupPrefix(MustParseAddr("4.9.9.9"))
 	if !ok || v != "a" || p != MustParsePrefix("4.0.0.0/8") {
 		t.Errorf("LookupPrefix = %v, %q, %v", p, v, ok)
 	}
@@ -122,7 +122,7 @@ func TestTrieWalkOrder(t *testing.T) {
 	sort.Slice(want, func(i, j int) bool {
 		a, b := MustParsePrefix(want[i]), MustParsePrefix(want[j])
 		if a.Addr() != b.Addr() {
-			return a.Addr() < b.Addr()
+			return a.Addr().Less(b.Addr())
 		}
 		return a.Bits() < b.Bits()
 	})
@@ -139,7 +139,7 @@ func TestTrieWalkOrder(t *testing.T) {
 func TestTrieWalkEarlyStop(t *testing.T) {
 	tr := NewPrefixTrie[int]()
 	for i := 0; i < 10; i++ {
-		tr.Insert(MustPrefix(IPv4(i)<<24, 8), i)
+		tr.Insert(PrefixFrom4(IPv4(i)<<24, 8), i)
 	}
 	n := 0
 	tr.Walk(func(Prefix, int) bool {
@@ -159,12 +159,12 @@ func TestTrieMatchesLinearScan(t *testing.T) {
 		tr := NewPrefixTrie[int]()
 		var prefixes []Prefix
 		for i := 0; i < 50; i++ {
-			p := MustPrefix(IPv4(rng.Uint32()), rng.Intn(25)+8)
+			p := PrefixFrom4(IPv4(rng.Uint32()), rng.Intn(25)+8)
 			prefixes = append(prefixes, p)
 			tr.Insert(p, i)
 		}
 		for i := 0; i < 200; i++ {
-			ip := IPv4(rng.Uint32())
+			ip := IPv4(rng.Uint32()).Addr()
 			wantBits, wantVal, wantOK := -1, -1, false
 			for j, p := range prefixes {
 				if p.Contains(ip) && p.Bits() > wantBits {
@@ -200,7 +200,7 @@ func TestTrieInsertPersistent(t *testing.T) {
 		t.Fatalf("Len chain = %d,%d,%d,%d; want 0,1,2,2",
 			t0.Len(), t1.Len(), t2.Len(), t3.Len())
 	}
-	ip := MustParseIPv4("4.2.101.20")
+	ip := MustParseAddr("4.2.101.20")
 	if _, ok := t0.Lookup(ip); ok {
 		t.Error("t0 sees a later insert")
 	}
@@ -210,10 +210,10 @@ func TestTrieInsertPersistent(t *testing.T) {
 	if got, _ := t2.Lookup(ip); got != "b" {
 		t.Errorf("t2.Lookup = %q, want b", got)
 	}
-	if got, _ := t2.Lookup(MustParseIPv4("4.9.9.9")); got != "a" {
+	if got, _ := t2.Lookup(MustParseAddr("4.9.9.9")); got != "a" {
 		t.Errorf("t2 /8 value = %q, want a (replacement must not leak back)", got)
 	}
-	if got, _ := t3.Lookup(MustParseIPv4("4.9.9.9")); got != "a2" {
+	if got, _ := t3.Lookup(MustParseAddr("4.9.9.9")); got != "a2" {
 		t.Errorf("t3 /8 value = %q, want a2", got)
 	}
 }
@@ -226,10 +226,10 @@ func TestTrieInsertPersistentSharesSubtrees(t *testing.T) {
 	// 128.0.0.0/1 lives entirely under root.child[1].
 	base = base.InsertPersistent(MustParsePrefix("128.0.0.0/1"), 1)
 	next := base.InsertPersistent(MustParsePrefix("10.0.0.0/8"), 2) // under child[0]
-	if base.root.child[1] != next.root.child[1] {
+	if base.root4.child[1] != next.root4.child[1] {
 		t.Error("untouched subtree was copied instead of shared")
 	}
-	if base.root == next.root {
+	if base.root4 == next.root4 {
 		t.Error("root must be copied, not shared")
 	}
 }
@@ -241,7 +241,7 @@ func TestTrieInsertPersistentMatchesMutable(t *testing.T) {
 	mut := NewPrefixTrie[int]()
 	per := NewPrefixTrie[int]()
 	for i := 0; i < 200; i++ {
-		p := MustPrefix(IPv4(rng.Uint32()), rng.Intn(25)+8)
+		p := PrefixFrom4(IPv4(rng.Uint32()), rng.Intn(25)+8)
 		mut.Insert(p, i)
 		per = per.InsertPersistent(p, i)
 	}
@@ -249,7 +249,7 @@ func TestTrieInsertPersistentMatchesMutable(t *testing.T) {
 		t.Fatalf("Len: mutable %d, persistent %d", mut.Len(), per.Len())
 	}
 	for i := 0; i < 500; i++ {
-		ip := IPv4(rng.Uint32())
+		ip := IPv4(rng.Uint32()).Addr()
 		gm, okm := mut.Lookup(ip)
 		gp, okp := per.Lookup(ip)
 		if gm != gp || okm != okp {
@@ -262,7 +262,7 @@ func TestTrieInsertLookupProperty(t *testing.T) {
 	f := func(addr uint32, bitsRaw uint8) bool {
 		bits := int(bitsRaw%32) + 1
 		tr := NewPrefixTrie[uint32]()
-		p := MustPrefix(IPv4(addr), bits)
+		p := PrefixFrom4(IPv4(addr), bits)
 		tr.Insert(p, addr)
 		got, ok := tr.Lookup(p.First())
 		got2, ok2 := tr.Lookup(p.Last())

@@ -97,14 +97,14 @@ func TestDecodeGoldenFixtures(t *testing.T) {
 			want: []flow.Record{
 				{
 					Key: flow.Key{
-						Src: netaddr.MustParseIPv4("10.0.0.1"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Src: netaddr.MustParseAddr("10.0.0.1"), Dst: netaddr.MustParseAddr("192.0.2.9"),
 						Proto: flow.ProtoTCP, SrcPort: 1024, DstPort: 80,
 					},
 					Packets: 10, Bytes: 1024, Start: exportTime, End: exportTime,
 				},
 				{
 					Key: flow.Key{
-						Src: netaddr.MustParseIPv4("10.0.0.2"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Src: netaddr.MustParseAddr("10.0.0.2"), Dst: netaddr.MustParseAddr("192.0.2.9"),
 						Proto: flow.ProtoUDP, SrcPort: 1025, DstPort: 53,
 					},
 					Packets: 1, Bytes: 100, Start: exportTime, End: exportTime,
@@ -120,7 +120,7 @@ func TestDecodeGoldenFixtures(t *testing.T) {
 			want: []flow.Record{
 				{
 					Key: flow.Key{
-						Src: netaddr.MustParseIPv4("10.0.0.1"), Dst: netaddr.MustParseIPv4("192.0.2.9"),
+						Src: netaddr.MustParseAddr("10.0.0.1"), Dst: netaddr.MustParseAddr("192.0.2.9"),
 						Proto: flow.ProtoTCP,
 					},
 					Bytes: 1024, Start: exportTime, End: exportTime,
@@ -192,7 +192,7 @@ func exportSample(n int) []flow.Record {
 	for i := range recs {
 		recs[i] = flow.Record{
 			Key: flow.Key{
-				Src: netaddr.IPv4(0x3d000000 + uint32(i)), Dst: 0xc0000201,
+				Src: netaddr.IPv4(0x3d000000 + uint32(i)).Addr(), Dst: netaddr.IPv4(0xc0000201).Addr(),
 				Proto: flow.ProtoTCP, SrcPort: uint16(1024 + i), DstPort: 80,
 				TOS: 0xe0, InputIf: 2,
 			},

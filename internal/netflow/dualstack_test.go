@@ -1,0 +1,222 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+)
+
+// exportSample6 builds n distinct finished IPv6 flows, exercising the
+// v6-only elements (16-byte addresses, /0..128 prefix lens, flow label).
+func exportSample6(n int) []flow.Record {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	base := netaddr.MustParsePrefix("2001:db8:ffff::/64")
+	recs := make([]flow.Record, n)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Key: flow.Key{
+				Src: base.Nth(uint64(i) + 1), Dst: netaddr.MustParseAddr("2001:db8::53"),
+				Proto: flow.ProtoUDP, SrcPort: uint16(2048 + i), DstPort: 53,
+				TOS: 0x10, InputIf: 4,
+			},
+			Packets: uint32(3 + i), Bytes: uint32(120 * (1 + i)),
+			Start: boot.Add(time.Duration(i) * time.Second),
+			End:   boot.Add(time.Duration(i)*time.Second + 250*time.Millisecond),
+			SrcAS: 65101, DstAS: 65102, SrcMask: 48, DstMask: 64,
+			FlowLabel: uint32(0xbeef0 + i),
+		}
+	}
+	return recs
+}
+
+// exportSampleMixed interleaves v4 and v6 flows record by record — the
+// worst case for the encoders' family-run segmentation.
+func exportSampleMixed(n int) []flow.Record {
+	v4 := exportSample(n)
+	v6 := exportSample6(n)
+	recs := make([]flow.Record, 0, 2*n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, v4[i], v6[i])
+	}
+	return recs
+}
+
+func checkRecords(t *testing.T, got, want []flow.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key {
+			t.Errorf("record %d key: got %+v want %+v", i, got[i].Key, want[i].Key)
+		}
+		if got[i].Packets != want[i].Packets || got[i].Bytes != want[i].Bytes ||
+			got[i].SrcAS != want[i].SrcAS || got[i].DstAS != want[i].DstAS ||
+			got[i].SrcMask != want[i].SrcMask || got[i].DstMask != want[i].DstMask ||
+			got[i].FlowLabel != want[i].FlowLabel {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+		if !got[i].Start.Equal(want[i].Start) || !got[i].End.Equal(want[i].End) {
+			t.Errorf("record %d times: got %v-%v want %v-%v",
+				i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTripV6 drives an all-v6 batch through the
+// template-based encoders and back through Decode: addresses, masks and
+// the IPv6 flow label must survive the wire.
+func TestEncodeDecodeRoundTripV6(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	encoders := map[string]WireEncoder{
+		"v9":    NewV9Encoder(boot, 7),
+		"ipfix": NewIPFIXEncoder(7),
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			want := exportSample6(45) // forces a 30/15 split
+			buf := NewDecodeBuffer(NewTemplateCache(TemplateCacheConfig{}))
+			buf.SetExporter("test")
+			var got []flow.Record
+			for _, wd := range enc.Encode(want, now) {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, msg.Records...)
+			}
+			checkRecords(t, got, want)
+			for i := range got {
+				if !got[i].Key.Src.Is6() || !got[i].Key.Dst.Is6() {
+					t.Fatalf("record %d decoded as non-v6: %+v", i, got[i].Key)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeRoundTripMixed interleaves the families record by
+// record: the encoders must segment the batch into per-family data sets
+// (each referencing its own template) while preserving record order, and
+// announce each family's template exactly once.
+func TestEncodeDecodeRoundTripMixed(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	encoders := map[string]WireEncoder{
+		"v9":    NewV9Encoder(boot, 7),
+		"ipfix": NewIPFIXEncoder(7),
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			want := exportSampleMixed(20) // 40 records, alternating families
+			dgs := enc.Encode(want, now)
+			templates := 0
+			for _, wd := range dgs {
+				if wd.Flows == 0 {
+					templates++
+				}
+			}
+			if templates != 2 {
+				t.Errorf("emitted %d template datagrams, want 2 (one per family)", templates)
+			}
+			buf := NewDecodeBuffer(NewTemplateCache(TemplateCacheConfig{}))
+			buf.SetExporter("test")
+			var got []flow.Record
+			for _, wd := range dgs {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, msg.Records...)
+			}
+			checkRecords(t, got, want)
+		})
+	}
+}
+
+// TestFamilyRunSegmentation pins the run-length helper the encoders
+// segment batches with.
+func TestFamilyRunSegmentation(t *testing.T) {
+	mixed := append(exportSample(3), append(exportSample6(2), exportSample(1)...)...)
+	wantRuns := []struct {
+		n  int
+		v6 bool
+	}{{3, false}, {2, true}, {1, false}}
+	recs := mixed
+	for i, w := range wantRuns {
+		n, v6 := familyRun(recs)
+		if n != w.n || v6 != w.v6 {
+			t.Fatalf("run %d: got (%d, v6=%t), want (%d, v6=%t)", i, n, v6, w.n, w.v6)
+		}
+		recs = recs[n:]
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records left after expected runs", len(recs))
+	}
+}
+
+// TestV6TemplateDelayFlush withholds templates on a mixed stream: both
+// families' data sets orphan, and Flush must emit both templates so the
+// buffered orphans resolve. A v4-only stream under the same delay must
+// flush only the v4 template — the v6 one was never referenced.
+func TestV6TemplateDelayFlush(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	type delayEncoder interface {
+		WireEncoder
+		SetTemplateDelay(int)
+	}
+	encoders := map[string]func() delayEncoder{
+		"v9":    func() delayEncoder { return NewV9Encoder(boot, 7) },
+		"ipfix": func() delayEncoder { return NewIPFIXEncoder(7) },
+	}
+	for name, mk := range encoders {
+		t.Run(name, func(t *testing.T) {
+			enc := mk()
+			enc.SetTemplateDelay(100) // withhold until Flush
+			want := exportSampleMixed(5)
+			dgs := enc.Encode(want, now)
+			flushed := enc.Flush(now)
+			if len(flushed) != 2 {
+				t.Fatalf("Flush emitted %d datagrams, want 2 (v4 + v6 template)", len(flushed))
+			}
+			dgs = append(dgs, flushed...)
+
+			cache := NewTemplateCache(TemplateCacheConfig{})
+			buf := NewDecodeBuffer(cache)
+			buf.SetExporter("test")
+			var got []flow.Record
+			resolved := 0
+			for _, wd := range dgs {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resolved += msg.Resolved
+				got = append(got, msg.Records...)
+			}
+			if resolved != len(want) {
+				t.Errorf("resolved %d orphaned records, want %d", resolved, len(want))
+			}
+			// Orphans resolve per family as each template lands: the v4
+			// template (flushed first) releases the v4 records in arrival
+			// order, then the v6 template releases the v6 ones.
+			wantResolved := append(exportSample(5), exportSample6(5)...)
+			checkRecords(t, got, wantResolved)
+			if cache.OrphanCount() != 0 {
+				t.Errorf("%d orphans still buffered", cache.OrphanCount())
+			}
+
+			// v4-only stream: Flush has no v6 template to emit.
+			enc4 := mk()
+			enc4.SetTemplateDelay(100)
+			enc4.Encode(exportSample(5), now)
+			if flushed := enc4.Flush(now); len(flushed) != 1 {
+				t.Errorf("v4-only Flush emitted %d datagrams, want 1", len(flushed))
+			}
+		})
+	}
+}

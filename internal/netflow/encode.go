@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"infilter/internal/flow"
+	"infilter/internal/netaddr"
 )
 
 // WireDatagram is one encoded export datagram ready for the wire, with
@@ -30,9 +31,16 @@ type WireEncoder interface {
 	Flush(now time.Time) []WireDatagram
 }
 
-// exportTemplateID is the data set id both template-based encoders
-// announce; the first id outside the reserved range.
-const exportTemplateID = 256
+// exportTemplateID is the v4 data set id both template-based encoders
+// announce (the first id outside the reserved range); exportTemplateID6
+// is the v6 template. Records are exported through the template of their
+// own family, and each template is announced lazily before the first
+// data set that references it — an all-v4 record stream therefore
+// produces byte-identical output to the pre-dual-stack encoders.
+const (
+	exportTemplateID  = 256
+	exportTemplateID6 = 257
+)
 
 // v9ExportFields is the template this package's v9 encoder announces: the
 // v5 feature set expressed as IANA information elements, with
@@ -77,6 +85,51 @@ var ipfixExportFields = []TemplateField{
 	{ID: ieIngressInterface, Length: 2},
 }
 
+// v9ExportFields6 is the v6 flavor of the v9 export template: the v4
+// address and prefix-length elements swapped for their v6 counterparts,
+// plus the IPv6 flow label (67 bytes per record).
+var v9ExportFields6 = []TemplateField{
+	{ID: ieSourceIPv6Address, Length: 16},
+	{ID: ieDestIPv6Address, Length: 16},
+	{ID: ieSourceTransportPort, Length: 2},
+	{ID: ieDestTransportPort, Length: 2},
+	{ID: ieProtocolIdentifier, Length: 1},
+	{ID: ieIPClassOfService, Length: 1},
+	{ID: ieTCPControlBits, Length: 1},
+	{ID: iePacketDeltaCount, Length: 4},
+	{ID: ieOctetDeltaCount, Length: 4},
+	{ID: ieFlowStartSysUpTime, Length: 4},
+	{ID: ieFlowEndSysUpTime, Length: 4},
+	{ID: ieBGPSourceAS, Length: 2},
+	{ID: ieBGPDestinationAS, Length: 2},
+	{ID: ieSourceIPv6PrefixLen, Length: 1},
+	{ID: ieDestIPv6PrefixLen, Length: 1},
+	{ID: ieFlowLabelIPv6, Length: 4},
+	{ID: ieIngressInterface, Length: 2},
+}
+
+// ipfixExportFields6 is the v6 flavor of the IPFIX export template
+// (75 bytes per record).
+var ipfixExportFields6 = []TemplateField{
+	{ID: ieSourceIPv6Address, Length: 16},
+	{ID: ieDestIPv6Address, Length: 16},
+	{ID: ieSourceTransportPort, Length: 2},
+	{ID: ieDestTransportPort, Length: 2},
+	{ID: ieProtocolIdentifier, Length: 1},
+	{ID: ieIPClassOfService, Length: 1},
+	{ID: ieTCPControlBits, Length: 1},
+	{ID: iePacketDeltaCount, Length: 4},
+	{ID: ieOctetDeltaCount, Length: 4},
+	{ID: ieFlowStartMilliseconds, Length: 8},
+	{ID: ieFlowEndMilliseconds, Length: 8},
+	{ID: ieBGPSourceAS, Length: 2},
+	{ID: ieBGPDestinationAS, Length: 2},
+	{ID: ieSourceIPv6PrefixLen, Length: 1},
+	{ID: ieDestIPv6PrefixLen, Length: 1},
+	{ID: ieFlowLabelIPv6, Length: 4},
+	{ID: ieIngressInterface, Length: 2},
+}
+
 // fieldValue extracts one information element from a flow record for
 // encoding; boot anchors sysUptime-relative elements.
 func fieldValue(id uint16, rec flow.Record, boot time.Time) uint64 {
@@ -94,21 +147,25 @@ func fieldValue(id uint16, rec flow.Record, boot time.Time) uint64 {
 	case ieSourceTransportPort:
 		return uint64(rec.Key.SrcPort)
 	case ieSourceIPv4Address:
-		return uint64(rec.Key.Src)
-	case ieSourceIPv4PrefixLen:
+		v4, _ := rec.Key.Src.V4()
+		return uint64(v4)
+	case ieSourceIPv4PrefixLen, ieSourceIPv6PrefixLen:
 		return uint64(rec.SrcMask)
 	case ieIngressInterface:
 		return uint64(rec.Key.InputIf)
 	case ieDestTransportPort:
 		return uint64(rec.Key.DstPort)
 	case ieDestIPv4Address:
-		return uint64(rec.Key.Dst)
-	case ieDestIPv4PrefixLen:
+		v4, _ := rec.Key.Dst.V4()
+		return uint64(v4)
+	case ieDestIPv4PrefixLen, ieDestIPv6PrefixLen:
 		return uint64(rec.DstMask)
 	case ieBGPSourceAS:
 		return uint64(rec.SrcAS)
 	case ieBGPDestinationAS:
 		return uint64(rec.DstAS)
+	case ieFlowLabelIPv6:
+		return uint64(rec.FlowLabel)
 	case ieFlowStartSysUpTime:
 		return uint64(uint32(rec.Start.Sub(boot).Milliseconds()))
 	case ieFlowEndSysUpTime:
@@ -127,6 +184,23 @@ func putUint(b []byte, v uint64) {
 		b[i] = byte(v)
 		v >>= 8
 	}
+}
+
+// putField writes one information element of rec into b; 16-byte fields
+// are the v6 address elements, everything else is a big-endian integer.
+func putField(b []byte, id uint16, rec flow.Record, boot time.Time) {
+	if len(b) == 16 {
+		var a [16]byte
+		switch id {
+		case ieSourceIPv6Address:
+			a = rec.Key.Src.As16()
+		case ieDestIPv6Address:
+			a = rec.Key.Dst.As16()
+		}
+		copy(b, a[:])
+		return
+	}
+	putUint(b, fieldValue(id, rec, boot))
 }
 
 // encodeTemplateSet builds one template (flow)set announcing fields under
@@ -160,11 +234,24 @@ func encodeDataSet(tid uint16, fields []TemplateField, recs []flow.Record, boot 
 	off := 4
 	for _, rec := range recs {
 		for _, f := range fields {
-			putUint(b[off:off+int(f.Length)], fieldValue(f.ID, rec, boot))
+			putField(b[off:off+int(f.Length)], f.ID, rec, boot)
 			off += int(f.Length)
 		}
 	}
 	return b
+}
+
+// familyRun returns the length of the leading run of recs sharing one
+// address family, and whether that family is v6. Template-based encoders
+// segment batches into such runs so each data set references the
+// template of its records' family while preserving record order.
+func familyRun(recs []flow.Record) (n int, v6 bool) {
+	fam := recs[0].Key.Family()
+	n = 1
+	for n < len(recs) && recs[n].Key.Family() == fam {
+		n++
+	}
+	return n, fam == netaddr.FamilyV6
 }
 
 // V5Encoder emits NetFlow v5 datagrams.
@@ -215,15 +302,20 @@ func (e *V5Encoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
 
 func (e *V5Encoder) Flush(time.Time) []WireDatagram { return nil }
 
-// V9Encoder emits NetFlow v9 datagrams: a standalone template datagram
-// announcing v9ExportFields, then data datagrams referencing it.
+// V9Encoder emits NetFlow v9 datagrams: standalone template datagrams
+// announcing v9ExportFields (v4) and/or v9ExportFields6 (v6), then data
+// datagrams referencing them. Each family's template is announced lazily
+// before that family's first data datagram, so an all-v4 stream is
+// byte-identical to the pre-dual-stack encoder's output.
 type V9Encoder struct {
 	boot   time.Time
 	domain uint32
 	seq    uint32 // v9 sequence counts datagrams
 
-	announced bool
-	delay     int // data datagrams to emit before the template
+	announced  bool // v4 template sent
+	announced6 bool // v6 template sent
+	pending6   bool // v6 data emitted while its template was withheld
+	delay      int  // data datagrams to emit before a template
 }
 
 // NewV9Encoder returns a v9 encoder for one observation domain (source
@@ -267,44 +359,75 @@ func (e *V9Encoder) templateDatagram(now time.Time) WireDatagram {
 	return WireDatagram{Raw: e.datagram(now, 1, encodeTemplateSet(v9SetTemplate, exportTemplateID, v9ExportFields))}
 }
 
+func (e *V9Encoder) templateDatagram6(now time.Time) WireDatagram {
+	e.announced6 = true
+	return WireDatagram{Raw: e.datagram(now, 1, encodeTemplateSet(v9SetTemplate, exportTemplateID6, v9ExportFields6))}
+}
+
 func (e *V9Encoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
 	var out []WireDatagram
 	for len(recs) > 0 {
-		n := len(recs)
-		if n > MaxRecords {
-			n = MaxRecords
+		run, v6 := familyRun(recs)
+		tid, fields := uint16(exportTemplateID), v9ExportFields
+		if v6 {
+			tid, fields = exportTemplateID6, v9ExportFields6
 		}
-		if !e.announced {
-			if e.delay > 0 {
-				e.delay--
-			} else {
-				out = append(out, e.templateDatagram(now))
+		chunk := recs[:run]
+		for len(chunk) > 0 {
+			n := len(chunk)
+			if n > MaxRecords {
+				n = MaxRecords
 			}
+			if v6 && !e.announced6 {
+				if e.delay > 0 {
+					e.delay--
+					e.pending6 = true
+				} else {
+					out = append(out, e.templateDatagram6(now))
+				}
+			} else if !v6 && !e.announced {
+				if e.delay > 0 {
+					e.delay--
+				} else {
+					out = append(out, e.templateDatagram(now))
+				}
+			}
+			ds := encodeDataSet(tid, fields, chunk[:n], e.boot)
+			out = append(out, WireDatagram{Raw: e.datagram(now, n, ds), Flows: n})
+			chunk = chunk[n:]
 		}
-		ds := encodeDataSet(exportTemplateID, v9ExportFields, recs[:n], e.boot)
-		out = append(out, WireDatagram{Raw: e.datagram(now, n, ds), Flows: n})
-		recs = recs[n:]
+		recs = recs[run:]
 	}
 	return out
 }
 
-// Flush emits the template datagram if it is still withheld, so a short
-// replay always lets receivers resolve buffered orphans.
+// Flush emits any still-withheld template datagrams, so a short replay
+// always lets receivers resolve buffered orphans. The v4 template is
+// emitted whenever unannounced (matching the pre-dual-stack contract);
+// the v6 template only if v6 data actually went out without it.
 func (e *V9Encoder) Flush(now time.Time) []WireDatagram {
-	if e.announced {
-		return nil
+	var out []WireDatagram
+	if !e.announced {
+		out = append(out, e.templateDatagram(now))
 	}
-	return []WireDatagram{e.templateDatagram(now)}
+	if !e.announced6 && e.pending6 {
+		out = append(out, e.templateDatagram6(now))
+	}
+	return out
 }
 
-// IPFIXEncoder emits IPFIX messages: a standalone template message
-// announcing ipfixExportFields, then data messages referencing it.
+// IPFIXEncoder emits IPFIX messages: standalone template messages
+// announcing ipfixExportFields (v4) and/or ipfixExportFields6 (v6), then
+// data messages referencing them; see V9Encoder for the per-family
+// announcement contract.
 type IPFIXEncoder struct {
 	domain uint32
 	seq    uint32 // IPFIX sequence counts data records
 
-	announced bool
-	delay     int
+	announced  bool
+	announced6 bool
+	pending6   bool
+	delay      int
 }
 
 // NewIPFIXEncoder returns an IPFIX encoder for one observation domain.
@@ -343,30 +466,55 @@ func (e *IPFIXEncoder) templateMessage(now time.Time) WireDatagram {
 	return WireDatagram{Raw: e.message(now, 0, encodeTemplateSet(ipfixSetTemplate, exportTemplateID, ipfixExportFields))}
 }
 
+func (e *IPFIXEncoder) templateMessage6(now time.Time) WireDatagram {
+	e.announced6 = true
+	return WireDatagram{Raw: e.message(now, 0, encodeTemplateSet(ipfixSetTemplate, exportTemplateID6, ipfixExportFields6))}
+}
+
 func (e *IPFIXEncoder) Encode(recs []flow.Record, now time.Time) []WireDatagram {
 	var out []WireDatagram
 	for len(recs) > 0 {
-		n := len(recs)
-		if n > MaxRecords {
-			n = MaxRecords
+		run, v6 := familyRun(recs)
+		tid, fields := uint16(exportTemplateID), ipfixExportFields
+		if v6 {
+			tid, fields = exportTemplateID6, ipfixExportFields6
 		}
-		if !e.announced {
-			if e.delay > 0 {
-				e.delay--
-			} else {
-				out = append(out, e.templateMessage(now))
+		chunk := recs[:run]
+		for len(chunk) > 0 {
+			n := len(chunk)
+			if n > MaxRecords {
+				n = MaxRecords
 			}
+			if v6 && !e.announced6 {
+				if e.delay > 0 {
+					e.delay--
+					e.pending6 = true
+				} else {
+					out = append(out, e.templateMessage6(now))
+				}
+			} else if !v6 && !e.announced {
+				if e.delay > 0 {
+					e.delay--
+				} else {
+					out = append(out, e.templateMessage(now))
+				}
+			}
+			ds := encodeDataSet(tid, fields, chunk[:n], now)
+			out = append(out, WireDatagram{Raw: e.message(now, n, ds), Flows: n})
+			chunk = chunk[n:]
 		}
-		ds := encodeDataSet(exportTemplateID, ipfixExportFields, recs[:n], now)
-		out = append(out, WireDatagram{Raw: e.message(now, n, ds), Flows: n})
-		recs = recs[n:]
+		recs = recs[run:]
 	}
 	return out
 }
 
 func (e *IPFIXEncoder) Flush(now time.Time) []WireDatagram {
-	if e.announced {
-		return nil
+	var out []WireDatagram
+	if !e.announced {
+		out = append(out, e.templateMessage(now))
 	}
-	return []WireDatagram{e.templateMessage(now)}
+	if !e.announced6 && e.pending6 {
+		out = append(out, e.templateMessage6(now))
+	}
+	return out
 }

@@ -86,7 +86,7 @@ func fuzzSeedStream(f *testing.F, enc WireEncoder) {
 	for i := 0; i < 3; i++ {
 		recs = append(recs, flow.Record{
 			Key: flow.Key{
-				Src: netaddr.IPv4(0x3d000000 + uint32(i)), Dst: 0xc0000201,
+				Src: netaddr.IPv4(0x3d000000 + uint32(i)).Addr(), Dst: netaddr.IPv4(0xc0000201).Addr(),
 				Proto: flow.ProtoTCP, SrcPort: uint16(1024 + i), DstPort: 80,
 				InputIf: 2,
 			},

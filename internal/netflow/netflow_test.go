@@ -155,8 +155,8 @@ func TestFlowRecordConversionRoundTrip(t *testing.T) {
 	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
 	fr := flow.Record{
 		Key: flow.Key{
-			Src:     netaddr.MustParseIPv4("61.2.3.4"),
-			Dst:     netaddr.MustParseIPv4("192.0.2.9"),
+			Src:     netaddr.MustParseAddr("61.2.3.4"),
+			Dst:     netaddr.MustParseAddr("192.0.2.9"),
 			Proto:   flow.ProtoUDP,
 			SrcPort: 9999,
 			DstPort: 53,
@@ -193,8 +193,8 @@ func TestFlowRecordConversionRoundTrip(t *testing.T) {
 func pkt(ts time.Time, src string, dport uint16, proto uint8, length uint16, tcpFlags uint8) packet.Packet {
 	return packet.Packet{
 		Time:     ts,
-		Src:      netaddr.MustParseIPv4(src),
-		Dst:      netaddr.MustParseIPv4("192.0.2.1"),
+		Src:      netaddr.MustParseAddr(src),
+		Dst:      netaddr.MustParseAddr("192.0.2.1"),
 		Proto:    proto,
 		SrcPort:  5555,
 		DstPort:  dport,
@@ -337,7 +337,7 @@ func TestExporterSequencesAndSplits(t *testing.T) {
 	var recs []flow.Record
 	for i := 0; i < 65; i++ {
 		recs = append(recs, flow.Record{
-			Key:     flow.Key{Src: netaddr.IPv4(uint32(i)), Proto: flow.ProtoTCP, DstPort: 80},
+			Key:     flow.Key{Src: netaddr.IPv4(uint32(i)).Addr(), Proto: flow.ProtoTCP, DstPort: 80},
 			Packets: 1, Bytes: 40,
 			Start: boot.Add(time.Second), End: boot.Add(2 * time.Second),
 		})

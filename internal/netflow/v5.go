@@ -215,8 +215,8 @@ func (r v5Record) toFlowRecordAt(boot time.Time, inputIf uint16) flow.Record {
 func (r v5Record) fillFlowRecord(dst *flow.Record, boot time.Time, inputIf uint16) {
 	*dst = flow.Record{
 		Key: flow.Key{
-			Src:     r.SrcAddr,
-			Dst:     r.DstAddr,
+			Src:     r.SrcAddr.Addr(),
+			Dst:     r.DstAddr.Addr(),
 			Proto:   r.Proto,
 			SrcPort: r.SrcPort,
 			DstPort: r.DstPort,
@@ -242,8 +242,8 @@ func (r v5Record) fillFlowRecord(dst *flow.Record, boot time.Time, inputIf uint1
 func decodeV5FlowRecord(dst *flow.Record, b []byte, boot time.Time) {
 	*dst = flow.Record{
 		Key: flow.Key{
-			Src:     netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])),
-			Dst:     netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])),
+			Src:     netaddr.IPv4(binary.BigEndian.Uint32(b[0:4])).Addr(),
+			Dst:     netaddr.IPv4(binary.BigEndian.Uint32(b[4:8])).Addr(),
 			Proto:   b[38],
 			SrcPort: binary.BigEndian.Uint16(b[32:34]),
 			DstPort: binary.BigEndian.Uint16(b[34:36]),
@@ -265,9 +265,11 @@ func decodeV5FlowRecord(dst *flow.Record, b []byte, boot time.Time) {
 // v5FromFlowRecord converts an analysis flow record to a wire record, given
 // the exporter's boot time for sysUptime-relative stamps.
 func v5FromFlowRecord(fr flow.Record, boot time.Time) v5Record {
+	src, _ := fr.Key.Src.V4() // v5 is a v4-only wire format; encoders gate on family
+	dst, _ := fr.Key.Dst.V4()
 	return v5Record{
-		SrcAddr:  fr.Key.Src,
-		DstAddr:  fr.Key.Dst,
+		SrcAddr:  src,
+		DstAddr:  dst,
 		InputIf:  fr.Key.InputIf,
 		Packets:  fr.Packets,
 		Octets:   fr.Bytes,

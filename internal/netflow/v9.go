@@ -45,6 +45,11 @@ const (
 	ieBGPDestinationAS      = 17
 	ieFlowEndSysUpTime      = 21
 	ieFlowStartSysUpTime    = 22
+	ieSourceIPv6Address     = 27
+	ieDestIPv6Address       = 28
+	ieSourceIPv6PrefixLen   = 29
+	ieDestIPv6PrefixLen     = 30
+	ieFlowLabelIPv6         = 31
 	ieFlowStartSeconds      = 150
 	ieFlowEndSeconds        = 151
 	ieFlowStartMilliseconds = 152
@@ -239,8 +244,12 @@ func decodeOneRecord(payload []byte, off int, t *Template, ctx recordContext, re
 		if off+flen > len(payload) {
 			return 0, false
 		}
-		if f.Enterprise == 0 && f.Length != lenVariable && flen <= 8 {
-			assignField(f.ID, readUint(payload[off:off+flen]), ctx, rec)
+		if f.Enterprise == 0 && f.Length != lenVariable {
+			if flen <= 8 {
+				assignField(f.ID, readUint(payload[off:off+flen]), ctx, rec)
+			} else if flen == 16 {
+				assignField16(f.ID, payload[off:off+16], rec)
+			}
 		}
 		off += flen
 	}
@@ -265,17 +274,19 @@ func assignField(id uint16, v uint64, ctx recordContext, rec *flow.Record) {
 	case ieSourceTransportPort:
 		rec.Key.SrcPort = uint16(v)
 	case ieSourceIPv4Address:
-		rec.Key.Src = netaddr.IPv4(uint32(v))
-	case ieSourceIPv4PrefixLen:
+		rec.Key.Src = netaddr.IPv4(uint32(v)).Addr()
+	case ieSourceIPv4PrefixLen, ieSourceIPv6PrefixLen:
 		rec.SrcMask = uint8(v)
 	case ieIngressInterface:
 		rec.Key.InputIf = uint16(v)
 	case ieDestTransportPort:
 		rec.Key.DstPort = uint16(v)
 	case ieDestIPv4Address:
-		rec.Key.Dst = netaddr.IPv4(uint32(v))
-	case ieDestIPv4PrefixLen:
+		rec.Key.Dst = netaddr.IPv4(uint32(v)).Addr()
+	case ieDestIPv4PrefixLen, ieDestIPv6PrefixLen:
 		rec.DstMask = uint8(v)
+	case ieFlowLabelIPv6:
+		rec.FlowLabel = uint32(v)
 	case ieBGPSourceAS:
 		rec.SrcAS = uint16(v)
 	case ieBGPDestinationAS:
@@ -293,6 +304,26 @@ func assignField(id uint16, v uint64, ctx recordContext, rec *flow.Record) {
 	case ieFlowEndMilliseconds:
 		rec.End = time.UnixMilli(int64(v)).UTC()
 	}
+}
+
+// assignField16 maps a 16-byte information element (the IPv6 address
+// IEs) onto the flow record. Other 16-byte elements are ignored, like
+// unknown scalar elements.
+func assignField16(id uint16, b []byte, rec *flow.Record) {
+	switch id {
+	case ieSourceIPv6Address:
+		rec.Key.Src = addr16(b)
+	case ieDestIPv6Address:
+		rec.Key.Dst = addr16(b)
+	}
+}
+
+// addr16 builds a v6 Addr from 16 wire bytes without an intermediate
+// copy allocation.
+func addr16(b []byte) netaddr.Addr {
+	var v [16]byte
+	copy(v[:], b)
+	return netaddr.AddrFrom16(v)
 }
 
 // readUint reads a big-endian unsigned integer of 1..8 bytes.

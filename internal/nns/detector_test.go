@@ -36,7 +36,7 @@ func attackFlows(t *testing.T, at trace.AttackType, seed int64) []flow.Record {
 	pkts, err := trace.Generate(at, trace.AttackConfig{
 		Seed:      seed,
 		Start:     time.Date(2005, 4, 1, 1, 0, 0, 0, time.UTC),
-		Src:       netaddr.MustParseIPv4("70.1.2.3"),
+		Src:       netaddr.MustParseAddr("70.1.2.3"),
 		DstPrefix: netaddr.MustParsePrefix("192.0.2.0/24"),
 	})
 	if err != nil {

@@ -1,7 +1,7 @@
-// Package packet models the IPv4 packets the testbed's traffic generators
-// emit and the trace format (a DAG-file substitute) Dagflow replays. Only
-// the header fields the flow accounting and attack shapes depend on are
-// modeled; payload is represented by length alone.
+// Package packet models the IP packets (either family) the testbed's
+// traffic generators emit and the trace format (a DAG-file substitute)
+// Dagflow replays. Only the header fields the flow accounting and attack
+// shapes depend on are modeled; payload is represented by length alone.
 package packet
 
 import (
@@ -25,8 +25,8 @@ const (
 // on-wire length.
 type Packet struct {
 	Time     time.Time
-	Src      netaddr.IPv4
-	Dst      netaddr.IPv4
+	Src      netaddr.Addr
+	Dst      netaddr.Addr
 	Proto    uint8
 	SrcPort  uint16 // TCP/UDP source port; ICMP type<<8|code
 	DstPort  uint16 // TCP/UDP destination port; 0 for ICMP

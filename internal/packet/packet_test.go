@@ -15,8 +15,8 @@ import (
 func samplePacket(i int) Packet {
 	return Packet{
 		Time:     time.Date(2005, 4, 1, 0, 0, 0, i*1000, time.UTC),
-		Src:      netaddr.IPv4(0x0a000001 + uint32(i)),
-		Dst:      netaddr.IPv4(0xc0000201),
+		Src:      netaddr.IPv4(0x0a000001 + uint32(i)).Addr(),
+		Dst:      netaddr.IPv4(0xc0000201).Addr(),
 		Proto:    flow.ProtoTCP,
 		SrcPort:  uint16(1024 + i),
 		DstPort:  80,
@@ -187,8 +187,8 @@ func TestTraceRandomRoundTripProperty(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := Packet{
 				Time:     time.Unix(rng.Int63n(1<<32), int64(rng.Intn(1e9))).UTC(),
-				Src:      netaddr.IPv4(rng.Uint32()),
-				Dst:      netaddr.IPv4(rng.Uint32()),
+				Src:      netaddr.IPv4(rng.Uint32()).Addr(),
+				Dst:      netaddr.IPv4(rng.Uint32()).Addr(),
 				Proto:    uint8(rng.Intn(256)),
 				SrcPort:  uint16(rng.Intn(65536)),
 				DstPort:  uint16(rng.Intn(65536)),

@@ -118,11 +118,11 @@ func (h *HeavyHitter) SetMetrics(m *HeavyHitterMetrics) {
 
 // Observe counts one suspect flow from src and reports whether the
 // source is a heavy hitter. A nil receiver (stage disabled) never flags.
-func (h *HeavyHitter) Observe(src netaddr.IPv4) bool {
+func (h *HeavyHitter) Observe(src netaddr.Addr) bool {
 	if h == nil {
 		return false
 	}
-	est := h.sketch.Observe(uint64(src))
+	est := h.sketch.Observe(sketchKey(src))
 	h.sinceDecay++
 	if h.sinceDecay >= h.cfg.DecayEvery {
 		h.sinceDecay = 0
@@ -142,9 +142,21 @@ func (h *HeavyHitter) Observe(src netaddr.IPv4) bool {
 
 // Estimate returns the current count estimate for src without counting
 // (monitoring and tests). Zero on a nil receiver.
-func (h *HeavyHitter) Estimate(src netaddr.IPv4) uint32 {
+func (h *HeavyHitter) Estimate(src netaddr.Addr) uint32 {
 	if h == nil {
 		return 0
 	}
-	return h.sketch.Estimate(uint64(src))
+	return h.sketch.Estimate(sketchKey(src))
+}
+
+// sketchKey folds an address into the sketch's 64-bit key space. A v4
+// address keys exactly as the pre-dual-stack stage did; v6 mixes both
+// words (collisions only inflate an estimate, which is the sketch's
+// contract anyway).
+func sketchKey(src netaddr.Addr) uint64 {
+	if v4, ok := src.V4(); ok {
+		return uint64(v4)
+	}
+	hi, lo := src.Uint64Pair()
+	return hi*0x9e3779b97f4a7c15 ^ lo
 }

@@ -13,17 +13,17 @@ func TestHeavyHitterDisabled(t *testing.T) {
 	}
 	var hh *HeavyHitter
 	hh.SetMetrics(nil) // must not panic
-	if hh.Observe(netaddr.IPv4(1)) {
+	if hh.Observe(netaddr.IPv4(1).Addr()) {
 		t.Error("nil HeavyHitter flagged a source")
 	}
-	if hh.Estimate(netaddr.IPv4(1)) != 0 {
+	if hh.Estimate(netaddr.IPv4(1).Addr()) != 0 {
 		t.Error("nil HeavyHitter reported a nonzero estimate")
 	}
 }
 
 func TestHeavyHitterFlagsFloodSource(t *testing.T) {
 	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 50})
-	flood := netaddr.IPv4(0x0a000001)
+	flood := netaddr.IPv4(0x0a000001).Addr()
 	for i := 0; i < 49; i++ {
 		if hh.Observe(flood) {
 			t.Fatalf("flagged at observation %d, below threshold 50", i+1)
@@ -39,7 +39,7 @@ func TestHeavyHitterFlagsFloodSource(t *testing.T) {
 		}
 	}
 	// An unrelated quiet source is untouched.
-	if hh.Observe(netaddr.IPv4(0x0a000002)) {
+	if hh.Observe(netaddr.IPv4(0x0a000002).Addr()) {
 		t.Error("single-flow source flagged")
 	}
 }
@@ -48,7 +48,7 @@ func TestHeavyHitterFlagsFloodSource(t *testing.T) {
 // windows a stopped source falls back under the threshold.
 func TestHeavyHitterDecayAges(t *testing.T) {
 	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 40, DecayEvery: 100})
-	burst := netaddr.IPv4(0xc0a80101)
+	burst := netaddr.IPv4(0xc0a80101).Addr()
 	for i := 0; i < 60; i++ {
 		hh.Observe(burst)
 	}
@@ -56,9 +56,8 @@ func TestHeavyHitterDecayAges(t *testing.T) {
 		t.Fatalf("estimate %d below threshold right after the burst", hh.Estimate(burst))
 	}
 	// Drive decay windows with other traffic; the burst source is silent.
-	other := netaddr.IPv4(0x01020304)
 	for i := 0; i < 400; i++ {
-		hh.Observe(other + netaddr.IPv4(i%32))
+		hh.Observe(netaddr.IPv4(0x01020304 + uint32(i%32)).Addr())
 	}
 	if est := hh.Estimate(burst); est >= 40 {
 		t.Errorf("estimate %d still at threshold after 4 decay windows", est)
@@ -70,7 +69,7 @@ func TestHeavyHitterMetrics(t *testing.T) {
 	m := NewHeavyHitterMetrics(r)
 	hh := NewHeavyHitter(HeavyHitterConfig{Threshold: 10, DecayEvery: 64})
 	hh.SetMetrics(m)
-	src := netaddr.IPv4(7)
+	src := netaddr.IPv4(7).Addr()
 	for i := 0; i < 64; i++ {
 		hh.Observe(src)
 	}

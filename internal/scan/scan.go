@@ -78,12 +78,12 @@ func (r Result) Attack() bool { return r.NetworkScan || r.HostScan }
 
 type portHost struct {
 	port uint16
-	host netaddr.IPv4
+	host netaddr.Addr
 }
 
 type bufEntry struct {
 	port uint16
-	host netaddr.IPv4
+	host netaddr.Addr
 }
 
 // Analyzer keeps the suspect-flow ring buffer and the two counting
@@ -105,7 +105,7 @@ type Analyzer struct {
 	// hostsPerPort counts distinct hosts targeted per destination port.
 	hostsPerPort map[uint16]int
 	// portsPerHost counts distinct ports targeted per destination host.
-	portsPerHost map[netaddr.IPv4]int
+	portsPerHost map[netaddr.Addr]int
 }
 
 // New returns an empty analyzer.
@@ -116,7 +116,7 @@ func New(cfg Config) *Analyzer {
 		ring:         make([]bufEntry, cfg.BufferSize),
 		pairCount:    make(map[portHost]int),
 		hostsPerPort: make(map[uint16]int),
-		portsPerHost: make(map[netaddr.IPv4]int),
+		portsPerHost: make(map[netaddr.Addr]int),
 	}
 }
 
@@ -203,7 +203,7 @@ func (a *Analyzer) Buffered() int {
 func (a *Analyzer) HostsOnPort(port uint16) int { return a.hostsPerPort[port] }
 
 // PortsOnHost exposes the distinct-port count for a destination host.
-func (a *Analyzer) PortsOnHost(host netaddr.IPv4) int { return a.portsPerHost[host] }
+func (a *Analyzer) PortsOnHost(host netaddr.Addr) int { return a.portsPerHost[host] }
 
 // Reset clears the buffer and counters.
 func (a *Analyzer) Reset() {
@@ -211,5 +211,5 @@ func (a *Analyzer) Reset() {
 	a.full = false
 	a.pairCount = make(map[portHost]int)
 	a.hostsPerPort = make(map[uint16]int)
-	a.portsPerHost = make(map[netaddr.IPv4]int)
+	a.portsPerHost = make(map[netaddr.Addr]int)
 }

@@ -11,8 +11,8 @@ import (
 func suspect(dst string, port uint16) flow.Record {
 	return flow.Record{
 		Key: flow.Key{
-			Src:     netaddr.MustParseIPv4("61.1.1.1"),
-			Dst:     netaddr.MustParseIPv4(dst),
+			Src:     netaddr.MustParseAddr("61.1.1.1"),
+			Dst:     netaddr.MustParseAddr(dst),
 			Proto:   flow.ProtoUDP,
 			DstPort: port,
 		},
@@ -69,9 +69,9 @@ func TestDuplicatePairsDoNotInflateCounts(t *testing.T) {
 			t.Fatalf("repeated identical flow flagged as scan at %d", i)
 		}
 	}
-	if a.HostsOnPort(80) != 1 || a.PortsOnHost(netaddr.MustParseIPv4("192.0.2.1")) != 1 {
+	if a.HostsOnPort(80) != 1 || a.PortsOnHost(netaddr.MustParseAddr("192.0.2.1")) != 1 {
 		t.Errorf("distinct counts inflated: %d hosts, %d ports",
-			a.HostsOnPort(80), a.PortsOnHost(netaddr.MustParseIPv4("192.0.2.1")))
+			a.HostsOnPort(80), a.PortsOnHost(netaddr.MustParseAddr("192.0.2.1")))
 	}
 }
 
@@ -147,7 +147,7 @@ func TestDefaultsApplied(t *testing.T) {
 func TestSlammerFlowsTriggerNetworkScan(t *testing.T) {
 	pkts, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
 		Seed:      3,
-		Src:       netaddr.MustParseIPv4("61.1.1.1"),
+		Src:       netaddr.MustParseAddr("61.1.1.1"),
 		DstPrefix: netaddr.MustParsePrefix("192.0.2.0/24"),
 	})
 	if err != nil {
@@ -171,7 +171,7 @@ func TestSlammerFlowsTriggerNetworkScan(t *testing.T) {
 func TestIdlescanFlowsTriggerHostScan(t *testing.T) {
 	pkts, err := trace.Generate(trace.AttackIdlescan, trace.AttackConfig{
 		Seed:      3,
-		Src:       netaddr.MustParseIPv4("61.1.1.1"),
+		Src:       netaddr.MustParseAddr("61.1.1.1"),
 		DstPrefix: netaddr.MustParsePrefix("192.0.2.0/24"),
 	})
 	if err != nil {

@@ -1,0 +1,43 @@
+package telemetry
+
+// FamilyCounter splits one counter series by address family: both
+// counters share the metric name and differ only in their `family`
+// label ("4" and "6"). Consumers that never cared about the split keep
+// working — Value sums the pair, so a scrape-side sum over the label
+// equals the old unlabeled total. The zero value discards increments
+// (both pointers nil), matching the nil-safety of Counter.
+type FamilyCounter struct {
+	V4, V6 *Counter
+}
+
+// NewFamilyCounter returns an unregistered pair (see
+// Registry.FamilyCounter for registered ones).
+func NewFamilyCounter() FamilyCounter {
+	return FamilyCounter{V4: NewCounter(), V6: NewCounter()}
+}
+
+// Pick returns the per-family counter: V6 when v6 is true, V4
+// otherwise. Addresses of no family (zero values) land in the V4
+// bucket — they cannot occur on a decoded-record path.
+func (fc FamilyCounter) Pick(v6 bool) *Counter {
+	if v6 {
+		return fc.V6
+	}
+	return fc.V4
+}
+
+// Value returns the total across both families.
+func (fc FamilyCounter) Value() int64 {
+	return fc.V4.Value() + fc.V6.Value()
+}
+
+// FamilyCounter registers one counter series per address family on r:
+// the same name and help, labeled family="4" and family="6" (plus any
+// extra labels given).
+func (r *Registry) FamilyCounter(name, help string, labels ...Label) FamilyCounter {
+	fam := func(v string) *Counter {
+		ls := append(append([]Label(nil), labels...), Label{Key: "family", Value: v})
+		return r.Counter(name, help, ls...)
+	}
+	return FamilyCounter{V4: fam("4"), V6: fam("6")}
+}

@@ -97,7 +97,7 @@ func (c Config) withDefaults() Config {
 
 // Hop is one traceroute hop: a router interface address and its DNS name.
 type Hop struct {
-	Addr netaddr.IPv4
+	Addr netaddr.Addr
 	FQDN string
 }
 
@@ -173,8 +173,8 @@ func (n *Network) makeAdjacency(t, p int) adjacency {
 	peerName := fmt.Sprintf("ge-0-0.peer%d.as%d.example.net", p, 65000+t*8+p)
 	brName := fmt.Sprintf("br%02d.target%d.example.net", p, t)
 	adj := adjacency{links: []link{{
-		peer: Hop{Addr: base + 1, FQDN: peerName},
-		br:   Hop{Addr: base + 2, FQDN: brName},
+		peer: Hop{Addr: (base + 1).Addr(), FQDN: peerName},
+		br:   Hop{Addr: (base + 2).Addr(), FQDN: brName},
 	}}}
 	if n.rng.Float64() < n.cfg.ParallelLinkProb {
 		// Redundant pair: same routers (same FQDNs), second interface pair.
@@ -184,8 +184,8 @@ func (n *Network) makeAdjacency(t, p int) adjacency {
 			second = base + 256 + 5
 		}
 		adj.links = append(adj.links, link{
-			peer: Hop{Addr: second, FQDN: peerName},
-			br:   Hop{Addr: second + 1, FQDN: brName},
+			peer: Hop{Addr: second.Addr(), FQDN: peerName},
+			br:   Hop{Addr: (second + 1).Addr(), FQDN: brName},
 		})
 	}
 	return adj
@@ -256,7 +256,7 @@ func (n *Network) Traceroute(site, tgt int) Path {
 			variant = n.rng.Intn(4)
 		}
 		hops = append(hops, Hop{
-			Addr: netaddr.FromOctets(172, byte(site), byte(h), byte(variant+1)),
+			Addr: netaddr.FromOctets(172, byte(site), byte(h), byte(variant+1)).Addr(),
 			FQDN: "core" + strconv.Itoa(h) + "-" + strconv.Itoa(variant) +
 				".transit" + strconv.Itoa(site) + ".example.net",
 		})

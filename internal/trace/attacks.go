@@ -89,7 +89,7 @@ type AttackConfig struct {
 	Start time.Time
 	// Src is the (spoofed) source address. Dagflow rewrites it per the
 	// experiment's spoofing policy; generators still need a placeholder.
-	Src netaddr.IPv4
+	Src netaddr.Addr
 	// DstPrefix is the target network; scan attacks pick many hosts from
 	// it, point attacks pick one.
 	DstPrefix netaddr.Prefix
@@ -144,7 +144,7 @@ func Generate(t AttackType, cfg AttackConfig) ([]packet.Packet, error) {
 
 // genPuke forges a burst of ICMP destination-unreachable messages at a
 // victim to tear down its sessions. A handful of packets.
-func genPuke(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genPuke(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	n := 3 + rng.Intn(3)
 	pkts := make([]packet.Packet, 0, n)
 	for i := 0; i < n; i++ {
@@ -162,7 +162,7 @@ func genPuke(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet
 
 // genJolt sends an oversized fragmented ICMP echo (the "ping of death"
 // family): dozens of max-size fragments reassembling past 65535 bytes.
-func genJolt(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genJolt(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	frags := 45 + rng.Intn(5)
 	pkts := make([]packet.Packet, 0, frags)
 	for i := 0; i < frags; i++ {
@@ -182,7 +182,7 @@ func genJolt(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet
 
 // genTeardrop sends two UDP fragments with overlapping offsets, crashing
 // vulnerable reassembly code. Two packets total.
-func genTeardrop(cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genTeardrop(cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	return []packet.Packet{
 		{
 			Time: cfg.Start, Src: cfg.Src, Dst: dst,
@@ -218,7 +218,7 @@ func genSlammer(rng *rand.Rand, cfg AttackConfig) []packet.Packet {
 
 // genTFN2K emulates a TFN2K flood slice: a sustained mixed UDP/ICMP
 // packet stream at one victim.
-func genTFN2K(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genTFN2K(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	n := 400 * cfg.scale()
 	pkts := make([]packet.Packet, 0, n)
 	for i := 0; i < n; i++ {
@@ -242,7 +242,7 @@ func genTFN2K(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packe
 }
 
 // genSYNFlood sends a burst of bare SYNs at one service port.
-func genSYNFlood(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genSYNFlood(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	n := 300 * cfg.scale()
 	pkts := make([]packet.Packet, 0, n)
 	for i := 0; i < n; i++ {
@@ -262,7 +262,7 @@ func genSYNFlood(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Pa
 
 // genIdlescan reproduces nmap's blind Idlescan against one host: spoofed
 // SYN probes sweeping many destination ports (a host scan).
-func genIdlescan(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4) []packet.Packet {
+func genIdlescan(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr) []packet.Packet {
 	ports := 25 * cfg.scale()
 	pkts := make([]packet.Packet, 0, ports)
 	for i := 0; i < ports; i++ {
@@ -303,7 +303,7 @@ func genNetworkScan(rng *rand.Rand, cfg AttackConfig) []packet.Packet {
 // genExploit emulates a service exploit: a short flow whose statistics sit
 // far outside the service's normal envelope — a rapid burst of maximum-size
 // segments carrying an overflow payload.
-func genExploit(rng *rand.Rand, cfg AttackConfig, dst netaddr.IPv4, proto uint8, port uint16) []packet.Packet {
+func genExploit(rng *rand.Rand, cfg AttackConfig, dst netaddr.Addr, proto uint8, port uint16) []packet.Packet {
 	if proto == flow.ProtoUDP {
 		// One oversized UDP datagram (e.g. a malformed DNS TKEY blob).
 		return []packet.Packet{{

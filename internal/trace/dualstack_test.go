@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+var (
+	srcBlock6 = netaddr.MustParsePrefix("2001:db8:1000::/48")
+	dstBlock6 = netaddr.MustParsePrefix("2001:db8:2000::/64")
+)
+
+func normalCfg6(flows int) NormalConfig {
+	return NormalConfig{
+		Seed:        1,
+		Start:       testStart,
+		Flows:       flows,
+		SrcPrefixes: []netaddr.Prefix{srcBlock6},
+		DstPrefix:   dstBlock6,
+	}
+}
+
+// TestGenerateNormalV6 runs the benign generator over v6 prefixes: the
+// generator is family-generic, so every packet must stay inside the
+// configured v6 blocks.
+func TestGenerateNormalV6(t *testing.T) {
+	pkts, err := GenerateNormal(normalCfg6(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 200 {
+		t.Fatalf("generated %d packets for 200 flows", len(pkts))
+	}
+	for i, p := range pkts {
+		if !p.Src.Is6() || !p.Dst.Is6() {
+			t.Fatalf("packet %d not v6: %v -> %v", i, p.Src, p.Dst)
+		}
+		if !srcBlock6.Contains(p.Src) {
+			t.Fatalf("packet %d src %v outside %v", i, p.Src, srcBlock6)
+		}
+		if !dstBlock6.Contains(p.Dst) {
+			t.Fatalf("packet %d dst %v outside %v", i, p.Dst, dstBlock6)
+		}
+		if i > 0 && p.Time.Before(pkts[i-1].Time) {
+			t.Fatalf("packets not time-ordered at %d", i)
+		}
+	}
+}
+
+// TestGenerateNormalMixedFamilies draws sources from both families at
+// once: each packet's source must land in whichever family's block it
+// was drawn from, and both families must actually appear.
+func TestGenerateNormalMixedFamilies(t *testing.T) {
+	cfg := normalCfg6(400)
+	cfg.SrcPrefixes = []netaddr.Prefix{srcBlock, srcBlock6}
+	pkts, err := GenerateNormal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw4, saw6 := false, false
+	for i, p := range pkts {
+		switch {
+		case srcBlock.Contains(p.Src):
+			saw4 = true
+		case srcBlock6.Contains(p.Src):
+			saw6 = true
+		default:
+			t.Fatalf("packet %d src %v outside both blocks", i, p.Src)
+		}
+	}
+	if !saw4 || !saw6 {
+		t.Errorf("source families missing: v4=%t v6=%t", saw4, saw6)
+	}
+}
+
+// TestAllAttacksGenerateV6 launches every cataloged attack against a v6
+// target: the generators carry the configured (spoofed) v6 source and
+// aim every packet inside the v6 destination block.
+func TestAllAttacksGenerateV6(t *testing.T) {
+	src6 := netaddr.MustParseAddr("2001:db8:bad::1")
+	for _, info := range AllAttacks() {
+		t.Run(info.Name, func(t *testing.T) {
+			pkts, err := Generate(info.Type, AttackConfig{
+				Seed:      3,
+				Start:     testStart,
+				Src:       src6,
+				DstPrefix: dstBlock6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkts) == 0 {
+				t.Fatal("no packets generated")
+			}
+			for i, p := range pkts {
+				if p.Src != src6 {
+					t.Fatalf("packet %d src %v, want %v", i, p.Src, src6)
+				}
+				if !dstBlock6.Contains(p.Dst) {
+					t.Fatalf("packet %d dst %v outside %v", i, p.Dst, dstBlock6)
+				}
+			}
+		})
+	}
+}
+
+// TestAttackOnWidePrefix aims a scan at a prefix with more host bits
+// than int63 can index — the draw must fall back to the full-width path
+// instead of overflowing, and still land inside the block.
+func TestAttackOnWidePrefix(t *testing.T) {
+	wide := netaddr.MustParsePrefix("2001:db8::/32") // 96 host bits
+	pkts, err := Generate(AttackNetworkScan, AttackConfig{
+		Seed:      5,
+		Start:     testStart,
+		Src:       netaddr.MustParseAddr("2001:db8:bad::2"),
+		DstPrefix: wide,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pkts {
+		if !wide.Contains(p.Dst) {
+			t.Fatalf("packet %d dst %v outside %v", i, p.Dst, wide)
+		}
+	}
+}

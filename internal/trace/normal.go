@@ -97,7 +97,7 @@ var serverPoolSizes = map[flow.Subcluster]uint64{
 // serverAddr picks a destination host from the service's server pool
 // inside the target prefix. Pool members are spread deterministically
 // through the prefix.
-func serverAddr(rng *rand.Rand, p netaddr.Prefix, cluster flow.Subcluster) netaddr.IPv4 {
+func serverAddr(rng *rand.Rand, p netaddr.Prefix, cluster flow.Subcluster) netaddr.Addr {
 	pool := serverPoolSizes[cluster]
 	if pool == 0 || pool > p.Size() {
 		return randomAddr(rng, p)
@@ -111,7 +111,7 @@ func serverAddr(rng *rand.Rand, p netaddr.Prefix, cluster flow.Subcluster) netad
 
 // normalFlowPackets emits the packets of one benign flow with statistics
 // typical for its service class.
-func normalFlowPackets(rng *rand.Rand, start time.Time, src, dst netaddr.IPv4, cluster flow.Subcluster) []packet.Packet {
+func normalFlowPackets(rng *rand.Rand, start time.Time, src, dst netaddr.Addr, cluster flow.Subcluster) []packet.Packet {
 	srcPort := uint16(rng.Intn(64512) + 1024)
 
 	var (
@@ -234,9 +234,15 @@ func otherTCPPort(rng *rand.Rand) uint16 {
 	}
 }
 
-// randomAddr draws a uniform address inside p.
-func randomAddr(rng *rand.Rand, p netaddr.Prefix) netaddr.IPv4 {
-	return p.Nth(uint64(rng.Int63n(int64(p.Size()))))
+// randomAddr draws a uniform address inside p. Wide v6 prefixes (more
+// host bits than int63 can index) fall back to a full-width draw; Nth
+// wraps the offset into the prefix.
+func randomAddr(rng *rand.Rand, p netaddr.Prefix) netaddr.Addr {
+	size := p.Size()
+	if size > math.MaxInt64 {
+		return p.Nth(rng.Uint64())
+	}
+	return p.Nth(uint64(rng.Int63n(int64(size))))
 }
 
 // expDuration samples an exponential interarrival time with the given mean.

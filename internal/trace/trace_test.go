@@ -143,7 +143,7 @@ func attackCfg(seed int64) AttackConfig {
 	return AttackConfig{
 		Seed:      seed,
 		Start:     testStart,
-		Src:       netaddr.MustParseIPv4("61.5.5.5"),
+		Src:       netaddr.MustParseAddr("61.5.5.5"),
 		DstPrefix: dstBlock,
 	}
 }
@@ -189,7 +189,7 @@ func TestAllAttacksGenerate(t *testing.T) {
 			continue
 		}
 		for i, p := range pkts {
-			if p.Src != netaddr.MustParseIPv4("61.5.5.5") {
+			if p.Src != netaddr.MustParseAddr("61.5.5.5") {
 				t.Errorf("%v packet %d src %v", info.Type, i, p.Src)
 				break
 			}
@@ -248,7 +248,7 @@ func TestSlammerShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hosts := map[netaddr.IPv4]bool{}
+	hosts := map[netaddr.Addr]bool{}
 	for _, p := range pkts {
 		if p.Proto != flow.ProtoUDP || p.DstPort != 1434 || p.Length != 404 {
 			t.Fatalf("slammer packet wrong shape: %+v", p)
@@ -265,7 +265,7 @@ func TestIdlescanShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hosts := map[netaddr.IPv4]bool{}
+	hosts := map[netaddr.Addr]bool{}
 	ports := map[uint16]bool{}
 	for _, p := range pkts {
 		hosts[p.Dst] = true
@@ -287,7 +287,7 @@ func TestNetworkScanShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hosts := map[netaddr.IPv4]bool{}
+	hosts := map[netaddr.Addr]bool{}
 	for _, p := range pkts {
 		hosts[p.Dst] = true
 		if p.DstPort != flow.PortFTP {

@@ -19,8 +19,8 @@ var t0 = time.Date(2005, 4, 1, 12, 0, 0, 0, time.UTC)
 func alertAt(at time.Time, peer int, src, dst string, stage idmef.Stage) idmef.Alert {
 	return idmef.NewAlert("id", at, stage, peer, "spoofed-traffic",
 		flow.Key{
-			Src: netaddr.MustParseIPv4(src),
-			Dst: netaddr.MustParseIPv4(dst),
+			Src: netaddr.MustParseAddr(src),
+			Dst: netaddr.MustParseAddr(dst),
 		}, 0)
 }
 
@@ -134,7 +134,7 @@ func TestTracebackFromEngineAlerts(t *testing.T) {
 
 	pkts, err := trace.Generate(trace.AttackSlammer, trace.AttackConfig{
 		Seed: 4, Start: clock,
-		Src:       netaddr.MustParseIPv4("70.9.9.9"),
+		Src:       netaddr.MustParseAddr("70.9.9.9"),
 		DstPrefix: target,
 	})
 	if err != nil {

@@ -44,7 +44,12 @@ func FQDNEqual(a, b LastHop) bool {
 	return a.Peer.FQDN == b.Peer.FQDN && a.BR.FQDN == b.BR.FQDN
 }
 
-func subnet24(ip netaddr.IPv4) netaddr.Prefix {
+// subnet24 masks a hop address to its routing subnet: /24 for v4 (the
+// paper's relaxation) and the conventional /64 interface subnet for v6.
+func subnet24(ip netaddr.Addr) netaddr.Prefix {
+	if ip.Is6() {
+		return netaddr.MustPrefix(ip, 64)
+	}
 	return netaddr.MustPrefix(ip, 24)
 }
 

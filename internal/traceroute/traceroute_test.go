@@ -9,7 +9,7 @@ import (
 )
 
 func hop(addr string, fqdn string) topo.Hop {
-	return topo.Hop{Addr: netaddr.MustParseIPv4(addr), FQDN: fqdn}
+	return topo.Hop{Addr: netaddr.MustParseAddr(addr), FQDN: fqdn}
 }
 
 func TestEqualityLevels(t *testing.T) {

@@ -41,7 +41,7 @@ func TestNetFlowDecodeFlippedBits(t *testing.T) {
 	recs := make([]flow.Record, 7)
 	for i := range recs {
 		recs[i] = flow.Record{
-			Key:     flow.Key{Src: netaddr.IPv4(uint32(i + 1)), Dst: 0xc0000201, Proto: flow.ProtoTCP, DstPort: 80},
+			Key:     flow.Key{Src: netaddr.IPv4(uint32(i + 1)).Addr(), Dst: netaddr.IPv4(0xc0000201).Addr(), Proto: flow.ProtoTCP, DstPort: 80},
 			Packets: 1, Bytes: 40, Start: boot, End: boot,
 		}
 	}

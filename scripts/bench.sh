@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR7.json.
+# fixed settings and writes machine-readable results to BENCH_PR8.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
@@ -20,7 +20,7 @@
 # with its own, longer benchtime (E2E_BENCHTIME) because each sample
 # carries socket and pacing overhead.
 #
-# Four gates fail the script:
+# Five gates fail the script:
 #   - steady-state template-driven decode must be allocation-free
 #     (BenchmarkDecodeV5Batch / BenchmarkDecodeV9Batch: 0 allocs/op);
 #   - the batched ingest path must not regress below the per-record
@@ -41,16 +41,26 @@
 #     BenchmarkIngestE2E/batched. Like the flatness gate, the ingest
 #     benchmark runs E2E_COUNT times and the gates compare per-name
 #     maximum records/sec, since socket-path noise between sub-
-#     benchmarks of a single run exceeds the 5% margin.
+#     benchmarks of a single run exceeds the 5% margin;
+#   - the dual-stack address core must not tax the v4 hot path: the
+#     min-of-runs v4 per-check cost (BenchmarkEIACheckBloomTier
+#     trie-10x and bloom-10x) must stay <= 1.10x the pre-refactor
+#     baseline recorded in BENCH_PR7.json ($BASELINE to override, set
+#     it to /dev/null to skip when no baseline file exists).
+#
+# The v6 (-v6-) and mixed (-mixed-) bloom-tier and ingest cases are
+# recorded for contrast but not gated: they have no pre-dual-stack
+# baseline to regress against.
 #
 # CI uploads BENCH_*.json as a non-blocking artifact so reviewers can
 # diff ns/op, allocs/op and records/sec across PRs without the job
 # gating merges.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR7.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR8.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
+BASELINE="${BASELINE:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
@@ -134,8 +144,10 @@ echo "$E2ERAW" | awk '
 /^BenchmarkIngestE2E\// {
 	rps = 0
 	for (i = 2; i <= NF; i++) if ($i == "records/sec") rps = $(i - 1)
-	if (index($1, "/per-record") > 0)        base = rps
+	if (index($1, "/per-record") > 0)         base = rps
 	else if (index($1, "/batched-bloom") > 0) bloom = rps
+	else if (index($1, "/batched-v6") > 0)    v6 = rps
+	else if (index($1, "/batched-mixed") > 0) mixed = rps
 	else if (index($1, "/batched") > 0)       batched = rps
 }
 END {
@@ -146,6 +158,8 @@ END {
 	ratio = batched / base
 	printf "==> ingest e2e: per-record %.0f rec/s, batched %.0f rec/s (%.2fx), batched-bloom %.0f rec/s (%.2fx of batched)\n",
 		base, batched, ratio, bloom, bloom / batched
+	if (v6 > 0 || mixed > 0)
+		printf "==> ingest e2e dual-stack (not gated): batched-v6 %.0f rec/s, batched-mixed %.0f rec/s\n", v6, mixed
 	if (batched <= base) {
 		printf "error: batched ingest (%.0f rec/s) regressed below the per-record baseline (%.0f rec/s)\n",
 			batched, base > "/dev/stderr"
@@ -157,6 +171,47 @@ END {
 		exit 1
 	}
 }'
+
+# Gate: v4 per-check cost against the pre-dual-stack baseline. The
+# baseline file records min-of-runs ns/op for the same benchmark names
+# on the same box; compare the reduced (min) rows of this run.
+if [ -f "$BASELINE" ]; then
+	base_trie=$(sed -n 's/.*"BenchmarkEIACheckBloomTier\/trie-10x".*"ns_per_op": \([0-9.eE+-]*\),.*/\1/p' "$BASELINE")
+	base_bloom=$(sed -n 's/.*"BenchmarkEIACheckBloomTier\/bloom-10x".*"ns_per_op": \([0-9.eE+-]*\),.*/\1/p' "$BASELINE")
+	if [ -n "$base_trie" ] && [ -n "$base_bloom" ]; then
+		echo "$BLOOMRAW" | awk -v bt="$base_trie" -v bb="$base_bloom" -v basefile="$BASELINE" '
+		/^BenchmarkEIACheckBloomTier\// {
+			ns = 0
+			for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+			if (index($1, "/trie-10x") > 0)  t10 = ns
+			if (index($1, "/bloom-10x") > 0) b10 = ns
+		}
+		END {
+			if (t10 == 0 || b10 == 0) {
+				print "error: v4 per-check results missing for the baseline gate" > "/dev/stderr"
+				exit 1
+			}
+			printf "==> v4 per-check vs %s: trie %.1f ns/op (baseline %.1f, %.2fx), bloom %.1f ns/op (baseline %.1f, %.2fx)\n",
+				basefile, t10, bt, t10 / bt, b10, bb, b10 / bb
+			bad = 0
+			if (t10 > 1.10 * bt) {
+				printf "error: v4 exact per-check cost %.1f ns/op exceeds 1.10x the pre-dual-stack baseline %.1f ns/op\n",
+					t10, bt > "/dev/stderr"
+				bad = 1
+			}
+			if (b10 > 1.10 * bb) {
+				printf "error: v4 bloom-tier per-check cost %.1f ns/op exceeds 1.10x the pre-dual-stack baseline %.1f ns/op\n",
+					b10, bb > "/dev/stderr"
+				bad = 1
+			}
+			if (bad) exit 1
+		}'
+	else
+		echo "==> warning: $BASELINE has no v4 per-check rows; baseline gate skipped"
+	fi
+else
+	echo "==> warning: no baseline file $BASELINE; v4 per-check gate skipped"
+fi
 
 { echo "$RAW"; echo "$BLOOMRAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
 	-v benchtime="$BENCHTIME" -v count="$COUNT" '
