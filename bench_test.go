@@ -767,7 +767,7 @@ type ingestPath struct {
 // scripts/bench.sh.
 func BenchmarkIngestE2E(b *testing.B) {
 	batchedIngest := func(engine *analysis.ParallelEngine) ingestPath {
-		c := flowtools.NewBatchCollector(flowtools.BatchConfig{
+		c := flowtools.New(flowtools.Config{
 			ReadBuffer: 4 << 20,
 		}, func(batch flowtools.Batch) {
 			engine.SubmitBatch(1, batch.Records)
@@ -780,8 +780,8 @@ func BenchmarkIngestE2E(b *testing.B) {
 	}
 	b.Run("per-record", func(b *testing.B) {
 		benchIngestE2E(b, eia.Config{}, "v4", func(engine *analysis.ParallelEngine) ingestPath {
-			c := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
-				for _, r := range recs {
+			c := flowtools.New(flowtools.Config{MaxRecords: 1}, func(batch flowtools.Batch) {
+				for _, r := range batch.Records {
 					engine.Submit(1, r)
 				}
 			})

@@ -41,12 +41,23 @@
 // up. Template learning, orphan buffering and per-exporter sequence gaps
 // are all reported on /metrics (infilter_netflow_* families).
 //
+// With -cluster-listen/-cluster-peers several infilterd instances run as
+// one logical deployment: a rendezvous hash ring over the node addresses
+// decides which node owns each peer AS's EIA training, and every
+// -replicate-interval each node ships its EIA state — as the same
+// versioned checkpoint format the warm-restart path writes — to its
+// peers over TCP, where it is folded in under eia merge semantics.
+// Replication is off the verdict path: local checking never blocks on a
+// peer, and an unreachable peer costs backoff retries only.
+//
 // With -admin-addr the daemon also serves an operator HTTP endpoint:
 // /metrics (Prometheus text format covering the collector, the flow
-// decoder, the analysis shards, EIA, scan, NNS and the alert sink),
-// /healthz (flips to 503 "draining" the moment shutdown starts) and
-// /debug/pprof. The admin server closes last during shutdown so the
-// drain is observable.
+// decoder, the analysis shards, EIA, scan, NNS, the alert sink and, in
+// cluster mode, the infilter_cluster_* replication series), /healthz
+// (flips to 503 "draining" the moment shutdown starts), /cluster (JSON
+// per-peer replication status and cluster-wide aggregates; 404 when
+// cluster mode is off) and /debug/pprof. The admin server closes last
+// during shutdown so the drain is observable.
 package main
 
 import (
@@ -65,6 +76,7 @@ import (
 
 	"infilter/internal/analysis"
 	"infilter/internal/checkpoint"
+	"infilter/internal/cluster"
 	"infilter/internal/eia"
 	"infilter/internal/flow"
 	"infilter/internal/flowtools"
@@ -83,8 +95,8 @@ const (
 	nnsCheckpointName = "nns.ckpt"
 )
 
-// ingester is the daemon's view of either ingest path: the classic
-// per-record flowtools.Collector or the batched flowtools.BatchCollector.
+// ingester is the daemon's view of the unified flowtools.Collector
+// (batched or per-record depending on Config.MaxRecords).
 type ingester interface {
 	Listen(port int) (int, error)
 	Stats() (received, malformed int)
@@ -137,6 +149,11 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		hhCounters  = fs.Int("heavy-hitter-counters", scan.DefaultHeavyHitterCounters, "heavy-hitter sketch counters per stage (rounded up to a power of two)")
 		hhStages    = fs.Int("heavy-hitter-stages", scan.DefaultHeavyHitterStages, "heavy-hitter sketch stages")
 		hhDecay     = fs.Int("heavy-hitter-decay-every", scan.DefaultHeavyHitterDecayEvery, "suspect flows between heavy-hitter counter-halving passes")
+
+		clusterListen = fs.String("cluster-listen", "", "TCP address for inbound EIA snapshot replication (enables cluster mode)")
+		clusterPeers  = fs.String("cluster-peers", "", "comma-separated replication addresses of the other cluster nodes")
+		clusterNodeID = fs.String("cluster-node", "", "this node's ring identity, the address peers dial it at (default: -cluster-listen)")
+		replInterval  = fs.Duration("replicate-interval", cluster.DefaultInterval, "period between EIA snapshot replication rounds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,6 +181,39 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	shards := *workers
 	if shards <= 0 {
 		shards = len(ports)
+	}
+
+	// Cluster mode: N daemons form one logical deployment. The rendezvous
+	// ring over the node IDs decides which node owns each peer AS's EIA
+	// training (the PromotionFilter below); every node still checks all of
+	// its own traffic, and learned state reaches the rest of the cluster
+	// through snapshot replication. The ring is built here, before the
+	// engine, because the promotion filter is engine configuration; the
+	// replication node itself comes after the engine, whose store it feeds.
+	var (
+		clusterRing  *cluster.Ring
+		clusterID    string
+		clusterAddrs []string
+	)
+	if *clusterListen != "" || *clusterPeers != "" {
+		clusterID = *clusterNodeID
+		if clusterID == "" {
+			clusterID = *clusterListen
+		}
+		if clusterID == "" {
+			return fmt.Errorf("-cluster-peers without -cluster-listen needs -cluster-node")
+		}
+		if *clusterPeers != "" {
+			for _, p := range strings.Split(*clusterPeers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					clusterAddrs = append(clusterAddrs, p)
+				}
+			}
+		}
+		clusterRing, err = cluster.NewRing(append([]string{clusterID}, clusterAddrs...))
+		if err != nil {
+			return err
+		}
 	}
 
 	if *bloomBits < 0 || *bloomHashes < 0 {
@@ -252,6 +302,11 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		}
 	}
 
+	var promotionFilter func(eia.PeerAS) bool
+	if clusterRing != nil {
+		ring, id := clusterRing, clusterID
+		promotionFilter = func(peer eia.PeerAS) bool { return ring.OwnsPeerAS(id, uint16(peer)) }
+	}
 	engine, err := analysis.NewParallelEngine(analysis.ParallelConfig{
 		Config: analysis.Config{
 			Mode: mode,
@@ -261,6 +316,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 				Counters:   *hhCounters,
 				DecayEvery: *hhDecay,
 			},
+			PromotionFilter: promotionFilter,
 		},
 		Shards:     shards,
 		QueueDepth: *queueDepth,
@@ -269,6 +325,39 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	if err != nil {
 		closeAdmin()
 		return err
+	}
+
+	// Cluster replication node: ships the engine's EIA snapshots to every
+	// peer each -replicate-interval and folds inbound snapshots into the
+	// same store. Strictly off the verdict path — a peer being down costs
+	// backoff retries, never a blocked check.
+	var clusterNode *cluster.Node
+	if clusterRing != nil {
+		cm := cluster.NewMetrics(reg, clusterAddrs)
+		clusterNode, err = cluster.NewNode(cluster.Config{
+			NodeID:   clusterID,
+			Listen:   *clusterListen,
+			Peers:    clusterAddrs,
+			Interval: *replInterval,
+		}, engine.EIASet(), cm)
+		if err != nil {
+			engine.Close()
+			closeAdmin()
+			return err
+		}
+		owned := clusterRing.OwnedPeerASCount(clusterID, len(ports))
+		cm.RingOwned.Set(int64(owned))
+		clusterNode.Start()
+		if admin != nil {
+			admin.setClusterStatus(clusterNode.Status)
+		}
+		log.Printf("cluster mode: node %s, %d peer(s), replicating every %s, owns %d/%d peer ASes",
+			clusterID, len(clusterAddrs), *replInterval, owned, len(ports))
+	}
+	closeCluster := func() {
+		if clusterNode != nil {
+			clusterNode.Close()
+		}
 	}
 
 	// Warm-restart checkpoints: the engine's snapshot store and the trained
@@ -285,6 +374,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 			checkpoint.Config{Dir: *stateDir, Interval: *ckptPeriod},
 			checkpoint.NewMetrics(reg), arts...)
 		if err != nil {
+			closeCluster()
 			engine.Close()
 			closeAdmin()
 			return err
@@ -304,6 +394,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	if *alertFlag != "" {
 		sender, err = idmef.Dial(*alertFlag)
 		if err != nil {
+			closeCluster()
 			engine.Close()
 			closeCkpt()
 			closeAdmin()
@@ -328,6 +419,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	if *captureDir != "" {
 		capture, err = flowtools.NewCapture(*captureDir, flowtools.DefaultRotation)
 		if err != nil {
+			closeCluster()
 			engine.Close()
 			closeCkpt()
 			if sender != nil {
@@ -362,48 +454,50 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 			}
 		}
 	}
-	// Ingest path: batched by default (one SubmitBatch per delivered
-	// batch, classified against one EIA snapshot), per-record when
-	// -batch-size is 0.
-	var collector ingester
-	if *batchSize > 0 {
-		bc := flowtools.NewBatchCollector(flowtools.BatchConfig{
-			Readers:      *readers,
-			MaxRecords:   *batchSize,
-			FlushTimeout: *batchWait,
-			ReadBuffer:   4 << 20,
-		}, func(b flowtools.Batch) {
+	// Ingest path: one unified collector; batch shape is configuration.
+	// Batched by default (one SubmitBatch per delivered batch, classified
+	// against one EIA snapshot); -batch-size 0 runs the classic
+	// per-record path (MaxRecords 1 delivers every datagram immediately,
+	// submitted record by record).
+	ingestCfg := flowtools.Config{
+		Readers:      *readers,
+		MaxRecords:   *batchSize,
+		FlushTimeout: *batchWait,
+		ReadBuffer:   4 << 20,
+	}
+	handler := func(b flowtools.Batch) {
+		peer, ok := lookupPeer(b.Port)
+		if !ok {
+			return
+		}
+		archive(b.Records)
+		if err := engine.SubmitBatch(peer, b.Records); err != nil {
+			return // engine closed: shutdown in progress
+		}
+	}
+	if *batchSize <= 0 {
+		ingestCfg.MaxRecords = 1
+		handler = func(b flowtools.Batch) {
 			peer, ok := lookupPeer(b.Port)
 			if !ok {
 				return
 			}
 			archive(b.Records)
-			if err := engine.SubmitBatch(peer, b.Records); err != nil {
-				return // engine closed: shutdown in progress
-			}
-		})
-		bc.SetMetrics(flowtools.NewIngestMetrics(reg))
-		bc.SetTemplateCache(templates)
-		log.Printf("batched ingest: %d reader(s)/port, batch-size %d, batch-timeout %s",
-			bc.Readers(), *batchSize, *batchWait)
-		collector = bc
-	} else {
-		c := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
-			peer, ok := lookupPeer(src.LocalPort)
-			if !ok {
-				return
-			}
-			archive(recs)
-			for _, r := range recs {
+			for _, r := range b.Records {
 				if err := engine.Submit(peer, r); err != nil {
 					return // engine closed: shutdown in progress
 				}
 			}
-		})
-		c.SetMetrics(flowtools.NewCollectorMetrics(reg))
-		c.SetTemplateCache(templates)
+		}
+	}
+	collector := flowtools.New(ingestCfg, handler)
+	collector.SetMetrics(flowtools.NewIngestMetrics(reg))
+	collector.SetTemplateCache(templates)
+	if *batchSize > 0 {
+		log.Printf("batched ingest: %d reader(s)/port, batch-size %d, batch-timeout %s",
+			collector.Readers(), *batchSize, *batchWait)
+	} else {
 		log.Printf("per-record ingest (-batch-size 0)")
-		collector = c
 	}
 
 	bound := make([]int, 0, len(ports))
@@ -417,6 +511,7 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		peerMu.Unlock()
 		if err != nil {
 			collector.Close()
+			closeCluster()
 			engine.Close()
 			closeCkpt()
 			if capture != nil {
@@ -449,20 +544,21 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 				recv, malformed, st.Processed, st.Suspects, st.Attacks, st.Promotions)
 		case <-ctx.Done():
 			log.Printf("shutting down: draining in-flight flows")
-			return shutdown(collector, engine, ckpt, capture, sender, admin)
+			return shutdown(collector, engine, clusterNode, ckpt, capture, sender, admin)
 		}
 	}
 }
 
 // shutdown tears the daemon down in dependency order: flip /healthz to
 // draining, stop ingest and join the receive loops, drain every queued
-// flow through the analysis shards (emitting their alerts), flush the
-// final state checkpoint — after the drain, so promotions the drain
-// produced are captured — then the capture archive and the alert
-// connection, and finally stop the admin server — last, so /metrics
-// stays scrapable through the drain. The first error is reported; later
-// stages still run.
-func shutdown(collector ingester, engine *analysis.ParallelEngine, ckpt *checkpoint.Manager, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
+// flow through the analysis shards (emitting their alerts), stop cluster
+// replication — after the drain, so the final replication round a peer
+// pulls includes drain-time promotions — flush the final state
+// checkpoint, then the capture archive and the alert connection, and
+// finally stop the admin server — last, so /metrics stays scrapable
+// through the drain. The first error is reported; later stages still
+// run.
+func shutdown(collector ingester, engine *analysis.ParallelEngine, clusterNode *cluster.Node, ckpt *checkpoint.Manager, capture *flowtools.Capture, sender *idmef.Sender, admin *adminServer) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -474,6 +570,9 @@ func shutdown(collector ingester, engine *analysis.ParallelEngine, ckpt *checkpo
 	}
 	keep(collector.Close())
 	keep(engine.Close())
+	if clusterNode != nil {
+		keep(clusterNode.Close())
+	}
 	if ckpt != nil {
 		keep(ckpt.Close())
 	}

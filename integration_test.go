@@ -77,11 +77,11 @@ func TestEndToEndPipeline(t *testing.T) {
 		processed int
 	)
 	peerOfPort := map[int]eia.PeerAS{}
-	collector := flowtools.NewCollector(func(src flowtools.Source, recs []flow.Record) {
-		peer := peerOfPort[src.LocalPort]
+	collector := flowtools.New(flowtools.Config{MaxRecords: 1}, func(b flowtools.Batch) {
+		peer := peerOfPort[b.Port]
 		engMu.Lock()
 		defer engMu.Unlock()
-		for _, r := range recs {
+		for _, r := range b.Records {
 			engine.Process(peer, r)
 			processed++
 		}

@@ -59,6 +59,14 @@ type Config struct {
 	// the heavy-hitter stage instead of continuing to scan/NNS), unlike
 	// the EIA Bloom tier, which never alters verdicts.
 	HeavyHitter scan.HeavyHitterConfig
+	// PromotionFilter, when non-nil, gates EIA promotion by peer AS: a
+	// vouched source only counts toward promotion when the filter accepts
+	// the peer. Cluster mode uses this to restrict EIA *training* to the
+	// peer ASes this node owns on the ring — every node still *checks*
+	// all traffic, and replicated snapshots carry owned learning to the
+	// rest of the cluster. The filter is called from every shard and must
+	// be safe for concurrent use; nil trains on everything.
+	PromotionFilter func(peer eia.PeerAS) bool
 }
 
 // Decision is the outcome of processing one flow.
@@ -100,6 +108,9 @@ type pipeline struct {
 	hh       *scan.HeavyHitter // nil unless Config.HeavyHitter enables it
 	scanner  *scan.Analyzer
 	detector *nns.Detector
+	// promote gates EIA promotion by peer AS (Config.PromotionFilter);
+	// nil trains on every peer.
+	promote func(peer eia.PeerAS) bool
 	// metrics is the owning shard's instrumentation (nil on
 	// uninstrumented engines). Stage timing uses the real clock, not the
 	// engine's replay clock: latency telemetry reports wall cost even
@@ -188,7 +199,11 @@ func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdic
 	}
 	// Within normal behavior: vouch for the source; promote after enough
 	// confirmations so a route change stops raising suspicion (§5.2(a)).
-	d.Promoted = p.eia.RecordLegal(peer, rec.Key.Src)
+	// A promotion filter (cluster ring ownership) may exclude this peer
+	// from local training; the verdict above is unaffected.
+	if p.promote == nil || p.promote(peer) {
+		d.Promoted = p.eia.RecordLegal(peer, rec.Key.Src)
+	}
 	return d, false
 }
 

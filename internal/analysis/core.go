@@ -106,6 +106,7 @@ func newCore(cfg Config, set *eia.Set, detector *nns.Detector, shards int, metri
 				hh:       hh,
 				scanner:  scanner,
 				detector: detector,
+				promote:  cfg.PromotionFilter,
 			},
 			stats: Stats{ByStage: make(map[idmef.Stage]int)},
 		}

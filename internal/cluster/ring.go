@@ -1,0 +1,128 @@
+// Package cluster scales InFilter past one collector: N infilterd
+// instances run as one logical deployment. A rendezvous hash ring over
+// (exporter, observation domain) decides which node owns each exporter's
+// EIA training, and nodes periodically replicate EIA snapshots to their
+// peers by shipping the existing versioned checkpoint format over TCP
+// (see proto.go), folding remote state in through eia merge semantics.
+// Replication is strictly off the verdict hot path: a peer being down
+// costs retries and a gauge flip, never a blocked check.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a rendezvous (highest-random-weight) hash ring over the
+// cluster's node IDs. Every node builds the same ring from the same
+// membership list, so ownership decisions agree cluster-wide without
+// coordination: Owner(key) is a pure function of (membership, key).
+// Rendezvous hashing gives the consistent-hash property with no virtual
+// node bookkeeping — when a node leaves, only the keys it owned move,
+// and they scatter evenly over the survivors.
+type Ring struct {
+	nodes []string
+}
+
+// NewRing builds a ring over the given node IDs. IDs are deduplicated;
+// at least one is required. Every node in the cluster must construct its
+// ring from the same ID set (typically: its own advertised replication
+// address plus its configured peers).
+func NewRing(nodes []string) (*Ring, error) {
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	return &Ring{nodes: uniq}, nil
+}
+
+// Nodes returns the ring membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Size returns the number of nodes in the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owner returns the node that owns (exporter, domain): the node whose
+// seeded hash of the key scores highest, ties broken by the
+// lexicographically smallest node ID so the choice is total.
+func (r *Ring) Owner(exporter string, domain uint32) string {
+	best, bestScore := "", uint64(0)
+	for _, n := range r.nodes {
+		s := ringScore(n, exporter, domain)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// Owns reports whether node owns (exporter, domain).
+func (r *Ring) Owns(node, exporter string, domain uint32) bool {
+	return r.Owner(exporter, domain) == node
+}
+
+// peerASExporter is the exporter label of the testbed demultiplexing
+// convention (one UDP port per peer AS): the daemon keys ownership of a
+// peer AS's EIA training as (peerASExporter, uint32(peerAS)). Real
+// multi-exporter deployments key by the exporter's address and
+// observation domain instead; both go through the same Owner function.
+const peerASExporter = "peer-as"
+
+// OwnsPeerAS reports whether node owns the EIA training of the given
+// peer AS under the testbed port-per-peer convention.
+func (r *Ring) OwnsPeerAS(node string, peer uint16) bool {
+	return r.Owns(node, peerASExporter, uint32(peer))
+}
+
+// OwnedPeerASCount counts how many of the peer ASes 1..n the node owns
+// (the ring ownership gauge of a daemon serving n ports).
+func (r *Ring) OwnedPeerASCount(node string, n int) int {
+	owned := 0
+	for p := 1; p <= n; p++ {
+		if r.OwnsPeerAS(node, uint16(p)) {
+			owned++
+		}
+	}
+	return owned
+}
+
+// ringScore is the rendezvous weight of node for (exporter, domain):
+// 64-bit FNV-1a over the three components with length framing between
+// them, so ("ab","c") and ("a","bc") score differently.
+func ringScore(node, exporter string, domain uint32) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		h ^= uint64(len(s))
+		h *= prime64
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	mix(node)
+	mix(exporter)
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= uint64(byte(domain >> shift))
+		h *= prime64
+	}
+	return h
+}

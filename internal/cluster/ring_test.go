@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidates(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Error("NewRing with empty ID succeeded, want error")
+	}
+	r, err := NewRing([]string{"b", "a", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 {
+		t.Errorf("Size = %d after dedupe, want 2", r.Size())
+	}
+	if n := r.Nodes(); n[0] != "a" || n[1] != "b" {
+		t.Errorf("Nodes = %v, want sorted [a b]", n)
+	}
+}
+
+func TestRingAgreesAcrossMemberOrderings(t *testing.T) {
+	r1, _ := NewRing([]string{"node-a", "node-b", "node-c"})
+	r2, _ := NewRing([]string{"node-c", "node-a", "node-b"})
+	for d := uint32(0); d < 500; d++ {
+		key := fmt.Sprintf("exporter-%d", d%7)
+		if r1.Owner(key, d) != r2.Owner(key, d) {
+			t.Fatalf("ownership of (%s,%d) depends on membership order", key, d)
+		}
+	}
+}
+
+func TestRingSingleOwnerPerKey(t *testing.T) {
+	r, _ := NewRing([]string{"node-a", "node-b", "node-c"})
+	for d := uint32(0); d < 300; d++ {
+		owner := r.Owner("exp", d)
+		owned := 0
+		for _, n := range r.Nodes() {
+			if r.Owns(n, "exp", d) {
+				owned++
+				if n != owner {
+					t.Fatalf("domain %d: Owns(%s) true but Owner = %s", d, n, owner)
+				}
+			}
+		}
+		if owned != 1 {
+			t.Fatalf("domain %d has %d owners", d, owned)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"10.0.0.1:9201", "10.0.0.2:9201", "10.0.0.3:9201"}
+	r, _ := NewRing(nodes)
+	counts := make(map[string]int)
+	const keys = 3000
+	for d := uint32(0); d < keys; d++ {
+		counts[r.Owner("exporter", d)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("node %s owns %.0f%% of keys, want roughly a third", n, share*100)
+		}
+	}
+}
+
+// TestRingMinimalDisruption checks the consistent-hash property: removing
+// one node only moves the keys it owned; every other key keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	full, _ := NewRing([]string{"a", "b", "c"})
+	sansC, _ := NewRing([]string{"a", "b"})
+	moved := 0
+	for d := uint32(0); d < 1000; d++ {
+		before := full.Owner("exp", d)
+		after := sansC.Owner("exp", d)
+		if before == "c" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("domain %d moved %s→%s although its owner survived", d, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("node c owned no keys; balance test should have caught this")
+	}
+}
+
+func TestRingPeerASOwnershipPartition(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b", "c"})
+	const peers = 64
+	total := 0
+	for _, n := range r.Nodes() {
+		total += r.OwnedPeerASCount(n, peers)
+	}
+	if total != peers {
+		t.Errorf("OwnedPeerASCount sums to %d over all nodes, want %d", total, peers)
+	}
+	for p := uint16(1); p <= peers; p++ {
+		owners := 0
+		for _, n := range r.Nodes() {
+			if r.OwnsPeerAS(n, p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("peer AS %d has %d owners, want exactly 1", p, owners)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, _ := NewRing([]string{"solo"})
+	if got := r.OwnedPeerASCount("solo", 32); got != 32 {
+		t.Errorf("single node owns %d/32 peer ASes", got)
+	}
+}

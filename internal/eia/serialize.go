@@ -153,6 +153,21 @@ func writeCheckpoint(w io.Writer, index *netaddr.PrefixTrie[PeerAS]) error {
 	return err
 }
 
+// DecodeCheckpoint is the single decode entry point for the versioned
+// checkpoint format: it reads one checkpoint stream into a fresh Set
+// carrying cfg. Every consumer of the format goes through it (or through
+// ReadCheckpointInto, which it wraps) — the warm-restart load from
+// -state-dir and the cluster replication receiver both decode the exact
+// bytes WriteCheckpoint produced, so the v2 format has exactly one
+// reader and one writer in the codebase.
+func DecodeCheckpoint(cfg Config, r io.Reader) (*Set, error) {
+	s := NewSet(cfg)
+	if err := ReadCheckpointInto(s, r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // ReadCheckpointInto loads a checkpoint written by WriteCheckpoint into
 // s. Malformed input — a missing or unversioned header, an unsupported
 // version, or any malformed row — returns an error; it never panics, so

@@ -464,6 +464,42 @@ func (c *Store) AddPrefixes(assign []Assignment) {
 	c.mu.Unlock()
 }
 
+// MergeSet folds a remote EIA set into the store with the semantics of
+// Merge(local, remote): prefixes absent locally are added, and a prefix
+// present in both re-homes only when the remote peer AS is numerically
+// lower (the deterministic conflict rule — see Merge). The whole merge
+// lands as one snapshot swap through the normal publication path, so the
+// Bloom tier and every concurrent Check stay consistent: readers observe
+// either the pre-merge or the post-merge snapshot, never a partial
+// merge. It reports how many prefixes were added and how many re-homed.
+//
+// This is the receive side of cluster replication: the remote set is a
+// freshly decoded checkpoint, and folding it in never blocks the Check
+// hot path (checks are lock-free snapshot reads; only other writers
+// briefly serialize behind the merge).
+func (c *Store) MergeSet(remote *Set) (added, rehomed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snap.Load()
+	var assign []Assignment
+	remote.index.Walk(func(p netaddr.Prefix, peer PeerAS) bool {
+		if prev, ok := cur.index.Get(p); ok {
+			if peer < prev {
+				rehomed++
+				assign = append(assign, Assignment{Peer: peer, Prefix: p})
+			}
+		} else {
+			added++
+			assign = append(assign, Assignment{Peer: peer, Prefix: p})
+		}
+		return true
+	})
+	if len(assign) > 0 {
+		c.publishLocked(assign)
+	}
+	return added, rehomed
+}
+
 // Train initializes EIA sets from observed traffic the way Set.Train
 // does, publishing the whole training set as one snapshot swap.
 func (c *Store) Train(obs []TrainingSource, maskBits int) {

@@ -15,7 +15,7 @@ import (
 
 // Batch collector defaults.
 const (
-	// DefaultBatchRecords is the flush threshold when BatchConfig leaves
+	// DefaultBatchRecords is the flush threshold when Config leaves
 	// MaxRecords zero: enough to amortize per-batch costs, small enough to
 	// keep queue latency in the tens of microseconds at line rate.
 	DefaultBatchRecords = 256
@@ -25,8 +25,8 @@ const (
 	DefaultFlushTimeout = 5 * time.Millisecond
 )
 
-// BatchConfig assembles a BatchCollector.
-type BatchConfig struct {
+// Config assembles a Collector.
+type Config struct {
 	// Readers is the number of reader sockets (and goroutines) per
 	// listened port. More than one requires SO_REUSEPORT kernel load
 	// balancing; on platforms without it the count is clamped to 1.
@@ -44,7 +44,7 @@ type BatchConfig struct {
 	ReadBuffer int
 }
 
-func (cfg *BatchConfig) applyDefaults() {
+func (cfg *Config) applyDefaults() {
 	if cfg.Readers <= 0 {
 		cfg.Readers = 1
 	}
@@ -61,16 +61,24 @@ func (cfg *BatchConfig) applyDefaults() {
 
 // Batch is one batched delivery: flow records decoded from export
 // datagrams that arrived on one local UDP port, in arrival order as seen
-// by one reader. Like Handler's records, the slice is reused by the
-// reader and valid only for the duration of the call.
+// by one reader. The Records slice is reused by the reader and valid
+// only for the duration of the call.
+//
+// Exporter and Version identify where the records came from when the
+// whole batch shares one origin — always the case at MaxRecords 1, where
+// every batch is exactly one datagram's records (the classic per-record
+// path). A batch aggregated from datagrams of different exporters or
+// export versions carries ""/0 instead.
 type Batch struct {
-	Port    int
-	Records []flow.Record
+	Port     int
+	Exporter string
+	Version  uint16
+	Records  []flow.Record
 }
 
-// BatchHandler consumes one batch. It is invoked concurrently from every
+// Handler consumes one batch. It is invoked concurrently from every
 // reader goroutine and must be safe for concurrent use.
-type BatchHandler func(b Batch)
+type Handler func(b Batch)
 
 // IngestMetrics instruments the batched ingest path: the classic
 // collector counters plus batch-shape telemetry (records per delivered
@@ -159,16 +167,18 @@ func (r *singleReader) read() ([]datagramView, error) {
 	return r.view[:1], nil
 }
 
-// BatchCollector is the batched flow-capture path: per listened port it
-// runs one or more reader sockets (SO_REUSEPORT when more than one),
-// each reader decoding datagrams through its own DecodeBuffer and
-// accumulating records into a batch delivered to the BatchHandler when
-// it reaches MaxRecords — or after FlushTimeout, so a trickle of traffic
-// is never stranded waiting for a full batch. Close stops every reader,
-// delivering any partially filled batches first.
-type BatchCollector struct {
-	handler   BatchHandler
-	cfg       BatchConfig
+// Collector is the flow-capture path: per listened port it runs one or
+// more reader sockets (SO_REUSEPORT when more than one), each reader
+// decoding datagrams through its own DecodeBuffer and accumulating
+// records into a batch delivered to the Handler when it reaches
+// MaxRecords — or after FlushTimeout, so a trickle of traffic is never
+// stranded waiting for a full batch. MaxRecords 1 makes every delivery
+// exactly one datagram's records, reproducing the classic per-record
+// collector. Close stops every reader, delivering any partially filled
+// batches first.
+type Collector struct {
+	handler   Handler
+	cfg       Config
 	metrics   *IngestMetrics
 	templates *netflow.TemplateCache
 
@@ -179,11 +189,11 @@ type BatchCollector struct {
 	wg sync.WaitGroup
 }
 
-// NewBatchCollector returns a batch collector delivering to handler with
-// a private template cache of default bounds.
-func NewBatchCollector(cfg BatchConfig, handler BatchHandler) *BatchCollector {
+// New returns a collector delivering to handler with a private template
+// cache of default bounds (see SetTemplateCache).
+func New(cfg Config, handler Handler) *Collector {
 	cfg.applyDefaults()
-	return &BatchCollector{
+	return &Collector{
 		handler:   handler,
 		cfg:       cfg,
 		metrics:   unregisteredIngestMetrics(),
@@ -192,11 +202,11 @@ func NewBatchCollector(cfg BatchConfig, handler BatchHandler) *BatchCollector {
 }
 
 // Readers reports the per-port reader count after platform clamping.
-func (c *BatchCollector) Readers() int { return c.cfg.Readers }
+func (c *Collector) Readers() int { return c.cfg.Readers }
 
 // SetMetrics installs runtime instrumentation (nil reverts to
 // unregistered counters). Call before the first Listen.
-func (c *BatchCollector) SetMetrics(m *IngestMetrics) {
+func (c *Collector) SetMetrics(m *IngestMetrics) {
 	if m == nil {
 		m = unregisteredIngestMetrics()
 	}
@@ -206,7 +216,7 @@ func (c *BatchCollector) SetMetrics(m *IngestMetrics) {
 // SetTemplateCache installs the v9/IPFIX template cache shared by all
 // readers (nil reverts to a private default one). Call before the first
 // Listen.
-func (c *BatchCollector) SetTemplateCache(tc *netflow.TemplateCache) {
+func (c *Collector) SetTemplateCache(tc *netflow.TemplateCache) {
 	if tc == nil {
 		tc = netflow.NewTemplateCache(netflow.TemplateCacheConfig{})
 	}
@@ -214,12 +224,12 @@ func (c *BatchCollector) SetTemplateCache(tc *netflow.TemplateCache) {
 }
 
 // TemplateCache returns the cache the readers decode through.
-func (c *BatchCollector) TemplateCache() *netflow.TemplateCache { return c.templates }
+func (c *Collector) TemplateCache() *netflow.TemplateCache { return c.templates }
 
 // Listen binds cfg.Readers sockets to the given UDP port (0 picks an
 // ephemeral port; the remaining readers then bind the chosen one) and
 // starts their reader goroutines. It returns the bound port.
-func (c *BatchCollector) Listen(port int) (int, error) {
+func (c *Collector) Listen(port int) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -253,19 +263,29 @@ func (c *BatchCollector) Listen(port int) (int, error) {
 // flush deadline is armed when the first records of a batch land and
 // disarmed on flush, so an idle reader blocks indefinitely while a
 // partial batch waits at most FlushTimeout.
-func (c *BatchCollector) readLoop(conn *net.UDPConn, r datagramReader, port int) {
+func (c *Collector) readLoop(conn *net.UDPConn, r datagramReader, port int) {
 	defer c.wg.Done()
 	db := netflow.NewDecodeBuffer(c.templates)
 	batch := make([]flow.Record, 0, c.cfg.MaxRecords)
-	var flushAt time.Time
+	var (
+		flushAt       time.Time
+		batchExporter string
+		batchVersion  uint16
+		batchMixed    bool
+	)
 	flush := func(reason *telemetry.Counter) {
 		if len(batch) == 0 {
 			return
 		}
 		c.metrics.BatchRecords.Observe(int64(len(batch)))
 		reason.Inc()
-		c.handler(Batch{Port: port, Records: batch})
+		b := Batch{Port: port, Records: batch}
+		if !batchMixed {
+			b.Exporter, b.Version = batchExporter, batchVersion
+		}
+		c.handler(b)
 		batch = batch[:0]
+		batchMixed = false
 		flushAt = time.Time{}
 	}
 	for {
@@ -296,6 +316,9 @@ func (c *BatchCollector) readLoop(conn *net.UDPConn, r datagramReader, port int)
 			}
 			if len(batch) == 0 {
 				flushAt = time.Now().Add(c.cfg.FlushTimeout)
+				batchExporter, batchVersion = v.exporter, msg.Version
+			} else if v.exporter != batchExporter || msg.Version != batchVersion {
+				batchMixed = true
 			}
 			// The decoded records alias db and the next Decode reuses it,
 			// so the batch takes a copy (this append is also what
@@ -319,14 +342,14 @@ func isTimeout(err error) bool {
 
 // Stats reports received records and malformed datagrams, as
 // Collector.Stats does.
-func (c *BatchCollector) Stats() (received, malformed int) {
+func (c *Collector) Stats() (received, malformed int) {
 	return int(c.metrics.Records.Value()), int(c.metrics.DecodeErrors.Value())
 }
 
 // Close shuts down every reader socket and waits for the reader
 // goroutines to exit. Partially filled batches are delivered before the
 // readers stop. Safe to call more than once.
-func (c *BatchCollector) Close() error {
+func (c *Collector) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

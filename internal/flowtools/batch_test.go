@@ -70,10 +70,10 @@ func awaitRecords(t *testing.T, want int, fn func() int) {
 }
 
 // TestBatchCollectorMatchesClassic replays the same datagram stream
-// through the classic per-datagram Collector and the BatchCollector
-// across the pinned batch sizes and two flush timeouts: the concatenated
-// record sequences must be identical — batching changes delivery
-// granularity, never content or order.
+// through the per-datagram configuration (MaxRecords 1) and batched
+// configurations across the pinned batch sizes and two flush timeouts:
+// the concatenated record sequences must be identical — batching changes
+// delivery granularity, never content or order.
 func TestBatchCollectorMatchesClassic(t *testing.T) {
 	const n = 300
 	raws := encodeV5(indexedRecords(n))
@@ -81,9 +81,9 @@ func TestBatchCollectorMatchesClassic(t *testing.T) {
 	// Classic reference sequence.
 	var mu sync.Mutex
 	var want []flow.Record
-	classic := NewCollector(func(src Source, recs []flow.Record) {
+	classic := New(Config{MaxRecords: 1}, func(b Batch) {
 		mu.Lock()
-		want = append(want, recs...)
+		want = append(want, b.Records...)
 		mu.Unlock()
 	})
 	port, err := classic.Listen(0)
@@ -102,7 +102,7 @@ func TestBatchCollectorMatchesClassic(t *testing.T) {
 				var bmu sync.Mutex
 				var got []flow.Record
 				var batches int
-				bc := NewBatchCollector(BatchConfig{MaxRecords: size, FlushTimeout: timeout},
+				bc := New(Config{MaxRecords: size, FlushTimeout: timeout},
 					func(b Batch) {
 						bmu.Lock()
 						got = append(got, b.Records...)
@@ -144,7 +144,7 @@ func TestBatchCollectorTrickleFlush(t *testing.T) {
 	}
 	delivered := make(chan Batch, 1)
 	m := NewIngestMetrics(telemetry.NewRegistry())
-	bc := NewBatchCollector(BatchConfig{MaxRecords: 4096, FlushTimeout: 25 * time.Millisecond},
+	bc := New(Config{MaxRecords: 4096, FlushTimeout: 25 * time.Millisecond},
 		func(b Batch) {
 			recs := append([]flow.Record(nil), b.Records...)
 			delivered <- Batch{Port: b.Port, Records: recs}
@@ -184,7 +184,7 @@ func TestBatchCollectorCloseDeliversPartialBatch(t *testing.T) {
 	var mu sync.Mutex
 	var got int
 	m := NewIngestMetrics(telemetry.NewRegistry())
-	bc := NewBatchCollector(BatchConfig{MaxRecords: 4096, FlushTimeout: time.Hour},
+	bc := New(Config{MaxRecords: 4096, FlushTimeout: time.Hour},
 		func(b Batch) {
 			mu.Lock()
 			got += len(b.Records)
@@ -220,7 +220,7 @@ func TestBatchCollectorReaderPoolLeak(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			var mu sync.Mutex
 			var got int
-			bc := NewBatchCollector(BatchConfig{Readers: 4, MaxRecords: 8, FlushTimeout: 5 * time.Millisecond},
+			bc := New(Config{Readers: 4, MaxRecords: 8, FlushTimeout: 5 * time.Millisecond},
 				func(b Batch) {
 					mu.Lock()
 					got += len(b.Records)
@@ -252,7 +252,7 @@ func TestBatchCollectorMultiReader(t *testing.T) {
 	var mu sync.Mutex
 	seen := make(map[uint16]int, n)
 	var total int
-	bc := NewBatchCollector(BatchConfig{Readers: 4, MaxRecords: 64, FlushTimeout: 5 * time.Millisecond},
+	bc := New(Config{Readers: 4, MaxRecords: 64, FlushTimeout: 5 * time.Millisecond},
 		func(b Batch) {
 			mu.Lock()
 			for _, r := range b.Records {

@@ -3,16 +3,19 @@
 // receiver for NetFlow v5/v9/IPFIX export datagrams), a binary flow
 // store, and flow-report (per-flow and grouped statistics with ASCII
 // import/export).
+//
+// Flow capture is one Collector type, built with New. Batch shape is
+// configuration, not API: Config.MaxRecords chooses between batched
+// delivery (the default, amortizing per-batch costs) and the classic
+// per-datagram path (MaxRecords 1 delivers every datagram's records the
+// moment they decode). The pre-unification constructors NewCollector and
+// NewBatchCollector remain as deprecated wrappers in deprecated.go.
 package flowtools
 
 import (
 	"errors"
-	"fmt"
-	"net"
-	"sync"
 
 	"infilter/internal/flow"
-	"infilter/internal/netflow"
 	"infilter/internal/telemetry"
 )
 
@@ -71,143 +74,11 @@ type Source struct {
 	Version   uint16
 }
 
-// Handler consumes the flow records parsed from one datagram. The records
-// slice is reused by the receive loop and valid only for the duration of
-// the call; handlers keeping records must copy them.
-type Handler func(src Source, recs []flow.Record)
-
-// Collector is the flow-capture equivalent: it listens on one or more UDP
-// ports, decodes NetFlow v5/v9/IPFIX datagrams through a shared template
-// cache and hands flow records to a Handler. Close stops all listeners
-// and waits for their goroutines to exit.
-type Collector struct {
-	handler   Handler
-	metrics   *CollectorMetrics
-	templates *netflow.TemplateCache
-
-	mu     sync.Mutex
-	conns  []*net.UDPConn
-	closed bool
-
-	wg sync.WaitGroup
-}
+// RecordHandler is the per-datagram callback of the deprecated
+// NewCollector wrapper: the flow records parsed from one datagram plus
+// their Source. The records slice is reused by the receive loop and
+// valid only for the duration of the call.
+type RecordHandler func(src Source, recs []flow.Record)
 
 // ErrCollectorClosed is returned when Listen is called after Close.
 var ErrCollectorClosed = errors.New("flowtools: collector closed")
-
-// NewCollector returns a collector delivering records to handler, with a
-// private template cache of default bounds (see SetTemplateCache).
-func NewCollector(handler Handler) *Collector {
-	return &Collector{
-		handler:   handler,
-		metrics:   unregisteredCollectorMetrics(),
-		templates: netflow.NewTemplateCache(netflow.TemplateCacheConfig{}),
-	}
-}
-
-// SetMetrics installs runtime counters (nil reverts to unregistered
-// ones). It must be called before the first Listen: the receive loops
-// read the pointer without locking.
-func (c *Collector) SetMetrics(m *CollectorMetrics) {
-	if m == nil {
-		m = unregisteredCollectorMetrics()
-	}
-	c.metrics = m
-}
-
-// SetTemplateCache installs the v9/IPFIX template cache shared by all
-// listeners (nil reverts to a private default one). Call before the first
-// Listen; the daemon shares one cache so templates learned on any port
-// resolve data from the same exporter everywhere.
-func (c *Collector) SetTemplateCache(tc *netflow.TemplateCache) {
-	if tc == nil {
-		tc = netflow.NewTemplateCache(netflow.TemplateCacheConfig{})
-	}
-	c.templates = tc
-}
-
-// TemplateCache returns the cache the listeners decode through.
-func (c *Collector) TemplateCache() *netflow.TemplateCache { return c.templates }
-
-// Listen opens a UDP listener on the given port (0 picks an ephemeral
-// port) and starts receiving datagrams. It returns the bound port.
-func (c *Collector) Listen(port int) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return 0, ErrCollectorClosed
-	}
-	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
-	if err != nil {
-		return 0, fmt.Errorf("flowtools: listen udp %d: %w", port, err)
-	}
-	c.conns = append(c.conns, conn)
-	addr, ok := conn.LocalAddr().(*net.UDPAddr)
-	if !ok {
-		conn.Close()
-		return 0, fmt.Errorf("flowtools: unexpected addr type %T", conn.LocalAddr())
-	}
-	bound := addr.Port
-	c.wg.Add(1)
-	go c.receiveLoop(conn, bound)
-	return bound, nil
-}
-
-func (c *Collector) receiveLoop(conn *net.UDPConn, port int) {
-	defer c.wg.Done()
-	buf := make([]byte, 65536)
-	// Each listener owns a DecodeBuffer (not concurrency-safe); template
-	// state lives in the shared cache.
-	db := netflow.NewDecodeBuffer(c.templates)
-	for {
-		n, remote, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			// Closed socket (or fatal error): stop this listener.
-			return
-		}
-		m := c.metrics
-		m.Datagrams.Inc()
-		exporter := remote.String()
-		db.SetExporter(exporter)
-		msg, err := netflow.Decode(buf[:n], db)
-		if err != nil {
-			m.DecodeErrors.Inc()
-			continue
-		}
-		countRecords(m.Records, msg.Records)
-		if len(msg.Records) == 0 {
-			// Template-only or fully orphaned datagram: nothing to hand on.
-			continue
-		}
-		c.handler(Source{LocalPort: port, Exporter: exporter, Version: msg.Version}, msg.Records)
-	}
-}
-
-// Stats reports how many records were received and how many datagrams
-// were dropped as malformed, derived from the telemetry counters.
-func (c *Collector) Stats() (received, malformed int) {
-	return int(c.metrics.Records.Value()), int(c.metrics.DecodeErrors.Value())
-}
-
-// Close shuts down every listener and waits for receive loops to exit.
-// It is safe to call more than once.
-func (c *Collector) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	conns := c.conns
-	c.conns = nil
-	c.mu.Unlock()
-
-	var firstErr error
-	for _, conn := range conns {
-		if err := conn.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	c.wg.Wait()
-	return firstErr
-}

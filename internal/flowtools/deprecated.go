@@ -1,0 +1,46 @@
+package flowtools
+
+// Pre-unification collector API. The per-record Collector and the
+// BatchCollector collapsed into the single New(Config, Handler)
+// constructor: batch shape is configuration (Config.MaxRecords 1 is the
+// per-record path), not a separate type. These wrappers keep the old
+// constructors compiling for one release and will be removed.
+
+// BatchConfig is the pre-unification name of Config.
+//
+// Deprecated: use Config.
+type BatchConfig = Config
+
+// BatchHandler is the pre-unification name of Handler.
+//
+// Deprecated: use Handler.
+type BatchHandler = Handler
+
+// BatchCollector is the pre-unification name of Collector.
+//
+// Deprecated: use Collector.
+type BatchCollector = Collector
+
+// NewBatchCollector returns a batched collector.
+//
+// Deprecated: use New.
+func NewBatchCollector(cfg Config, handler Handler) *Collector {
+	return New(cfg, handler)
+}
+
+// NewCollector returns a collector that delivers each datagram's records
+// immediately with their Source, as the pre-unification per-record
+// Collector did. It is New with Config{MaxRecords: 1} and a Handler
+// adapter: at batch size 1 every Batch is one datagram, so its
+// Exporter/Version always reconstruct the Source exactly.
+//
+// The returned Collector's SetMetrics takes *IngestMetrics where the old
+// type took *CollectorMetrics; wrap with NewIngestMetrics, or leave
+// metrics unset.
+//
+// Deprecated: use New with Config{MaxRecords: 1}.
+func NewCollector(handler RecordHandler) *Collector {
+	return New(Config{MaxRecords: 1}, func(b Batch) {
+		handler(Source{LocalPort: b.Port, Exporter: b.Exporter, Version: b.Version}, b.Records)
+	})
+}

@@ -1,0 +1,58 @@
+package flowtools
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+)
+
+// TestDeprecatedConstructorsStillDeliver keeps the one-release
+// compatibility wrappers honest: both pre-unification constructors must
+// deliver the same records as the unified API, and NewCollector must
+// reconstruct per-datagram Sources exactly.
+func TestDeprecatedConstructorsStillDeliver(t *testing.T) {
+	raws := encodeV5(indexedRecords(40))
+
+	var (
+		mu      sync.Mutex
+		perRec  []flow.Record
+		srcs    []Source
+		batched int
+	)
+	classic := NewCollector(func(src Source, recs []flow.Record) {
+		mu.Lock()
+		perRec = append(perRec, recs...)
+		srcs = append(srcs, src)
+		mu.Unlock()
+	})
+	port, err := classic.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer classic.Close()
+	sendAll(t, port, raws)
+	awaitRecords(t, 40, func() int { mu.Lock(); defer mu.Unlock(); return len(perRec) })
+	mu.Lock()
+	for _, s := range srcs {
+		if s.LocalPort != port || s.Exporter == "" || s.Version != 5 {
+			t.Fatalf("reconstructed Source %+v, want port %d, non-empty exporter, version 5", s, port)
+		}
+	}
+	mu.Unlock()
+
+	bc := NewBatchCollector(BatchConfig{MaxRecords: 8, FlushTimeout: 2 * time.Millisecond},
+		func(b Batch) {
+			mu.Lock()
+			batched += len(b.Records)
+			mu.Unlock()
+		})
+	bport, err := bc.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	sendAll(t, bport, raws)
+	awaitRecords(t, 40, func() int { mu.Lock(); defer mu.Unlock(); return batched })
+}

@@ -233,12 +233,14 @@ func testCollectorReceives(t *testing.T, enc netflow.WireEncoder) {
 		srcs []Source
 		port int
 	)
-	c := NewCollector(func(src Source, recs []flow.Record) {
+	// MaxRecords 1 is the per-record path: every batch is one datagram's
+	// records, so Batch.Exporter/Version fully reconstruct the Source.
+	c := New(Config{MaxRecords: 1}, func(b Batch) {
 		mu.Lock()
 		defer mu.Unlock()
-		if src.LocalPort == port {
-			got = append(got, recs...)
-			srcs = append(srcs, src)
+		if b.Port == port {
+			got = append(got, b.Records...)
+			srcs = append(srcs, Source{LocalPort: b.Port, Exporter: b.Exporter, Version: b.Version})
 		}
 	})
 	var err error
@@ -320,7 +322,7 @@ func TestCollectorReceivesDatagrams(t *testing.T) {
 }
 
 func TestCollectorCloseIdempotentAndBlocksListen(t *testing.T) {
-	c := NewCollector(func(Source, []flow.Record) {})
+	c := New(Config{}, func(Batch) {})
 	if _, err := c.Listen(0); err != nil {
 		t.Fatal(err)
 	}

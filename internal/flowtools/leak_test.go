@@ -27,7 +27,7 @@ func TestCollectorGoroutineLeak(t *testing.T) {
 	testutil.ExpectNoGoroutineGrowth(t, func() {
 		for i := 0; i < 3; i++ {
 			got := make(chan struct{}, 16)
-			c := NewCollector(func(src Source, recs []flow.Record) {
+			c := New(Config{MaxRecords: 1}, func(Batch) {
 				got <- struct{}{}
 			})
 			var ports []int

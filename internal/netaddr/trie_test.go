@@ -151,20 +151,50 @@ func TestTrieWalkEarlyStop(t *testing.T) {
 	}
 }
 
+// randomTriePrefix emits a random corpus prefix from either address
+// family: a v4 prefix over the full 32-bit space, or a v6 prefix inside
+// a deliberately small 2001:db8::/32 pool so lookups land inside stored
+// prefixes often enough to exercise real matches, not just misses.
+func randomTriePrefix(rng *rand.Rand) Prefix {
+	if rng.Intn(2) == 0 {
+		return PrefixFrom4(IPv4(rng.Uint32()), rng.Intn(25)+8)
+	}
+	return MustPrefix(randomTrieAddr6(rng), rng.Intn(89)+40)
+}
+
+// randomTrieAddr emits a random probe address, half v4, half from the
+// same constrained v6 pool randomTriePrefix draws from.
+func randomTrieAddr(rng *rand.Rand) Addr {
+	if rng.Intn(2) == 0 {
+		return IPv4(rng.Uint32()).Addr()
+	}
+	return randomTrieAddr6(rng)
+}
+
+func randomTrieAddr6(rng *rand.Rand) Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+	b[4] = byte(rng.Intn(4))
+	b[7] = byte(rng.Intn(4))
+	b[11] = byte(rng.Intn(4))
+	b[15] = byte(rng.Intn(8))
+	return AddrFrom16(b)
+}
+
 // TestTrieMatchesLinearScan cross-checks longest-prefix match against a
-// brute-force scan over random prefix sets.
+// brute-force scan over random dual-stack prefix sets.
 func TestTrieMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
 		tr := NewPrefixTrie[int]()
 		var prefixes []Prefix
 		for i := 0; i < 50; i++ {
-			p := PrefixFrom4(IPv4(rng.Uint32()), rng.Intn(25)+8)
+			p := randomTriePrefix(rng)
 			prefixes = append(prefixes, p)
 			tr.Insert(p, i)
 		}
 		for i := 0; i < 200; i++ {
-			ip := IPv4(rng.Uint32()).Addr()
+			ip := randomTrieAddr(rng)
 			wantBits, wantVal, wantOK := -1, -1, false
 			for j, p := range prefixes {
 				if p.Contains(ip) && p.Bits() > wantBits {
@@ -234,14 +264,15 @@ func TestTrieInsertPersistentSharesSubtrees(t *testing.T) {
 	}
 }
 
-// TestTrieInsertPersistentMatchesMutable replays a random insert sequence
-// through both insert paths and requires identical lookup behavior.
+// TestTrieInsertPersistentMatchesMutable replays a random dual-stack
+// insert sequence through both insert paths and requires identical
+// lookup behavior.
 func TestTrieInsertPersistentMatchesMutable(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	mut := NewPrefixTrie[int]()
 	per := NewPrefixTrie[int]()
 	for i := 0; i < 200; i++ {
-		p := PrefixFrom4(IPv4(rng.Uint32()), rng.Intn(25)+8)
+		p := randomTriePrefix(rng)
 		mut.Insert(p, i)
 		per = per.InsertPersistent(p, i)
 	}
@@ -249,7 +280,7 @@ func TestTrieInsertPersistentMatchesMutable(t *testing.T) {
 		t.Fatalf("Len: mutable %d, persistent %d", mut.Len(), per.Len())
 	}
 	for i := 0; i < 500; i++ {
-		ip := IPv4(rng.Uint32()).Addr()
+		ip := randomTrieAddr(rng)
 		gm, okm := mut.Lookup(ip)
 		gp, okp := per.Lookup(ip)
 		if gm != gp || okm != okp {
@@ -269,6 +300,20 @@ func TestTrieInsertLookupProperty(t *testing.T) {
 		return ok && ok2 && got == addr && got2 == addr
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Same property over the v6 plane: first/last of any inserted prefix
+	// must look up to its value.
+	f6 := func(raw [16]byte, bitsRaw uint8) bool {
+		bits := int(bitsRaw%128) + 1
+		tr := NewPrefixTrie[byte]()
+		p := MustPrefix(AddrFrom16(raw), bits)
+		tr.Insert(p, raw[15])
+		got, ok := tr.Lookup(p.First())
+		got2, ok2 := tr.Lookup(p.Last())
+		return ok && ok2 && got == raw[15] && got2 == raw[15]
+	}
+	if err := quick.Check(f6, nil); err != nil {
 		t.Error(err)
 	}
 }

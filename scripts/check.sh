@@ -5,10 +5,14 @@
 # (internal/analysis/parallel_test.go), the batch/serial equivalence
 # tests at batch sizes 1, 16 and 256 (internal/analysis/batch_test.go —
 # batched submission must be observationally identical to per-record
-# submission, including across mid-batch promotions) and every
-# goroutine-leak test, so a pass means the sharded pipeline is
-# race-clean under concurrent load, batching changes no verdict, and no
-# background worker outlives its Close. The fuzz smoke discovers every
+# submission, including across mid-batch promotions), the cluster-mode
+# e2e suite (cmd/infilterd/cluster_daemon_test.go — two-node snapshot
+# convergence against a single-node union daemon, peer-down isolation,
+# and the 3-node in-process kill-one test inside a goroutine-leak gate)
+# and every goroutine-leak test, so a pass means the sharded pipeline
+# is race-clean under concurrent load, batching changes no verdict,
+# replication converges without leaking workers, and no background
+# worker outlives its Close. The fuzz smoke discovers every
 # native fuzz target in the module and runs each briefly against fresh
 # random inputs on top of the checked-in seed corpus, so new targets are
 # picked up without editing this script.
