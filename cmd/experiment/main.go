@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"infilter/internal/analysis"
 	"infilter/internal/experiment"
@@ -26,11 +27,12 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "15, 16, 17, 18, 19, attacks, baselines, latency, or all")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		runs     = flag.Int("runs", 5, "averaged repetitions per data point (paper: 5)")
-		flows    = flag.Int("flows", experiment.DefaultNormalFlows, "normal flows per Dagflow source")
-		training = flag.Int("training", experiment.DefaultTrainingFlows, "training cluster size")
+		figure      = flag.String("figure", "all", "15, 16, 17, 18, 19, attacks, baselines, latency, campaign, or all")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		runs        = flag.Int("runs", 5, "averaged repetitions per data point (paper: 5)")
+		flows       = flag.Int("flows", experiment.DefaultNormalFlows, "normal flows per Dagflow source")
+		training    = flag.Int("training", experiment.DefaultTrainingFlows, "training cluster size")
+		campaignOut = flag.String("campaign-out", "", "write campaign figure JSON to this file (with -figure campaign)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,8 @@ func run() error {
 	need1516 := *figure == "15" || *figure == "16" || *figure == "all"
 	need1719 := *figure == "17" || *figure == "18" || *figure == "19" || *figure == "all"
 	needLat := *figure == "latency" || *figure == "all"
-	if !need1516 && !need1719 && !needLat && !needAttacks && !needBaselines {
+	needCampaign := *figure == "campaign" || *figure == "all"
+	if !need1516 && !need1719 && !needLat && !needAttacks && !needBaselines && !needCampaign {
 		return fmt.Errorf("unknown figure %q", *figure)
 	}
 
@@ -97,6 +100,38 @@ func run() error {
 		}
 		if *figure == "19" || *figure == "all" {
 			fmt.Println(experiment.Figure19(bi, ei).String())
+		}
+	}
+	if needCampaign {
+		log.Printf("running SAV deployment-rate campaign...")
+		res, err := experiment.RunCampaign(experiment.CampaignConfig{
+			Seed:                 *seed,
+			NormalFlowsPerSource: *flows,
+			TrainingFlows:        *training,
+		})
+		if err != nil {
+			return err
+		}
+		for _, pt := range res.Points {
+			fmt.Printf("deployment %3.0f%% (%2d peers): detected %d/%d events (%.1f%%), %d benign flows, %d false positives, %d ttl-stage alerts\n",
+				100*pt.DeploymentRate, pt.DeployedPeers, pt.Detected, pt.Launched,
+				pt.DetectionRate, pt.BenignFlows, pt.FalsePositives, pt.TTLStageAlerts)
+		}
+		fmt.Printf("benign-only control: %d flows, %d false positives\n",
+			res.BenignOnly.BenignFlows, res.BenignOnly.FalsePositives)
+		if *campaignOut != "" {
+			f, err := os.Create(*campaignOut)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteCampaignFigures(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Printf("campaign figures written to %s", *campaignOut)
 		}
 	}
 	if needLat {

@@ -85,6 +85,7 @@ import (
 	"infilter/internal/netflow"
 	"infilter/internal/nns"
 	"infilter/internal/scan"
+	"infilter/internal/sketch"
 	"infilter/internal/telemetry"
 	"infilter/internal/trace"
 )
@@ -93,6 +94,7 @@ import (
 const (
 	eiaCheckpointName = "eia.ckpt"
 	nnsCheckpointName = "nns.ckpt"
+	ttlCheckpointName = "ttl.ckpt"
 )
 
 // ingester is the daemon's view of the unified flowtools.Collector
@@ -149,6 +151,9 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		hhCounters  = fs.Int("heavy-hitter-counters", scan.DefaultHeavyHitterCounters, "heavy-hitter sketch counters per stage (rounded up to a power of two)")
 		hhStages    = fs.Int("heavy-hitter-stages", scan.DefaultHeavyHitterStages, "heavy-hitter sketch stages")
 		hhDecay     = fs.Int("heavy-hitter-decay-every", scan.DefaultHeavyHitterDecayEvery, "suspect flows between heavy-hitter counter-halving passes")
+		sketchK     = fs.Int("scan-sketch-k", sketch.DefaultK, "KMV registers per scan sketch (larger: more accurate distinct counts)")
+		exactScan   = fs.Bool("scan-exact-buffer", false, "use the bounded exact ring buffer for scan analysis instead of the streaming sketch")
+		ttlTol      = fs.Int("ttl-tolerance", 0, "TTL-profile hop tolerance for the second-opinion detector (0 disables the stage; EI mode only)")
 
 		clusterListen = fs.String("cluster-listen", "", "TCP address for inbound EIA snapshot replication (enables cluster mode)")
 		clusterPeers  = fs.String("cluster-peers", "", "comma-separated replication addresses of the other cluster nodes")
@@ -310,6 +315,11 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	engine, err := analysis.NewParallelEngine(analysis.ParallelConfig{
 		Config: analysis.Config{
 			Mode: mode,
+			Scan: scan.Config{
+				ExactBuffer: *exactScan,
+				SketchK:     *sketchK,
+			},
+			TTL: scan.TTLConfig{Tolerance: *ttlTol},
 			HeavyHitter: scan.HeavyHitterConfig{
 				Threshold:  *hhThreshold,
 				Stages:     *hhStages,
@@ -325,6 +335,24 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 	if err != nil {
 		closeAdmin()
 		return err
+	}
+	// TTL profiles are engine state, so their checkpoint loads after the
+	// engine exists. A state dir written before the TTL stage shipped
+	// simply has no ttl.ckpt — the stage cold-starts and the rest of the
+	// warm restart proceeds, so old checkpoints keep loading unchanged.
+	if *stateDir != "" && engine.TTLProfile() != nil {
+		prof := engine.TTLProfile()
+		ok, err := checkpoint.Load(*stateDir, ttlCheckpointName, func(r io.Reader) error {
+			return scan.ReadCheckpointInto(prof, r)
+		})
+		if err != nil {
+			engine.Close()
+			closeAdmin()
+			return err
+		}
+		if ok {
+			log.Printf("warm restart: %d TTL source profiles from %s", prof.Sources(), *stateDir)
+		}
 	}
 
 	// Cluster replication node: ships the engine's EIA snapshots to every
@@ -369,6 +397,9 @@ func runWith(ctx context.Context, args []string, onReady func(ports []int, admin
 		arts := []checkpoint.Artifact{{Name: eiaCheckpointName, Write: engine.EIASet().WriteCheckpoint}}
 		if detector != nil {
 			arts = append(arts, checkpoint.Artifact{Name: nnsCheckpointName, Write: detector.Save})
+		}
+		if prof := engine.TTLProfile(); prof != nil {
+			arts = append(arts, checkpoint.Artifact{Name: ttlCheckpointName, Write: prof.WriteCheckpoint})
 		}
 		ckpt, err = checkpoint.NewManager(
 			checkpoint.Config{Dir: *stateDir, Interval: *ckptPeriod},

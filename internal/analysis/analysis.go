@@ -59,6 +59,16 @@ type Config struct {
 	// the heavy-hitter stage instead of continuing to scan/NNS), unlike
 	// the EIA Bloom tier, which never alters verdicts.
 	HeavyHitter scan.HeavyHitterConfig
+	// TTL tunes the TTL-profile second-opinion detector (EI only).
+	// Disabled unless TTL.Tolerance is positive. When enabled, every
+	// TTL-bearing flow is checked against its source's learned hop
+	// profile: an EIA Match whose TTL deviates beyond tolerance is still
+	// flagged (the second opinion overrides the ingress mapping — the
+	// on-path spoof case EIA cannot see), and a suspect that survived
+	// every other stage is denied its vouch when the TTL contradicts the
+	// profile. Flows with TTL zero (v5 ingest, TTL-less templates) are
+	// never assessed, so the stage is inert on TTL-less deployments.
+	TTL scan.TTLConfig
 	// PromotionFilter, when non-nil, gates EIA promotion by peer AS: a
 	// vouched source only counts toward promotion when the filter accepts
 	// the peer. Cluster mode uses this to restrict EIA *training* to the
@@ -108,6 +118,11 @@ type pipeline struct {
 	hh       *scan.HeavyHitter // nil unless Config.HeavyHitter enables it
 	scanner  *scan.Analyzer
 	detector *nns.Detector
+	// ttl is the TTL-profile second-opinion table, nil unless Config.TTL
+	// enables it. Unlike the scanner it is shared across shards (profiles
+	// aggregate a source's flows wherever they land) and is internally
+	// stripe-locked.
+	ttl *scan.TTLProfile
 	// promote gates EIA promotion by peer AS (Config.PromotionFilter);
 	// nil trains on every peer.
 	promote func(peer eia.PeerAS) bool
@@ -145,7 +160,15 @@ func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdic
 	var t time.Time
 	d = Decision{Verdict: v}
 	if d.Verdict == eia.Match {
-		// Case (b): expected ingress — legal flow, no alarms.
+		// Case (b): expected ingress. The TTL profile gets a second
+		// opinion: a source spoofed from a host behind the *same* peer
+		// ingress passes the EIA check, but its packets arrive with the
+		// attacker's hop distance, not the victim's.
+		if p.checkTTL(rec) {
+			d.Attack = true
+			d.Stage = idmef.StageTTL
+			return d, false
+		}
 		return d, false
 	}
 	// Case (a): unexpected ingress or unknown source.
@@ -197,6 +220,15 @@ func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdic
 		d.Stage = idmef.StageNNS
 		return d, false
 	}
+	// TTL second opinion before vouching: a suspect whose TTL contradicts
+	// the source's learned hop profile is flagged instead of vouched, so
+	// an attacker who slips past scan analysis and NNS cannot launder a
+	// spoofed source into the EIA sets.
+	if p.checkTTL(rec) {
+		d.Attack = true
+		d.Stage = idmef.StageTTL
+		return d, false
+	}
 	// Within normal behavior: vouch for the source; promote after enough
 	// confirmations so a route change stops raising suspicion (§5.2(a)).
 	// A promotion filter (cluster ring ownership) may exclude this peer
@@ -205,6 +237,25 @@ func (p *pipeline) decideVerdict(peer eia.PeerAS, rec *flow.Record, v eia.Verdic
 		d.Promoted = p.eia.RecordLegal(peer, rec.Key.Src)
 	}
 	return d, false
+}
+
+// checkTTL runs the TTL-profile stage on one flow, with stage timing;
+// it reports a spoof verdict. Inert (and costs nothing) when the stage
+// is disabled or the flow carries no TTL information.
+func (p *pipeline) checkTTL(rec *flow.Record) bool {
+	if p.ttl == nil || rec.TTL == 0 {
+		return false
+	}
+	m := p.metrics
+	var t time.Time
+	if m != nil {
+		t = time.Now()
+	}
+	spoofed := p.ttl.Observe(rec.Key.Src, rec.TTL)
+	if m != nil {
+		m.observeStage(stageTTL, time.Since(t))
+	}
+	return spoofed
 }
 
 // record folds one decision into the counters.
@@ -289,6 +340,10 @@ func (e *Engine) EIASet() *eia.Store { return e.c.store }
 
 // Detector exposes the engine's trained NNS detector (nil in ModeBasic).
 func (e *Engine) Detector() *nns.Detector { return e.c.detector }
+
+// TTLProfile exposes the engine's shared TTL-profile table for
+// monitoring and checkpointing; nil when the stage is disabled.
+func (e *Engine) TTLProfile() *scan.TTLProfile { return e.c.ttl }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.c.mergedStats() }

@@ -32,6 +32,7 @@ type core struct {
 	cfg      Config
 	store    *eia.Store
 	detector *nns.Detector
+	ttl      *scan.TTLProfile // shared across shards; nil unless enabled
 	shards   []*shard
 
 	alertFn  func(idmef.Alert)
@@ -93,6 +94,16 @@ func newCore(cfg Config, set *eia.Set, detector *nns.Detector, shards int, metri
 	if metrics != nil {
 		c.store.SetMetrics(metrics.eia)
 	}
+	if cfg.Mode == ModeEnhanced {
+		// One profile table for the whole engine: TTL expectations must
+		// aggregate a source's flows across shards (the table is
+		// stripe-locked), unlike the per-shard scan buffers.
+		c.ttl = scan.NewTTLProfile(cfg.TTL) // nil unless enabled
+	}
+	if metrics != nil && c.ttl != nil {
+		c.ttl.SetMetrics(metrics.ttl)
+		metrics.registerTTLSourcesGauge(c.ttl)
+	}
 	for i := range c.shards {
 		scanner := scan.New(cfg.Scan)
 		var hh *scan.HeavyHitter
@@ -106,6 +117,7 @@ func newCore(cfg Config, set *eia.Set, detector *nns.Detector, shards int, metri
 				hh:       hh,
 				scanner:  scanner,
 				detector: detector,
+				ttl:      c.ttl,
 				promote:  cfg.PromotionFilter,
 			},
 			stats: Stats{ByStage: make(map[idmef.Stage]int)},

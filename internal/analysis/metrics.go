@@ -15,10 +15,11 @@ const (
 	stageHH
 	stageScan
 	stageNNS
+	stageTTL
 	numStages
 )
 
-var stageNames = [numStages]string{stageEIA: "eia", stageHH: "heavy-hitter", stageScan: "scan", stageNNS: "nns"}
+var stageNames = [numStages]string{stageEIA: "eia", stageHH: "heavy-hitter", stageScan: "scan", stageNNS: "nns", stageTTL: "ttl"}
 
 // shardMetrics is one shard's private instrumentation. The counters are
 // exported per shard (labeled shard="i"); the stage histograms are
@@ -45,6 +46,7 @@ type PipelineMetrics struct {
 	shards []shardMetrics
 	scan   *scan.Metrics
 	hh     *scan.HeavyHitterMetrics
+	ttl    *scan.TTLMetrics
 	eia    *eia.Metrics
 }
 
@@ -60,6 +62,7 @@ func NewPipelineMetrics(r *telemetry.Registry, shards int) *PipelineMetrics {
 		shards: make([]shardMetrics, shards),
 		scan:   scan.NewMetrics(r),
 		hh:     scan.NewHeavyHitterMetrics(r),
+		ttl:    scan.NewTTLMetrics(r),
 		eia:    eia.NewMetrics(r),
 	}
 	for i := range m.shards {
@@ -91,6 +94,14 @@ func NewPipelineMetrics(r *telemetry.Registry, shards int) *PipelineMetrics {
 
 // Shards returns the shard count the metrics were built for.
 func (m *PipelineMetrics) Shards() int { return len(m.shards) }
+
+// registerTTLSourcesGauge exports the live count of learned TTL source
+// profiles; called once per engine, only when the TTL stage is enabled.
+func (m *PipelineMetrics) registerTTLSourcesGauge(p *scan.TTLProfile) {
+	m.reg.GaugeFunc("infilter_ttl_sources",
+		"Source aggregates with a learned TTL profile.",
+		func() int64 { return p.Sources() })
+}
 
 // registerQueueGauge exports one shard's live queue depth.
 func (m *PipelineMetrics) registerQueueGauge(i int, depth func() int64) {

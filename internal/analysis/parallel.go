@@ -11,6 +11,7 @@ import (
 	"infilter/internal/flow"
 	"infilter/internal/idmef"
 	"infilter/internal/nns"
+	"infilter/internal/scan"
 )
 
 // ParallelConfig assembles a ParallelEngine.
@@ -142,6 +143,10 @@ func (e *ParallelEngine) EIASet() *eia.Store { return e.c.store }
 
 // Detector exposes the engine's trained NNS detector (nil in ModeBasic).
 func (e *ParallelEngine) Detector() *nns.Detector { return e.c.detector }
+
+// TTLProfile exposes the engine's shared TTL-profile table for
+// monitoring and checkpointing; nil when the stage is disabled.
+func (e *ParallelEngine) TTLProfile() *scan.TTLProfile { return e.c.ttl }
 
 // Shards returns the number of worker shards.
 func (e *ParallelEngine) Shards() int { return len(e.c.shards) }

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"infilter/internal/eia"
+	"infilter/internal/flow"
+	"infilter/internal/idmef"
+	"infilter/internal/netaddr"
+	"infilter/internal/nns"
+	"infilter/internal/scan"
+)
+
+// buildScanEquivWorkload is the small-cardinality workload of the
+// sketch-vs-ring equivalence gate: per-peer streams that interleave
+// legal flows with a 40-probe network scan from one foreign source.
+// Forty suspects fit both the 200-entry ring (no eviction) and the
+// KMV registers' exact range (40 < k = 256), so the two backends must
+// emit byte-identical verdicts — any divergence is a bug, not noise.
+// Promotion is pushed out of reach so the scanning source can never be
+// laundered into the EIA set mid-stream.
+func buildScanEquivWorkload(t *testing.T) parallelWorkload {
+	t.Helper()
+	cfg := Config{
+		Mode: ModeEnhanced,
+		EIA:  eia.Config{PromoteThreshold: 1 << 30},
+		Scan: scan.Config{}, // defaults; ExactBuffer toggled per engine
+	}
+	w := parallelWorkload{cfg: cfg, streams: make(map[eia.PeerAS][]flow.Record)}
+	for p := 1; p <= workloadPeers; p++ {
+		peer := eia.PeerAS(p)
+		trainPfx := netaddr.MustParsePrefix(fmt.Sprintf("%d.0.0.0/8", 20+p))
+		for _, r := range flowsFromPackets(t, int64(p), 120, trainPfx) {
+			w.labeled = append(w.labeled, LabeledRecord{Peer: peer, Record: r})
+		}
+
+		legal := flowsFromPackets(t, int64(1000+p), 30, trainPfx)
+		scanSrc := netaddr.MustParseAddr(fmt.Sprintf("%d.9.9.9", 200+p))
+		var stream []flow.Record
+		for i := 0; i < 40; i++ {
+			if i < len(legal) {
+				stream = append(stream, legal[i])
+			}
+			stream = append(stream, flow.Record{
+				Key: flow.Key{
+					Src:     scanSrc,
+					Dst:     netaddr.MustParseAddr(fmt.Sprintf("192.0.2.%d", i+1)),
+					Proto:   flow.ProtoUDP,
+					SrcPort: uint16(40000 + i),
+					DstPort: 1434,
+					InputIf: 1,
+				},
+				Packets: 1, Bytes: 404,
+				Start: start, End: start,
+			})
+		}
+		w.streams[peer] = stream
+	}
+	return w
+}
+
+// runScanEquivEngine replays the workload through a ParallelEngine with
+// one shard per peer (so each shard's suspect stream is exactly one
+// peer's, in submission order — the only deterministic sharding) and
+// returns the merged stats plus per-stage alert tallies.
+func runScanEquivEngine(t *testing.T, w parallelWorkload, detector *nns.Detector, exact bool, size int) (Stats, map[idmef.Stage]int) {
+	t.Helper()
+	cfg := w.cfg
+	cfg.Scan.ExactBuffer = exact
+	pe, err := NewParallelEngine(
+		ParallelConfig{Config: cfg, Shards: workloadPeers, QueueDepth: 16},
+		freshTrainedSet(cfg, w.labeled), detector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	stages := make(map[idmef.Stage]int)
+	pe.SetAlertSink(func(a idmef.Alert) {
+		mu.Lock()
+		stages[a.Assessment.Stage]++
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for p := 1; p <= workloadPeers; p++ {
+		wg.Add(1)
+		go func(peer eia.PeerAS) {
+			defer wg.Done()
+			stream := w.streams[peer]
+			for off := 0; off < len(stream); off += size {
+				end := off + size
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if err := pe.SubmitBatch(peer, stream[off:end]); err != nil {
+					t.Errorf("SubmitBatch: %v", err)
+					return
+				}
+			}
+		}(eia.PeerAS(p))
+	}
+	wg.Wait()
+	pe.Flush()
+	got := pe.Stats()
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got, stages
+}
+
+// TestSketchMatchesRingOracleThroughParallelEngine is the end-to-end
+// arm of the sketch-vs-ring equivalence: at small cardinalities the
+// streaming backend must reproduce the exact ring oracle's verdicts
+// flow for flow, through the full concurrent pipeline, at every pinned
+// batch width. Run under -race this also exercises the sketch
+// registers' single-driver-per-shard ownership.
+func TestSketchMatchesRingOracleThroughParallelEngine(t *testing.T) {
+	w := buildScanEquivWorkload(t)
+	detector := mustDetector(t, w)
+
+	want, wantStages := runScanEquivEngine(t, w, detector, true, 1)
+	if want.ByStage[idmef.StageScan] == 0 || want.Suspects == 0 {
+		t.Fatalf("degenerate workload: ring oracle stats %+v", want)
+	}
+	if want.Promotions != 0 {
+		t.Fatalf("workload promoted the scanning source: %+v", want)
+	}
+
+	for _, exact := range []bool{true, false} {
+		backend := "sketch"
+		if exact {
+			backend = "ring"
+		}
+		for _, size := range batchSizes {
+			t.Run(fmt.Sprintf("%s/batch=%d", backend, size), func(t *testing.T) {
+				got, stages := runScanEquivEngine(t, w, detector, exact, size)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("stats = %+v, ring oracle = %+v", got, want)
+				}
+				if !reflect.DeepEqual(stages, wantStages) {
+					t.Errorf("alert stages = %v, ring oracle = %v", stages, wantStages)
+				}
+			})
+		}
+	}
+}
+
+// TestSketchDivergesOnlyBeyondRingCapacity pins the intended
+// difference between the backends at the engine level: a scan spread
+// thinner than the ring can hold saturates the oracle silently while
+// the sketch backend still converges on it. This is the reason the
+// sketch is the default, stated as a test.
+func TestSketchDivergesOnlyBeyondRingCapacity(t *testing.T) {
+	cfg := Config{
+		Mode: ModeEnhanced,
+		EIA:  eia.Config{PromoteThreshold: 1 << 30},
+		Scan: scan.Config{
+			NetworkScanThreshold: 300, // beyond the 200-entry ring
+			HostScanThreshold:    math.MaxInt32,
+			DecayEvery:           1 << 30, // no rotation inside the stream
+		},
+	}
+	trainPfx := netaddr.MustParsePrefix("21.0.0.0/8")
+	var labeled []LabeledRecord
+	for _, r := range flowsFromPackets(t, 1, 120, trainPfx) {
+		labeled = append(labeled, LabeledRecord{Peer: 1, Record: r})
+	}
+	probes := make([]flow.Record, 400)
+	for i := range probes {
+		probes[i] = flow.Record{
+			Key: flow.Key{
+				Src:     netaddr.MustParseAddr("201.9.9.9"),
+				Dst:     netaddr.MustParseAddr(fmt.Sprintf("192.0.%d.%d", 2+i/250, 1+i%250)),
+				Proto:   flow.ProtoUDP,
+				SrcPort: uint16(40000 + i),
+				DstPort: 1434,
+				InputIf: 1,
+			},
+			Packets: 1, Bytes: 404, Start: start, End: start,
+		}
+	}
+
+	for _, tc := range []struct {
+		backend string
+		exact   bool
+		detects bool
+	}{
+		{"ring-saturates", true, false},
+		{"sketch-detects", false, true},
+	} {
+		t.Run(tc.backend, func(t *testing.T) {
+			c := cfg
+			c.Scan.ExactBuffer = tc.exact
+			eng, err := Train(c, labeled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range probes {
+				eng.Process(1, r)
+			}
+			trips := eng.Stats().ByStage[idmef.StageScan]
+			if tc.detects && trips == 0 {
+				t.Error("sketch backend missed a 400-host scan above ring capacity")
+			}
+			if !tc.detects && trips != 0 {
+				t.Errorf("ring oracle tripped %d times past saturation; its capacity contract changed", trips)
+			}
+		})
+	}
+}

@@ -20,6 +20,14 @@ const (
 	rrmxmxMul   = 0x9fb21c651e98df25
 )
 
+// Hash64 exposes the seeded mix to sibling packages that key other
+// probabilistic structures from the same hash family — the KMV distinct
+// counters in internal/sketch draw their order statistics from it, so
+// sketch quality rides on the same avalanche the filters already trust.
+func Hash64(key, seed uint64) uint64 {
+	return hash64(key, seed)
+}
+
 func hash64(key, seed uint64) uint64 {
 	seed ^= uint64(bits.ReverseBytes32(uint32(seed))) << 32
 	// An 8-byte little-endian buffer holding key reads back as:

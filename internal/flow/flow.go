@@ -67,6 +67,11 @@ type Record struct {
 	// FlowLabel is the IPv6 flow label (flowLabelIPv6, IE 31); zero for
 	// v4 flows and for v6 exports that do not carry the IE.
 	FlowLabel uint32
+	// TTL is the minimum IP time-to-live observed across the flow's
+	// packets (minimumTTL, IE 52; ipTTL, IE 192). Zero means the export
+	// carried no TTL information (v5, TTL-less templates) — the TTL
+	// profile detector skips such flows.
+	TTL uint8
 }
 
 // Duration returns the flow's active duration. Flows whose start and end

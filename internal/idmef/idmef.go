@@ -22,6 +22,7 @@ const (
 	StageHeavyHitter Stage = "heavy-hitter"
 	StageScan        Stage = "scan-analysis"
 	StageNNS         Stage = "nns-search"
+	StageTTL         Stage = "ttl-profile"
 )
 
 // Alert is the subset of an IDMEF Alert the prototype emits.

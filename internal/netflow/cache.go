@@ -103,6 +103,11 @@ func (c *Cache) Observe(p packet.Packet, ifIndex uint16) {
 	e.rec.Bytes += uint32(p.Length)
 	e.rec.End = now
 	e.rec.TCPFlag |= p.TCPFlags
+	// Track the flow's minimum observed TTL (IE 52 semantics); packets
+	// without TTL information (p.TTL == 0) leave the fold untouched.
+	if p.TTL != 0 && (e.rec.TTL == 0 || p.TTL < e.rec.TTL) {
+		e.rec.TTL = p.TTL
+	}
 
 	if c.cfg.ExpireOnFINRST && p.Proto == flow.ProtoTCP &&
 		p.TCPFlags&(packet.FlagFIN|packet.FlagRST) != 0 {

@@ -43,8 +43,8 @@ const (
 )
 
 // v9ExportFields is the template this package's v9 encoder announces: the
-// v5 feature set expressed as IANA information elements, with
-// sysUptime-relative timestamps (39 bytes per record).
+// v5 feature set expressed as IANA information elements plus the flow's
+// minimum TTL, with sysUptime-relative timestamps (40 bytes per record).
 var v9ExportFields = []TemplateField{
 	{ID: ieSourceIPv4Address, Length: 4},
 	{ID: ieDestIPv4Address, Length: 4},
@@ -61,11 +61,12 @@ var v9ExportFields = []TemplateField{
 	{ID: ieBGPDestinationAS, Length: 2},
 	{ID: ieSourceIPv4PrefixLen, Length: 1},
 	{ID: ieDestIPv4PrefixLen, Length: 1},
+	{ID: ieMinimumTTL, Length: 1},
 	{ID: ieIngressInterface, Length: 2},
 }
 
 // ipfixExportFields swaps the relative timestamps for the absolute
-// millisecond elements IPFIX exporters prefer (47 bytes per record).
+// millisecond elements IPFIX exporters prefer (48 bytes per record).
 var ipfixExportFields = []TemplateField{
 	{ID: ieSourceIPv4Address, Length: 4},
 	{ID: ieDestIPv4Address, Length: 4},
@@ -82,12 +83,13 @@ var ipfixExportFields = []TemplateField{
 	{ID: ieBGPDestinationAS, Length: 2},
 	{ID: ieSourceIPv4PrefixLen, Length: 1},
 	{ID: ieDestIPv4PrefixLen, Length: 1},
+	{ID: ieMinimumTTL, Length: 1},
 	{ID: ieIngressInterface, Length: 2},
 }
 
 // v9ExportFields6 is the v6 flavor of the v9 export template: the v4
 // address and prefix-length elements swapped for their v6 counterparts,
-// plus the IPv6 flow label (67 bytes per record).
+// plus the IPv6 flow label (68 bytes per record).
 var v9ExportFields6 = []TemplateField{
 	{ID: ieSourceIPv6Address, Length: 16},
 	{ID: ieDestIPv6Address, Length: 16},
@@ -105,11 +107,12 @@ var v9ExportFields6 = []TemplateField{
 	{ID: ieSourceIPv6PrefixLen, Length: 1},
 	{ID: ieDestIPv6PrefixLen, Length: 1},
 	{ID: ieFlowLabelIPv6, Length: 4},
+	{ID: ieMinimumTTL, Length: 1},
 	{ID: ieIngressInterface, Length: 2},
 }
 
 // ipfixExportFields6 is the v6 flavor of the IPFIX export template
-// (75 bytes per record).
+// (76 bytes per record).
 var ipfixExportFields6 = []TemplateField{
 	{ID: ieSourceIPv6Address, Length: 16},
 	{ID: ieDestIPv6Address, Length: 16},
@@ -127,6 +130,7 @@ var ipfixExportFields6 = []TemplateField{
 	{ID: ieSourceIPv6PrefixLen, Length: 1},
 	{ID: ieDestIPv6PrefixLen, Length: 1},
 	{ID: ieFlowLabelIPv6, Length: 4},
+	{ID: ieMinimumTTL, Length: 1},
 	{ID: ieIngressInterface, Length: 2},
 }
 
@@ -166,6 +170,8 @@ func fieldValue(id uint16, rec flow.Record, boot time.Time) uint64 {
 		return uint64(rec.DstAS)
 	case ieFlowLabelIPv6:
 		return uint64(rec.FlowLabel)
+	case ieMinimumTTL, ieMaximumTTL, ieIPTTL:
+		return uint64(rec.TTL)
 	case ieFlowStartSysUpTime:
 		return uint64(uint32(rec.Start.Sub(boot).Milliseconds()))
 	case ieFlowEndSysUpTime:

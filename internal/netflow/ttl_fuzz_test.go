@@ -1,0 +1,56 @@
+package netflow
+
+import (
+	"testing"
+)
+
+// FuzzDecodeTTLFields aims the fuzzer specifically at the TTL
+// information elements: templates carrying minimumTTL/maximumTTL/ipTTL
+// in arbitrary (including hostile) field lengths, with fuzzed and
+// corrupted record payloads. Properties: the decoder never panics, and
+// a template carrying none of the TTL IEs always leaves Record.TTL
+// zero, whatever the payload bytes say.
+func FuzzDecodeTTLFields(f *testing.F) {
+	f.Add(uint16(52), uint8(1), uint8(57), true, []byte{})
+	f.Add(uint16(53), uint8(2), uint8(64), true, []byte{1, 2, 3})
+	f.Add(uint16(192), uint8(0), uint8(0), true, []byte{0xff})
+	f.Add(uint16(7), uint8(4), uint8(9), false, []byte{})
+
+	f.Fuzz(func(t *testing.T, ttlID uint16, ttlLen, ttlVal uint8, includeTTL bool, corrupt []byte) {
+		fields := []TemplateField{
+			{ID: ieSourceIPv4Address, Length: 4},
+			{ID: ieDestIPv4Address, Length: 4},
+			{ID: iePacketDeltaCount, Length: 4},
+		}
+		payload := []byte{61, 1, 1, 9, 192, 0, 2, 7, 0, 0, 0, 1}
+		if includeTTL {
+			// Arbitrary IE id and length — only sometimes a real TTL IE,
+			// and sometimes a hostile length (0, 9, 16, 255...).
+			fields = append(fields, TemplateField{ID: ttlID, Length: uint16(ttlLen)})
+			for i := 0; i < int(ttlLen); i++ {
+				payload = append(payload, ttlVal)
+			}
+		}
+		payload = append(payload, corrupt...)
+
+		cache := NewTemplateCache(TemplateCacheConfig{})
+		buf := NewDecodeBuffer(cache)
+		buf.SetExporter("fuzz")
+		msg, err := Decode(buildV9TTL(300, fields, payload), buf)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		hasTTLIE := includeTTL && (ttlID == ieMinimumTTL || ttlID == ieMaximumTTL || ttlID == ieIPTTL)
+		for _, rec := range msg.Records {
+			if !hasTTLIE && rec.TTL != 0 {
+				t.Fatalf("template without TTL IEs decoded TTL %d", rec.TTL)
+			}
+		}
+
+		// Second round: the corrupt bytes as a raw datagram against the
+		// same template state — must not panic either.
+		if _, err := Decode(corrupt, buf); err != nil {
+			return
+		}
+	})
+}

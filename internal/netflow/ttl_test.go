@@ -1,0 +1,168 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"infilter/internal/flow"
+	"infilter/internal/netaddr"
+	"infilter/internal/packet"
+)
+
+func ttlTestRecord(v6 bool, ttl uint8) flow.Record {
+	src, dst := netaddr.MustParseAddr("61.1.1.9"), netaddr.MustParseAddr("192.0.2.7")
+	if v6 {
+		src, dst = netaddr.MustParseAddr("2001:db8::1"), netaddr.MustParseAddr("2001:db8:2::7")
+	}
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	return flow.Record{
+		Key: flow.Key{Src: src, Dst: dst, Proto: flow.ProtoUDP,
+			SrcPort: 1024, DstPort: 1434, InputIf: 2},
+		Packets: 1, Bytes: 404, TTL: ttl,
+		Start: boot.Add(time.Second), End: boot.Add(2 * time.Second),
+	}
+}
+
+// TestTTLRoundTripAllEncoders proves every encoder template (v9/IPFIX ×
+// v4/v6) carries the flow TTL on the wire and the decoder restores it,
+// so dagflow can replay TTL-bearing traces through any wire version the
+// detectors accept.
+func TestTTLRoundTripAllEncoders(t *testing.T) {
+	boot := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		name string
+		enc  WireEncoder
+	}{
+		{"v9", NewV9Encoder(boot, 7)},
+		{"ipfix", NewIPFIXEncoder(7)},
+	} {
+		for _, v6 := range []bool{false, true} {
+			recs := []flow.Record{ttlTestRecord(v6, 57), ttlTestRecord(v6, 0)}
+			recs[1].Key.SrcPort = 2048 // distinct flow
+			cache := NewTemplateCache(TemplateCacheConfig{})
+			buf := NewDecodeBuffer(cache)
+			buf.SetExporter("test")
+			var got []flow.Record
+			for _, wd := range tc.enc.Encode(recs, boot.Add(time.Minute)) {
+				msg, err := Decode(wd.Raw, buf)
+				if err != nil {
+					t.Fatalf("%s v6=%v: %v", tc.name, v6, err)
+				}
+				got = append(got, msg.Records...)
+			}
+			if len(got) != 2 {
+				t.Fatalf("%s v6=%v: decoded %d records, want 2", tc.name, v6, len(got))
+			}
+			if got[0].TTL != 57 {
+				t.Errorf("%s v6=%v: TTL %d, want 57", tc.name, v6, got[0].TTL)
+			}
+			if got[1].TTL != 0 {
+				t.Errorf("%s v6=%v: zero-TTL flow decoded TTL %d", tc.name, v6, got[1].TTL)
+			}
+		}
+	}
+}
+
+// buildV9TTL hand-assembles a v9 datagram with a custom template and one
+// matching data record, for exercising foreign TTL IE layouts the
+// package's own encoders never emit.
+func buildV9TTL(tid uint16, fields []TemplateField, payload []byte) []byte {
+	var raw []byte
+	hdr := make([]byte, v9HeaderSize)
+	binary.BigEndian.PutUint16(hdr[0:2], 9)
+	binary.BigEndian.PutUint16(hdr[2:4], 2) // record count (advisory)
+	binary.BigEndian.PutUint32(hdr[8:12], 1_112_313_600)
+	raw = append(raw, hdr...)
+
+	tmpl := make([]byte, 8+4*len(fields))
+	binary.BigEndian.PutUint16(tmpl[0:2], v9SetTemplate)
+	binary.BigEndian.PutUint16(tmpl[2:4], uint16(len(tmpl)))
+	binary.BigEndian.PutUint16(tmpl[4:6], tid)
+	binary.BigEndian.PutUint16(tmpl[6:8], uint16(len(fields)))
+	for i, f := range fields {
+		binary.BigEndian.PutUint16(tmpl[8+4*i:], f.ID)
+		binary.BigEndian.PutUint16(tmpl[10+4*i:], f.Length)
+	}
+	raw = append(raw, tmpl...)
+
+	data := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint16(data[0:2], tid)
+	binary.BigEndian.PutUint16(data[2:4], uint16(4+len(payload)))
+	data = append(data, payload...)
+	return append(raw, data...)
+}
+
+// TestDecodeTTLFieldPrecedence covers foreign template shapes: an
+// explicit minimumTTL wins over maximumTTL regardless of field order,
+// and maximumTTL alone still populates the record as a fallback.
+func TestDecodeTTLFieldPrecedence(t *testing.T) {
+	base := []TemplateField{
+		{ID: ieSourceIPv4Address, Length: 4},
+		{ID: ieDestIPv4Address, Length: 4},
+		{ID: iePacketDeltaCount, Length: 4},
+	}
+	basePayload := []byte{61, 1, 1, 9, 192, 0, 2, 7, 0, 0, 0, 1}
+	for _, tc := range []struct {
+		name    string
+		fields  []TemplateField
+		payload []byte
+		want    uint8
+	}{
+		{"max-then-min", append(base[:3:3], TemplateField{ID: ieMaximumTTL, Length: 1}, TemplateField{ID: ieMinimumTTL, Length: 1}),
+			append(basePayload[:12:12], 64, 57), 57},
+		{"min-then-max", append(base[:3:3], TemplateField{ID: ieMinimumTTL, Length: 1}, TemplateField{ID: ieMaximumTTL, Length: 1}),
+			append(basePayload[:12:12], 57, 64), 57},
+		{"max-only", append(base[:3:3], TemplateField{ID: ieMaximumTTL, Length: 1}),
+			append(basePayload[:12:12], 64), 64},
+		{"ipttl-2byte", append(base[:3:3], TemplateField{ID: ieIPTTL, Length: 2}),
+			append(basePayload[:12:12], 0, 57), 57},
+		{"no-ttl", base, basePayload, 0},
+	} {
+		cache := NewTemplateCache(TemplateCacheConfig{})
+		buf := NewDecodeBuffer(cache)
+		buf.SetExporter("test")
+		msg, err := Decode(buildV9TTL(300, tc.fields, tc.payload), buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(msg.Records) != 1 {
+			t.Fatalf("%s: %d records", tc.name, len(msg.Records))
+		}
+		if got := msg.Records[0].TTL; got != tc.want {
+			t.Errorf("%s: TTL %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCacheFoldsMinimumTTL checks the router emulation's flow cache
+// implements minimumTTL semantics: the smallest nonzero packet TTL wins
+// and TTL-less packets never clobber the fold.
+func TestCacheFoldsMinimumTTL(t *testing.T) {
+	c := NewCache(CacheConfig{})
+	base := time.Date(2005, 4, 1, 0, 0, 0, 0, time.UTC)
+	p := packet.Packet{
+		Time: base, Src: netaddr.MustParseAddr("61.1.1.9"),
+		Dst: netaddr.MustParseAddr("192.0.2.7"), Proto: flow.ProtoUDP,
+		SrcPort: 1024, DstPort: 53, Length: 64, TTL: 60,
+	}
+	c.Observe(p, 1)
+	p.Time = base.Add(time.Second)
+	p.TTL = 55
+	c.Observe(p, 1)
+	p.Time = base.Add(2 * time.Second)
+	p.TTL = 0 // no TTL info
+	c.Observe(p, 1)
+	p.Time = base.Add(3 * time.Second)
+	p.TTL = 58
+	c.Observe(p, 1)
+
+	c.Advance(base.Add(time.Hour))
+	flows := c.Drain()
+	if len(flows) != 1 {
+		t.Fatalf("drained %d flows", len(flows))
+	}
+	if flows[0].TTL != 55 {
+		t.Errorf("folded TTL %d, want minimum 55", flows[0].TTL)
+	}
+}

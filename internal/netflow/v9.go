@@ -50,10 +50,13 @@ const (
 	ieSourceIPv6PrefixLen   = 29
 	ieDestIPv6PrefixLen     = 30
 	ieFlowLabelIPv6         = 31
+	ieMinimumTTL            = 52
+	ieMaximumTTL            = 53
 	ieFlowStartSeconds      = 150
 	ieFlowEndSeconds        = 151
 	ieFlowStartMilliseconds = 152
 	ieFlowEndMilliseconds   = 153
+	ieIPTTL                 = 192
 )
 
 // recordContext carries the per-datagram clock basis a data record needs:
@@ -287,6 +290,18 @@ func assignField(id uint16, v uint64, ctx recordContext, rec *flow.Record) {
 		rec.DstMask = uint8(v)
 	case ieFlowLabelIPv6:
 		rec.FlowLabel = uint32(v)
+	case ieMinimumTTL, ieIPTTL:
+		// The per-flow minimum is the TTL the profile detector learns;
+		// ipTTL (a plain per-packet TTL some exporters emit) carries the
+		// same meaning for single-packet probes.
+		rec.TTL = uint8(v)
+	case ieMaximumTTL:
+		// Only a fallback: a template carrying both min and max keeps the
+		// minimum (fields are assigned in template order; 52 < 53 in every
+		// template this package emits, and an explicit min wins anyway).
+		if rec.TTL == 0 {
+			rec.TTL = uint8(v)
+		}
 	case ieBGPSourceAS:
 		rec.SrcAS = uint16(v)
 	case ieBGPDestinationAS:

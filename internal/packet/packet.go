@@ -35,6 +35,7 @@ type Packet struct {
 	TCPFlags uint8  // valid when Proto == flow.ProtoTCP
 	FragOff  uint16 // fragment offset in 8-byte units; nonzero marks fragments
 	MoreFrag bool   // IP "more fragments" bit
+	TTL      uint8  // IP time-to-live (hop limit); 0 means unknown
 }
 
 // FlowKey derives the NetFlow key of p as seen on input interface ifIndex.

@@ -149,14 +149,13 @@ func (h *HeavyHitter) Estimate(src netaddr.Addr) uint32 {
 	return h.sketch.Estimate(sketchKey(src))
 }
 
-// sketchKey folds an address into the sketch's 64-bit key space. A v4
-// address keys exactly as the pre-dual-stack stage did; v6 mixes both
-// words (collisions only inflate an estimate, which is the sketch's
-// contract anyway).
-func sketchKey(src netaddr.Addr) uint64 {
-	if v4, ok := src.V4(); ok {
-		return uint64(v4)
+// Reset clears every counter and the decay clock, leaving the stage as
+// freshly constructed. Safe on a nil receiver, mirroring Observe, so a
+// pipeline reset never needs to know whether the stage is enabled.
+func (h *HeavyHitter) Reset() {
+	if h == nil {
+		return
 	}
-	hi, lo := src.Uint64Pair()
-	return hi*0x9e3779b97f4a7c15 ^ lo
+	h.sketch.Reset()
+	h.sinceDecay = 0
 }

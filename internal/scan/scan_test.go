@@ -5,6 +5,7 @@ import (
 
 	"infilter/internal/flow"
 	"infilter/internal/netaddr"
+	"infilter/internal/sketch"
 	"infilter/internal/trace"
 )
 
@@ -76,7 +77,7 @@ func TestDuplicatePairsDoNotInflateCounts(t *testing.T) {
 }
 
 func TestBufferEvictionDecaysCounts(t *testing.T) {
-	a := New(Config{BufferSize: 4, NetworkScanThreshold: 100})
+	a := New(Config{BufferSize: 4, NetworkScanThreshold: 100, ExactBuffer: true})
 	// Fill buffer with 4 distinct hosts on port 9.
 	for i := 0; i < 4; i++ {
 		a.Add(suspect(netaddr.FromOctets(192, 0, 2, byte(i+1)).String(), 9))
@@ -97,7 +98,7 @@ func TestBufferEvictionDecaysCounts(t *testing.T) {
 }
 
 func TestBufferedGrowth(t *testing.T) {
-	a := New(Config{BufferSize: 10})
+	a := New(Config{BufferSize: 10, ExactBuffer: true})
 	if a.Buffered() != 0 {
 		t.Errorf("empty Buffered = %d", a.Buffered())
 	}
@@ -132,13 +133,21 @@ func TestReset(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	a := New(Config{})
+	a := New(Config{ExactBuffer: true})
 	if len(a.ring) != DefaultBufferSize {
 		t.Errorf("default buffer %d", len(a.ring))
 	}
 	if a.cfg.NetworkScanThreshold != DefaultNetworkScanThreshold ||
 		a.cfg.HostScanThreshold != DefaultHostScanThreshold {
 		t.Errorf("defaults %+v", a.cfg)
+	}
+	s := New(Config{})
+	if s.cfg.SketchK != sketch.DefaultK || s.cfg.MaxRegisters != DefaultMaxRegisters ||
+		s.cfg.DecayEvery != DefaultBufferSize {
+		t.Errorf("sketch defaults %+v", s.cfg)
+	}
+	if s.ring != nil || s.portRegs == nil {
+		t.Error("default backend is not the sketch path")
 	}
 }
 

@@ -1,0 +1,42 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzKMVInsert feeds arbitrary key streams into arbitrary-sized
+// registers and checks the structural invariants: no panic, Count
+// bounded by k, estimates exact below k (vs a map oracle) and monotone
+// non-decreasing under insertion.
+func FuzzKMVInsert(f *testing.F) {
+	f.Add(uint8(3), uint64(42), []byte("some seed corpus bytes to chunk"))
+	f.Add(uint8(0), uint64(0), []byte{})
+	f.Add(uint8(255), uint64(1<<63), []byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, kRaw uint8, seed uint64, data []byte) {
+		k := int(kRaw) // 0 exercises the DefaultK fallback
+		s := New(k, seed)
+		if k <= 0 {
+			k = DefaultK
+		}
+		oracle := make(map[uint64]struct{})
+		prev := 0.0
+		for len(data) >= 8 {
+			key := binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+			s.Insert(key)
+			oracle[key] = struct{}{}
+			est := s.Estimate()
+			if est < prev {
+				t.Fatalf("estimate decreased: %v -> %v", prev, est)
+			}
+			prev = est
+			if s.Count() > k {
+				t.Fatalf("Count %d exceeds k %d", s.Count(), k)
+			}
+			if len(oracle) < k && est != float64(len(oracle)) {
+				t.Fatalf("below k: estimate %v, exact %d", est, len(oracle))
+			}
+		}
+	})
+}

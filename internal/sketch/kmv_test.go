@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"infilter/internal/netaddr"
+)
+
+// packAddr folds a dual-stack address into the uint64 key space the
+// scan analyzer feeds its registers from.
+func packAddr(a netaddr.Addr) uint64 {
+	hi, lo := a.Uint64Pair()
+	return hi*0x9e3779b97f4a7c15 ^ lo
+}
+
+// randomAddr draws a mixed-family address: ~half v4, half v6.
+func randomAddr(rng *rand.Rand) netaddr.Addr {
+	if rng.Intn(2) == 0 {
+		return netaddr.AddrFrom4(byte(rng.Intn(224)+1), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), byte(rng.Intn(256)))
+	}
+	var b [16]byte
+	rng.Read(b[:])
+	b[0] = 0x20 // keep it out of the v4-mapped range
+	return netaddr.AddrFrom16(b)
+}
+
+// corpus returns n address keys with duplicates mixed in, plus the
+// exact distinct count from a map oracle.
+func corpus(rng *rand.Rand, n, distinct int) (keys []uint64, exact int) {
+	pool := make([]uint64, 0, distinct)
+	seen := make(map[uint64]struct{}, distinct)
+	for len(pool) < distinct {
+		k := packAddr(randomAddr(rng))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		pool = append(pool, k)
+	}
+	keys = make([]uint64, n)
+	used := make(map[uint64]struct{}, distinct)
+	for i := range keys {
+		k := pool[rng.Intn(len(pool))]
+		keys[i] = k
+		used[k] = struct{}{}
+	}
+	return keys, len(used)
+}
+
+func TestExactBelowK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{64, 256, 1024} {
+		s := New(k, 42)
+		oracle := make(map[uint64]struct{})
+		for i := 0; i < 3*(k-1); i++ { // duplicates keep distinct < k
+			key := packAddr(randomAddr(rng))
+			if len(oracle) >= k-1 {
+				break
+			}
+			oracle[key] = struct{}{}
+			s.Insert(key)
+			s.Insert(key) // duplicate must not change anything
+			if got, want := s.Estimate(), float64(len(oracle)); got != want {
+				t.Fatalf("k=%d: estimate %v below k, want exact %v", k, got, want)
+			}
+		}
+		if s.Count() != len(oracle) {
+			t.Fatalf("k=%d: Count=%d oracle=%d", k, s.Count(), len(oracle))
+		}
+	}
+}
+
+// TestErrorWithinTheoreticalBound checks the estimator against the map
+// oracle over randomized dual-stack corpora: every trial within 5
+// relative standard errors, the mean of the trials within 2.
+func TestErrorWithinTheoreticalBound(t *testing.T) {
+	for _, k := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewSource(int64(1000 + k)))
+		rse := 1 / math.Sqrt(float64(k-2))
+		const trials = 8
+		var meanRel float64
+		for trial := 0; trial < trials; trial++ {
+			distinct := 20*k + rng.Intn(10*k)
+			keys, exact := corpus(rng, 3*distinct, distinct)
+			s := New(k, uint64(trial))
+			for _, key := range keys {
+				s.Insert(key)
+			}
+			rel := s.Estimate()/float64(exact) - 1
+			meanRel += rel
+			if math.Abs(rel) > 5*rse {
+				t.Errorf("k=%d trial %d: estimate %.1f vs exact %d (rel err %.3f > 5*RSE %.3f)",
+					k, trial, s.Estimate(), exact, rel, 5*rse)
+			}
+		}
+		meanRel /= trials
+		if math.Abs(meanRel) > 2*rse {
+			t.Errorf("k=%d: mean relative error %.4f exceeds 2*RSE %.4f", k, meanRel, 2*rse)
+		}
+	}
+}
+
+func TestEstimateMonotoneUnderInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New(64, 9)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		s.Insert(packAddr(randomAddr(rng)))
+		if est := s.Estimate(); est < prev {
+			t.Fatalf("estimate decreased at insert %d: %v -> %v", i, prev, est)
+		} else {
+			prev = est
+		}
+	}
+}
+
+// canon returns the kept hash set in canonical (sorted) order; two
+// sketches are equal iff their canonical forms match.
+func canon(s *KMV) []uint64 {
+	c := append([]uint64(nil), s.heap...)
+	slices.Sort(c)
+	return c
+}
+
+func mergeOf(a, b *KMV) *KMV {
+	c := a.Clone()
+	c.Merge(b)
+	return c
+}
+
+// TestMergeSemilattice mirrors the eia.Merge suite: union of bottom-k
+// sketches is commutative, associative and idempotent.
+func TestMergeSemilattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{64, 256} {
+		for trial := 0; trial < 6; trial++ {
+			build := func() *KMV {
+				s := New(k, 77)
+				keys, _ := corpus(rng, 4*k, 1+rng.Intn(3*k))
+				for _, key := range keys {
+					s.Insert(key)
+				}
+				return s
+			}
+			a, b, c := build(), build(), build()
+			if !slices.Equal(canon(mergeOf(a, b)), canon(mergeOf(b, a))) {
+				t.Fatalf("k=%d: merge not commutative", k)
+			}
+			if !slices.Equal(canon(mergeOf(mergeOf(a, b), c)), canon(mergeOf(a, mergeOf(b, c)))) {
+				t.Fatalf("k=%d: merge not associative", k)
+			}
+			if !slices.Equal(canon(mergeOf(a, a)), canon(a)) {
+				t.Fatalf("k=%d: merge not idempotent", k)
+			}
+			// UnionEstimate must agree with materializing the merge.
+			if got, want := UnionEstimate(a, b), mergeOf(a, b).Estimate(); got != want {
+				t.Fatalf("k=%d: UnionEstimate=%v merged estimate=%v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestUnionEstimateAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const k = 256
+	rse := 1 / math.Sqrt(float64(k-2))
+	for trial := 0; trial < 4; trial++ {
+		a, b := New(k, 5), New(k, 5)
+		oracle := make(map[uint64]struct{})
+		keysA, _ := corpus(rng, 3*k, 2*k)
+		keysB, _ := corpus(rng, 3*k, 2*k)
+		for _, key := range keysA {
+			a.Insert(key)
+			oracle[key] = struct{}{}
+		}
+		for _, key := range keysB {
+			b.Insert(key)
+			oracle[key] = struct{}{}
+		}
+		est := UnionEstimate(a, b)
+		rel := est/float64(len(oracle)) - 1
+		if math.Abs(rel) > 5*rse {
+			t.Errorf("trial %d: union estimate %.1f vs exact %d (rel %.3f)", trial, est, len(oracle), rel)
+		}
+	}
+	// Degenerate shapes.
+	if UnionEstimate(nil, nil) != 0 {
+		t.Error("UnionEstimate(nil, nil) != 0")
+	}
+	s := New(k, 5)
+	s.Insert(1)
+	if UnionEstimate(s, nil) != 1 || UnionEstimate(nil, s) != 1 {
+		t.Error("UnionEstimate with one nil side lost the other")
+	}
+}
+
+func TestMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge across mismatched seeds did not panic")
+		}
+	}()
+	a, b := New(64, 1), New(64, 2)
+	b.Insert(9)
+	a.Merge(b)
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := New(64, 3)
+	for i := uint64(0); i < 500; i++ {
+		s.Insert(i)
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.Count() != 0 || s.Estimate() != 0 {
+		t.Errorf("Reset left Count=%d Estimate=%v", s.Count(), s.Estimate())
+	}
+	if c.Count() != 64 {
+		t.Errorf("clone affected by reset: Count=%d", c.Count())
+	}
+	s.Insert(1)
+	if s.Estimate() != 1 {
+		t.Errorf("sketch unusable after Reset: %v", s.Estimate())
+	}
+}

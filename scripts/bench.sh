@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench-regression harness: runs the curated hot-path benchmarks with
-# fixed settings and writes machine-readable results to BENCH_PR9.json.
+# fixed settings and writes machine-readable results to BENCH_PR10.json.
 #
 # The curated set covers the online path end to end — the sharded
 # pipeline (BenchmarkParallelPipeline, serial vs 1/4/8 shards), the
@@ -52,7 +52,12 @@
 #     the min-of-runs single-flow verdict latency (BenchmarkLatencyBasic
 #     and BenchmarkLatencyEnhanced, LAT_COUNT runs) must stay <= 1.05x
 #     the $BASELINE values. Min-of-runs is the noise-robust estimator
-#     that makes a 5% margin workable on a shared box.
+#     that makes a 5% margin workable on a shared box;
+#   - the streaming scan sketch must stay flat as scan cardinality
+#     grows: BenchmarkScanSuspect/sketch-1000x ns/op must be <= 1.2x
+#     sketch-10x (min of SCAN_COUNT runs). The ring rows at the same
+#     scales are recorded for contrast but not gated — the ring is flat
+#     only because its bounded window saturates and forgets.
 #
 # The v6 (-v6-) and mixed (-mixed-) bloom-tier and ingest cases are
 # recorded for contrast but not gated: they have no pre-dual-stack
@@ -62,17 +67,18 @@
 # diff ns/op, allocs/op and records/sec across PRs without the job
 # gating merges.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR9.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_PR10.json)
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR9.json}"
-BASELINE="${BASELINE:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR10.json}"
+BASELINE="${BASELINE:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 BLOOM_COUNT="${BLOOM_COUNT:-5}"
 E2E_COUNT="${E2E_COUNT:-3}"
 LAT_COUNT="${LAT_COUNT:-5}"
+SCAN_COUNT="${SCAN_COUNT:-5}"
 
 PATTERN='^(BenchmarkParallelPipeline|BenchmarkEIACheck|BenchmarkEIACheckParallel.*|BenchmarkEIACheckBatch.*|BenchmarkNetFlowCodec|BenchmarkDecodeV5Batch|BenchmarkDecodeV9Batch|BenchmarkDecodeIPFIXBatch|BenchmarkUnaryEncode|BenchmarkTelemetry.*)$'
 
@@ -103,6 +109,19 @@ echo "$BLOOMALL"
 # the reduced rows.
 BLOOMRAW=$(echo "$BLOOMALL" | awk '
 /^BenchmarkEIACheckBloomTier\// {
+	if (!($1 in min) || $3 + 0 < min[$1]) { min[$1] = $3 + 0; line[$1] = $0 }
+	order[$1] = NR
+}
+END { for (k in line) print order[k], line[k] }' | sort -n | cut -d" " -f2-)
+
+echo "==> go test -bench BenchmarkScanSuspect (benchtime=${BENCHTIME} count=${SCAN_COUNT})"
+SCANALL=$(go test -run='^$' -bench='^BenchmarkScanSuspect$' -benchmem \
+	-benchtime="$BENCHTIME" -count="$SCAN_COUNT" .)
+echo "$SCANALL"
+# Reduce to the per-name minimum ns/op, the same estimator the bloom
+# flatness gate uses.
+SCANRAW=$(echo "$SCANALL" | awk '
+/^BenchmarkScanSuspect\// {
 	if (!($1 in min) || $3 + 0 < min[$1]) { min[$1] = $3 + 0; line[$1] = $0 }
 	order[$1] = NR
 }
@@ -157,6 +176,29 @@ END {
 	if (b1000 > 1.2 * b10) {
 		printf "error: bloom fast tier is not flat: %.1f ns/op at 1000x vs %.1f ns/op at 10x (> 1.2x)\n",
 			b1000, b10 > "/dev/stderr"
+		exit 1
+	}
+}'
+
+echo "$SCANRAW" | awk '
+/^BenchmarkScanSuspect\// {
+	ns = 0
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (index($1, "/sketch-10x") > 0)   s10 = ns
+	if (index($1, "/sketch-1000x") > 0) s1000 = ns
+	if (index($1, "/ring-10x") > 0)     r10 = ns
+	if (index($1, "/ring-1000x") > 0)   r1000 = ns
+}
+END {
+	if (s10 == 0 || s1000 == 0) {
+		print "error: BenchmarkScanSuspect sketch-10x/sketch-1000x results missing" > "/dev/stderr"
+		exit 1
+	}
+	printf "==> scan suspect cost (min of runs): sketch %.1f -> %.1f ns/op (%.2fx at 100x cardinality), ring %.1f -> %.1f ns/op (saturated, not gated)\n",
+		s10, s1000, s1000 / s10, r10, r1000
+	if (s1000 > 1.2 * s10) {
+		printf "error: scan sketch is not flat: %.1f ns/op at 1000x vs %.1f ns/op at 10x (> 1.2x)\n",
+			s1000, s10 > "/dev/stderr"
 		exit 1
 	}
 }'
@@ -276,7 +318,40 @@ else
 	echo "==> warning: no baseline file $BASELINE; v4 per-check gate skipped"
 fi
 
-{ echo "$RAW"; echo "$LATRAW"; echo "$BLOOMRAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
+# Gate: batched ingest throughput against the previous PR's baseline.
+# The sketch backend and the TTL hooks ride the same online path, so
+# best-of-runs batched records/sec may not fall below 0.95x the
+# recorded baseline.
+if [ -f "$BASELINE" ]; then
+	base_rps=$(sed -n 's/.*"BenchmarkIngestE2E\/batched".*"records_per_sec": \([0-9.eE+-]*\)}.*/\1/p' "$BASELINE")
+	if [ -n "$base_rps" ]; then
+		echo "$E2ERAW" | awk -v brps="$base_rps" -v basefile="$BASELINE" '
+		/^BenchmarkIngestE2E\// {
+			rps = 0
+			for (i = 2; i <= NF; i++) if ($i == "records/sec") rps = $(i - 1)
+			if (index($1, "/batched-") == 0 && index($1, "/batched") > 0) batched = rps
+		}
+		END {
+			if (batched == 0) {
+				print "error: batched ingest result missing for the baseline gate" > "/dev/stderr"
+				exit 1
+			}
+			printf "==> batched ingest vs %s: %.0f rec/s (baseline %.0f, %.2fx)\n",
+				basefile, batched, brps, batched / brps
+			if (batched < 0.95 * brps) {
+				printf "error: batched ingest %.0f rec/s fell below 0.95x the baseline %.0f rec/s\n",
+					batched, brps > "/dev/stderr"
+				exit 1
+			}
+		}'
+	else
+		echo "==> warning: $BASELINE has no batched ingest row; ingest baseline gate skipped"
+	fi
+else
+	echo "==> warning: no baseline file $BASELINE; ingest baseline gate skipped"
+fi
+
+{ echo "$RAW"; echo "$LATRAW"; echo "$BLOOMRAW"; echo "$SCANRAW"; echo "$E2ERAW"; } | awk -v goversion="$(go env GOVERSION)" \
 	-v benchtime="$BENCHTIME" -v count="$COUNT" '
 BEGIN {
 	printf "{\n  \"schema\": \"infilter-bench/2\",\n"
